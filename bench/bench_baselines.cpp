@@ -1,0 +1,171 @@
+// Baseline comparison (Section 1.2.1 / E12): vProfile vs SIMPLE vs a
+// Scission-style logistic classifier vs a Murvay-Groza-style MSE
+// fingerprint, on identical Vehicle A traffic and attacks.
+//
+// Paper argument to support: vProfile reaches the same near-perfect
+// detection with a single feature and no feature-engineering pipeline,
+// while the baselines need FDA/ML machinery (and the MSE method is
+// markedly worse — Murvay-Groza report ~3% FP / 6% FN).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baseline/logistic_ids.hpp"
+#include "baseline/mse_ids.hpp"
+#include "baseline/simple_ids.hpp"
+#include "bench_common.hpp"
+#include "core/detector.hpp"
+#include "core/extractor.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+struct Scores {
+  double clean_accuracy = 0.0;
+  double hijack_f = 0.0;
+};
+
+Scores score_baseline(const baseline::SenderIds& ids,
+                      const std::vector<sim::LabeledCapture>& clean,
+                      const std::vector<sim::LabeledCapture>& hijack) {
+  stats::BinaryConfusion clean_cm;
+  for (const auto& lc : clean) {
+    const auto c = ids.classify(lc.capture.codes,
+                                lc.capture.frame.id.source_address);
+    if (!c) continue;
+    clean_cm.add(false, c->anomaly);
+  }
+  stats::BinaryConfusion hijack_cm;
+  for (const auto& lc : hijack) {
+    const auto c = ids.classify(lc.capture.codes,
+                                lc.capture.frame.id.source_address);
+    if (!c) continue;
+    hijack_cm.add(lc.is_attack, c->anomaly);
+  }
+  return {clean_cm.accuracy(), hijack_cm.f_score()};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Baseline comparison — Vehicle A, identical traffic");
+
+  sim::Vehicle vehicle(sim::vehicle_a(), 6100);
+  const auto db = vehicle.database();
+  const auto extraction = sim::default_extraction(vehicle.config());
+
+  // Shared training captures and test streams.
+  const std::size_t train_n = bench::scaled(2500);
+  const std::size_t test_n = bench::scaled(5000);
+  const auto train_caps =
+      vehicle.capture(train_n, analog::Environment::reference());
+  const auto clean = sim::make_normal_stream(
+      vehicle, test_n, analog::Environment::reference());
+  const auto hijack = sim::make_hijack_stream(
+      vehicle, test_n, 0.2, analog::Environment::reference());
+
+  std::vector<baseline::TrainExample> examples;
+  examples.reserve(train_caps.size());
+  for (const auto& cap : train_caps) {
+    examples.push_back({cap.codes, cap.frame.id.source_address});
+  }
+
+  std::printf("\n%-12s %16s %12s   %s\n", "method", "clean accuracy",
+              "hijack F", "notes");
+
+  // vProfile (Mahalanobis).
+  {
+    std::vector<vprofile::EdgeSet> sets;
+    for (const auto& cap : train_caps) {
+      if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
+        sets.push_back(std::move(*es));
+      }
+    }
+    vprofile::TrainingConfig cfg;
+    cfg.metric = vprofile::DistanceMetric::kMahalanobis;
+    cfg.extraction = extraction;
+    const auto outcome = vprofile::train_with_database(sets, db, cfg);
+    if (outcome.ok()) {
+      const vprofile::DetectionConfig dc{4.0};
+      stats::BinaryConfusion clean_cm;
+      for (const auto& lc : clean) {
+        const auto es =
+            vprofile::extract_edge_set(lc.capture.codes, extraction);
+        if (!es) continue;
+        clean_cm.add(false,
+                     vprofile::detect(*outcome.model, *es, dc).is_anomaly());
+      }
+      stats::BinaryConfusion hijack_cm;
+      for (const auto& lc : hijack) {
+        const auto es =
+            vprofile::extract_edge_set(lc.capture.codes, extraction);
+        if (!es) continue;
+        hijack_cm.add(lc.is_attack,
+                      vprofile::detect(*outcome.model, *es, dc).is_anomaly());
+      }
+      std::printf("%-12s %16.5f %12.5f   single feature, one distance\n",
+                  "vProfile", clean_cm.accuracy(), hijack_cm.f_score());
+    } else {
+      std::printf("%-12s training failed: %s\n", "vProfile",
+                  outcome.error.c_str());
+    }
+  }
+
+  baseline::BaselineConfig base_cfg;
+  base_cfg.bit_threshold = sim::default_bit_threshold(vehicle.config());
+  base_cfg.bit_width_samples = extraction.bit_width_samples;
+
+  // SIMPLE.
+  {
+    baseline::SimpleIds ids(base_cfg);
+    std::string error;
+    if (ids.train(examples, db, &error)) {
+      const Scores s = score_baseline(ids, clean, hijack);
+      std::printf("%-12s %16.5f %12.5f   16 features + FDA + EER "
+                  "threshold\n",
+                  "SIMPLE", s.clean_accuracy, s.hijack_f);
+    } else {
+      std::printf("%-12s training failed: %s\n", "SIMPLE", error.c_str());
+    }
+  }
+
+  // Scission-style logistic regression.
+  {
+    baseline::LogisticIds::Options opts;
+    opts.extraction = extraction;
+    opts.epochs = 100;
+    baseline::LogisticIds ids(opts);
+    std::string error;
+    if (ids.train(examples, db, &error)) {
+      const Scores s = score_baseline(ids, clean, hijack);
+      std::printf("%-12s %16.5f %12.5f   softmax over standardized edge "
+                  "sets\n",
+                  "logistic", s.clean_accuracy, s.hijack_f);
+    } else {
+      std::printf("%-12s training failed: %s\n", "logistic", error.c_str());
+    }
+  }
+
+  // Murvay-Groza-style MSE fingerprint.
+  {
+    baseline::MseIds::Options opts;
+    opts.base = base_cfg;
+    opts.sample_rate_hz = vehicle.config().adc.sample_rate_hz();
+    baseline::MseIds ids(opts);
+    std::string error;
+    if (ids.train(examples, db, &error)) {
+      const Scores s = score_baseline(ids, clean, hijack);
+      std::printf("%-12s %16.5f %12.5f   low-pass + MSE fingerprint "
+                  "(paper reports ~3%% FP / 6%% FN for this family)\n",
+                  "MSE", s.clean_accuracy, s.hijack_f);
+    } else {
+      std::printf("%-12s training failed: %s\n", "MSE", error.c_str());
+    }
+  }
+
+  std::printf(
+      "\nexpected shape: vProfile and the feature-engineered baselines all "
+      "detect hijacks nearly perfectly on distinct profiles; the MSE "
+      "fingerprint trails; vProfile does it with the simplest pipeline\n");
+  return 0;
+}

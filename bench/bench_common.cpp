@@ -1,0 +1,78 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace bench {
+
+double bench_scale() {
+  const char* env = std::getenv("VPROFILE_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  if (v <= 0.0) return 1.0;
+  return std::clamp(v, 0.05, 1000.0);
+}
+
+std::size_t scaled(std::size_t nominal) {
+  const double v = static_cast<double>(nominal) * bench_scale();
+  return std::max<std::size_t>(200, static_cast<std::size_t>(v));
+}
+
+sim::ExperimentParams default_params(vprofile::DistanceMetric metric) {
+  sim::ExperimentParams p;
+  p.metric = metric;
+  p.train_count = scaled(3000);
+  p.test_count = scaled(12000);
+  p.hijack_prob = 0.2;
+  return p;
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  (bench scale %.2fx; set VPROFILE_BENCH_SCALE to change)\n",
+              bench_scale());
+  std::printf("================================================================\n");
+}
+
+void print_result(const std::string& label, const sim::ExperimentResult& r,
+                  const std::string& paper_reference) {
+  if (!r.ok()) {
+    std::printf("%s\n  TRAINING FAILED: %s\n  paper: %s\n", label.c_str(),
+                r.error.c_str(), paper_reference.c_str());
+    return;
+  }
+  std::printf("%s", r.confusion.to_table(label).c_str());
+  std::printf("  margin=%.3f  extraction_failures=%zu\n", r.margin,
+              r.extraction_failures);
+  std::printf("  paper: %s\n", paper_reference.c_str());
+}
+
+void run_three_tests(const std::string& table_name,
+                     const sim::VehicleConfig& config, std::uint64_t seed,
+                     vprofile::DistanceMetric metric,
+                     const std::string& paper_fp,
+                     const std::string& paper_hijack,
+                     const std::string& paper_foreign) {
+  print_header(table_name + " — " + config.name + ", " +
+               to_string(metric) + " distance");
+
+  {
+    sim::Experiment exp(config, seed);
+    print_result("(a) False positive test",
+                 exp.false_positive_test(default_params(metric)), paper_fp);
+  }
+  {
+    sim::Experiment exp(config, seed + 1);
+    print_result("(b) Hijack imitation test",
+                 exp.hijack_test(default_params(metric)), paper_hijack);
+  }
+  {
+    sim::Experiment exp(config, seed + 2);
+    print_result("(c) Foreign device imitation test",
+                 exp.foreign_test(default_params(metric)), paper_foreign);
+  }
+}
+
+}  // namespace bench

@@ -1,0 +1,45 @@
+// Shared plumbing for the table/figure reproduction benches.
+//
+// Every bench prints the paper's artifact (table or figure series) next to
+// the paper-reported reference values.  Message counts are laptop-scale by
+// default; set VPROFILE_BENCH_SCALE=<float> to multiply them (the paper
+// used runs of 10^5..10^6 messages).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "stats/confusion.hpp"
+
+namespace bench {
+
+/// Scale factor from VPROFILE_BENCH_SCALE (default 1.0, clamped to
+/// [0.05, 1000]).
+double bench_scale();
+
+/// Applies the scale to a nominal count, keeping a sane floor.
+std::size_t scaled(std::size_t nominal);
+
+/// Default experiment sizes for table benches.
+sim::ExperimentParams default_params(vprofile::DistanceMetric metric);
+
+/// Prints a section header.
+void print_header(const std::string& title);
+
+/// Prints one experiment result (confusion matrix + scores) with the
+/// paper's reference value alongside.
+void print_result(const std::string& label, const sim::ExperimentResult& r,
+                  const std::string& paper_reference);
+
+/// Runs the paper's three tests (false positive, hijack, foreign) on a
+/// vehicle with one metric and prints the three confusion matrices in the
+/// layout of Tables 4.1-4.4.
+void run_three_tests(const std::string& table_name,
+                     const sim::VehicleConfig& config, std::uint64_t seed,
+                     vprofile::DistanceMetric metric,
+                     const std::string& paper_fp,
+                     const std::string& paper_hijack,
+                     const std::string& paper_foreign);
+
+}  // namespace bench

@@ -1,0 +1,85 @@
+// Reproduces Fig 4.4: the per-sample-index standard deviation of an ECU's
+// edge sets.
+//
+// Paper shape to reproduce: the rising and falling edge samples have
+// dramatically higher standard deviation than the overshoot and
+// steady-state samples (asynchronous sampling phase makes steep-slope
+// samples jittery), despite contributing little to the profile's
+// identity.  This is the observation that motivated switching from
+// Euclidean to Mahalanobis distance.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/extractor.hpp"
+#include "io/csv.hpp"
+#include "sim/presets.hpp"
+#include "stats/welford.hpp"
+
+int main() {
+  bench::print_header("Fig 4.4 — per-sample-index standard deviation, "
+                      "Vehicle A ECU 0");
+
+  sim::Vehicle vehicle(sim::vehicle_a(), 4400);
+  const auto extraction = sim::default_extraction(vehicle.config());
+  const std::size_t dim = extraction.dimension();
+
+  stats::VectorWelford acc(dim);
+  for (const auto& cap : vehicle.capture(bench::scaled(4000),
+                                         analog::Environment::reference())) {
+    if (cap.true_ecu != 0) continue;
+    if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
+      acc.add(es->samples);
+    }
+  }
+
+  const auto mean = acc.mean();
+  const auto sd = acc.stddev();
+  std::printf("\n%8s %12s %12s\n", "index", "mean (cd)", "stddev (cd)");
+  for (std::size_t i = 0; i < dim; ++i) {
+    // Compact bar rendering of the stddev profile.
+    const double max_sd = *std::max_element(sd.begin(), sd.end());
+    const int bar = static_cast<int>(40.0 * sd[i] / max_sd);
+    std::printf("%8zu %12.0f %12.1f  %s\n", i, mean[i], sd[i],
+                std::string(static_cast<std::size_t>(bar), '#').c_str());
+  }
+
+  // Quantify the edge-vs-steady contrast.
+  const std::size_t half = dim / 2;
+  double edge_sd = 0.0;
+  double steady_sd = 0.0;
+  std::size_t edge_n = 0;
+  std::size_t steady_n = 0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    // Edge samples: around the two threshold crossings (prefix boundary).
+    const std::size_t crossing =
+        (i < half) ? extraction.prefix_len : half + extraction.prefix_len;
+    if (i + 2 >= crossing && i <= crossing + 2) {
+      edge_sd += sd[i];
+      ++edge_n;
+    } else if ((i < half && i + 4 < half && i > crossing + 4) ||
+               (i >= half && i + 4 < dim && i > crossing + 4)) {
+      steady_sd += sd[i];
+      ++steady_n;
+    }
+  }
+  edge_sd /= std::max<std::size_t>(1, edge_n);
+  steady_sd /= std::max<std::size_t>(1, steady_n);
+  std::printf("\nmean stddev near edges: %.1f codes; in steady regions: "
+              "%.1f codes (ratio %.1fx)\n",
+              edge_sd, steady_sd, edge_sd / steady_sd);
+  std::printf("paper: edges show significantly higher standard deviation "
+              "than overshoot/steady state despite contributing little to "
+              "the profile\n");
+
+  std::ofstream csv("fig4_4_stddev.csv");
+  io::CsvWriter writer(csv);
+  writer.write_row(std::vector<std::string>{"index", "mean", "stddev"});
+  for (std::size_t i = 0; i < dim; ++i) {
+    writer.write_row(std::vector<double>{static_cast<double>(i), mean[i],
+                                         sd[i]});
+  }
+  std::printf("series written to fig4_4_stddev.csv\n");
+  return 0;
+}

@@ -1,0 +1,260 @@
+// Multi-fingerprint coverage matrix (capstone for §6.1's recommendation
+// to pair vProfile with IDSs over other message properties).
+//
+// Four attack scenarios are thrown at three independent fingerprints —
+// voltage (vProfile), timing (CIDS-style clock skew) and position
+// (two-tap propagation delay) — plus their OR-fusion:
+//   S1  cross-SA hijack: ECU transmits under another ECU's SA
+//   S2  own-SA flood: hijacked ECU doubles the rate of its own message
+//   S3  foreign device at the OBD port imitating an ECU, right period
+//   S4  clean traffic (false-alarm floor)
+//
+// Expected shape: no single fingerprint covers S1-S3; the fusion does.
+#include <cstdio>
+#include <vector>
+
+#include "analog/two_tap.hpp"
+#include "baseline/delay_locator.hpp"
+#include "baseline/timing_ids.hpp"
+#include "bench_common.hpp"
+#include "core/detector.hpp"
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+#include "sim/presets.hpp"
+
+namespace {
+
+struct Rates {
+  double voltage = 0.0;
+  double timing = 0.0;
+  double position = 0.0;
+  double fused = 0.0;
+};
+
+void print_row(const char* scenario, const Rates& r, const char* expect) {
+  std::printf("%-34s %9.1f%% %9.1f%% %9.1f%% %9.1f%%   %s\n", scenario,
+              100 * r.voltage, 100 * r.timing, 100 * r.position,
+              100 * r.fused, expect);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Multi-fingerprint coverage: voltage vs timing vs position vs fused");
+
+  sim::Vehicle vehicle(sim::vehicle_a(), 7700);
+  const auto extraction = sim::default_extraction(vehicle.config());
+  const analog::Environment env = analog::Environment::reference();
+  const auto synth_opts = [&] {
+    analog::SynthOptions o;
+    o.bitrate_bps = vehicle.config().bitrate_bps;
+    o.sample_rate_hz = vehicle.config().adc.sample_rate_hz();
+    o.max_bits = vehicle.config().synth_max_bits;
+    return o;
+  }();
+
+  // Harness geometry: ECU n sits at 1 + 2n metres; the OBD port at 9.8 m.
+  analog::TwoTapBus bus;
+  bus.length_m = 10.0;
+  auto position_of = [](std::size_t ecu) { return 1.0 + 2.0 * ecu; };
+  constexpr double kObdPosition = 9.8;
+
+  // Watched stream for timing/position: ECU 2's 50 ms brake message.
+  const std::uint8_t kWatchedSa = 0x0B;
+  const std::size_t kWatchedEcu = 2;
+  const double kPeriod = vehicle.config().ecus[kWatchedEcu].messages[0].period_s;
+
+  // ---- Train all three fingerprints on the same clean session ----------
+  auto two_tap = [&](const canbus::DataFrame& frame,
+                     const analog::EcuSignature& sig, double pos) {
+    auto [a, b] = analog::synthesize_two_tap_voltage(
+        canbus::build_wire_bits(frame), sig, env, synth_opts, bus, pos,
+        vehicle.rng());
+    // Digitize both taps: vProfile and the locator consume ADC codes.
+    return std::pair{vehicle.config().adc.quantize_trace(a),
+                     vehicle.config().adc.quantize_trace(b)};
+  };
+
+  // One scheduled session feeds all three detectors; the voltage model
+  // trains on tap A's view so per-position attenuation is part of each
+  // cluster's fingerprint.
+  std::vector<vprofile::EdgeSet> v_train;
+  std::vector<baseline::TimedMessage> t_train;
+  std::vector<baseline::DelayLocatorIds::TapPair> d_train;
+  for (const auto& tx : vehicle.schedule(bench::scaled(3000))) {
+    if (tx.frame.id.source_address == kWatchedSa) {
+      t_train.push_back({tx.start_s, kWatchedSa});
+    }
+    auto [a, b] = two_tap(tx.frame, vehicle.config().ecus[tx.node].signature,
+                          position_of(tx.node));
+    if (auto es = vprofile::extract_edge_set(a, extraction)) {
+      v_train.push_back(std::move(*es));
+    }
+    d_train.push_back(
+        {std::move(a), std::move(b), tx.frame.id.source_address});
+  }
+
+  vprofile::TrainingConfig tc;
+  tc.metric = vprofile::DistanceMetric::kMahalanobis;
+  tc.extraction = extraction;
+  auto voltage = vprofile::train_with_database(v_train, vehicle.database(), tc);
+  if (!voltage.ok()) {
+    std::printf("voltage training failed: %s\n", voltage.error.c_str());
+    return 1;
+  }
+
+  baseline::ClockSkewIds timing({});
+  baseline::DelayLocatorIds::Options dl_opts;
+  dl_opts.sample_rate_hz = vehicle.config().adc.sample_rate_hz();
+  baseline::DelayLocatorIds position(dl_opts);
+  {
+    std::string error;
+    if (!timing.train(t_train, &error)) {
+      std::printf("timing training failed: %s\n", error.c_str());
+      return 1;
+    }
+    if (!position.train(d_train, &error)) {
+      std::printf("position training failed: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  const vprofile::DetectionConfig dc{4.0};
+  auto voltage_flags = [&](const dsp::Trace& trace) {
+    const auto es = vprofile::extract_edge_set(trace, extraction);
+    if (!es) return false;
+    return vprofile::detect(*voltage.model, *es, dc).is_anomaly();
+  };
+
+  std::printf("\n%-34s %10s %10s %10s %10s\n", "scenario (detection rate)",
+              "voltage", "timing", "position", "fused");
+
+  // ---- S1: cross-SA hijack (ECU 0 claims ECU 2's SA, right timing) -----
+  {
+    Rates r;
+    timing.reset_online_state();
+    const std::size_t n = bench::scaled(400);
+    std::size_t v = 0;
+    std::size_t t = 0;
+    std::size_t p = 0;
+    std::size_t f = 0;
+    canbus::DataFrame frame;
+    frame.id = vehicle.config().ecus[kWatchedEcu].messages[0].id;
+    frame.payload = {1, 2, 3, 4};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double tstamp = 0.011 + static_cast<double>(k) * kPeriod;
+      const bool tm = timing.observe({tstamp, kWatchedSa}) ==
+                      baseline::ClockSkewIds::Verdict::kAnomaly;
+      auto [a, b] =
+          two_tap(frame, vehicle.config().ecus[0].signature, position_of(0));
+      const bool vm = voltage_flags(a);
+      const auto pc = position.classify(a, b, kWatchedSa);
+      const bool pm = pc && pc->anomaly;
+      v += vm;
+      t += tm;
+      p += pm;
+      f += (vm || tm || pm);
+    }
+    r = {double(v) / n, double(t) / n, double(p) / n, double(f) / n};
+    print_row("S1 cross-SA hijack", r, "voltage + position see it");
+  }
+
+  // ---- S2: own-SA flood (hijacked ECU 2 doubles its rate) --------------
+  {
+    timing.reset_online_state();
+    const std::size_t n = bench::scaled(400);
+    std::size_t v = 0;
+    std::size_t t = 0;
+    std::size_t p = 0;
+    std::size_t f = 0;
+    canbus::DataFrame frame;
+    frame.id = vehicle.config().ecus[kWatchedEcu].messages[0].id;
+    frame.payload = {9, 9};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double tstamp = 0.011 + static_cast<double>(k) * kPeriod / 2.0;
+      const bool tm = timing.observe({tstamp, kWatchedSa}) ==
+                      baseline::ClockSkewIds::Verdict::kAnomaly;
+      auto [a, b] = two_tap(frame, vehicle.config().ecus[kWatchedEcu].signature,
+                            position_of(kWatchedEcu));
+      const bool vm = voltage_flags(a);
+      const auto pc = position.classify(a, b, kWatchedSa);
+      const bool pm = pc && pc->anomaly;
+      v += vm;
+      t += tm;
+      p += pm;
+      f += (vm || tm || pm);
+    }
+    print_row("S2 own-SA flood",
+              {double(v) / n, double(t) / n, double(p) / n, double(f) / n},
+              "only timing sees it");
+  }
+
+  // ---- S3: foreign device at the OBD port, perfect period --------------
+  {
+    timing.reset_online_state();
+    const std::size_t n = bench::scaled(400);
+    std::size_t v = 0;
+    std::size_t t = 0;
+    std::size_t p = 0;
+    std::size_t f = 0;
+    analog::EcuSignature foreign = vehicle.config().ecus[kWatchedEcu].signature;
+    foreign.dominant_v -= 0.04;
+    foreign.drive.natural_freq_hz *= 0.94;
+    canbus::DataFrame frame;
+    frame.id = vehicle.config().ecus[kWatchedEcu].messages[0].id;
+    frame.payload = {7};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double tstamp = 0.011 + static_cast<double>(k) * kPeriod;
+      const bool tm = timing.observe({tstamp, kWatchedSa}) ==
+                      baseline::ClockSkewIds::Verdict::kAnomaly;
+      auto [a, b] = two_tap(frame, foreign, kObdPosition);
+      const bool vm = voltage_flags(a);
+      const auto pc = position.classify(a, b, kWatchedSa);
+      const bool pm = pc && pc->anomaly;
+      v += vm;
+      t += tm;
+      p += pm;
+      f += (vm || tm || pm);
+    }
+    print_row("S3 foreign device at OBD",
+              {double(v) / n, double(t) / n, double(p) / n, double(f) / n},
+              "voltage + position see it");
+  }
+
+  // ---- S4: clean traffic (false-alarm floor) ----------------------------
+  {
+    timing.reset_online_state();
+    const std::size_t n = bench::scaled(400);
+    std::size_t v = 0;
+    std::size_t t = 0;
+    std::size_t p = 0;
+    std::size_t f = 0;
+    canbus::DataFrame frame;
+    frame.id = vehicle.config().ecus[kWatchedEcu].messages[0].id;
+    frame.payload = {3, 3, 3};
+    for (std::size_t k = 0; k < n; ++k) {
+      const double tstamp = 0.011 + static_cast<double>(k) * kPeriod;
+      const bool tm = timing.observe({tstamp, kWatchedSa}) ==
+                      baseline::ClockSkewIds::Verdict::kAnomaly;
+      auto [a, b] = two_tap(frame, vehicle.config().ecus[kWatchedEcu].signature,
+                            position_of(kWatchedEcu));
+      const bool vm = voltage_flags(a);
+      const auto pc = position.classify(a, b, kWatchedSa);
+      const bool pm = pc && pc->anomaly;
+      v += vm;
+      t += tm;
+      p += pm;
+      f += (vm || tm || pm);
+    }
+    print_row("S4 clean traffic (false alarms)",
+              {double(v) / n, double(t) / n, double(p) / n, double(f) / n},
+              "everything should stay quiet");
+  }
+
+  std::printf(
+      "\nexpected shape: every attack row has at least one fingerprint at "
+      "~100%%, no single column covers all three attacks, and the fused "
+      "column is ~100%% on S1-S3 with a low S4 floor\n");
+  return 0;
+}

@@ -1,0 +1,165 @@
+// Microbenchmarks (google-benchmark) backing the paper's latency claims
+// (Section 1.3): vProfile "minimizes latency since it requires analyzing
+// only a section at the beginning of messages" and uses a single-feature
+// detection step cheap enough for embedded hardware.
+//
+// Benchmarked stages: waveform synthesis (simulator cost, not part of a
+// deployment), edge-set extraction, Euclidean and Mahalanobis distances,
+// full detection, online update, and training.
+#include <benchmark/benchmark.h>
+
+#include "core/detector.hpp"
+#include "core/extractor.hpp"
+#include "core/online_update.hpp"
+#include "core/trainer.hpp"
+#include "linalg/mahalanobis.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+
+namespace {
+
+/// Lazily built shared state so every benchmark reuses one capture set.
+struct Shared {
+  sim::Vehicle vehicle{sim::vehicle_a(), 777};
+  vprofile::ExtractionConfig extraction =
+      sim::default_extraction(vehicle.config());
+  std::vector<sim::Capture> captures;
+  std::vector<vprofile::EdgeSet> edge_sets;
+  vprofile::Model model;
+
+  static Shared& get() {
+    static Shared s;
+    return s;
+  }
+
+ private:
+  Shared()
+      : captures(vehicle.capture(1200, analog::Environment::reference())),
+        model(make_model()) {
+    for (const auto& cap : captures) {
+      if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
+        edge_sets.push_back(std::move(*es));
+      }
+    }
+  }
+
+  vprofile::Model make_model() {
+    std::vector<vprofile::EdgeSet> sets;
+    for (const auto& cap :
+         vehicle.capture(1500, analog::Environment::reference())) {
+      if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
+        sets.push_back(std::move(*es));
+      }
+    }
+    vprofile::TrainingConfig cfg;
+    cfg.metric = vprofile::DistanceMetric::kMahalanobis;
+    cfg.extraction = extraction;
+    auto outcome =
+        vprofile::train_with_database(sets, vehicle.database(), cfg);
+    if (!outcome.ok()) throw std::runtime_error(outcome.error);
+    return std::move(*outcome.model);
+  }
+};
+
+void BM_WaveformSynthesis(benchmark::State& state) {
+  Shared& s = Shared::get();
+  canbus::DataFrame frame;
+  frame.id = s.vehicle.config().ecus[0].messages[0].id;
+  frame.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.vehicle.synthesize_message(
+        frame, 0, analog::Environment::reference()));
+  }
+}
+BENCHMARK(BM_WaveformSynthesis);
+
+void BM_EdgeSetExtraction(benchmark::State& state) {
+  Shared& s = Shared::get();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vprofile::extract_edge_set(
+        s.captures[i % s.captures.size()].codes, s.extraction));
+    ++i;
+  }
+}
+BENCHMARK(BM_EdgeSetExtraction);
+
+void BM_EuclideanDistance(benchmark::State& state) {
+  Shared& s = Shared::get();
+  const auto& x = s.edge_sets.front().samples;
+  const auto& mu = s.model.clusters().front().mean;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::euclidean_distance(x, mu));
+  }
+}
+BENCHMARK(BM_EuclideanDistance);
+
+void BM_MahalanobisDistance(benchmark::State& state) {
+  Shared& s = Shared::get();
+  const auto& x = s.edge_sets.front().samples;
+  const auto& cl = s.model.clusters().front();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        linalg::mahalanobis_distance_inv(x, cl.mean, cl.inv_covariance));
+  }
+}
+BENCHMARK(BM_MahalanobisDistance);
+
+void BM_Detection(benchmark::State& state) {
+  Shared& s = Shared::get();
+  const vprofile::DetectionConfig dc{4.0};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        vprofile::detect(s.model, s.edge_sets[i % s.edge_sets.size()], dc));
+    ++i;
+  }
+}
+BENCHMARK(BM_Detection);
+
+void BM_DetectionEndToEnd(benchmark::State& state) {
+  // Extraction + detection: the full per-message cost a deployment pays.
+  Shared& s = Shared::get();
+  const vprofile::DetectionConfig dc{4.0};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& cap = s.captures[i % s.captures.size()];
+    auto es = vprofile::extract_edge_set(cap.codes, s.extraction);
+    if (es) {
+      benchmark::DoNotOptimize(vprofile::detect(s.model, *es, dc));
+    }
+    ++i;
+  }
+}
+BENCHMARK(BM_DetectionEndToEnd);
+
+void BM_OnlineUpdate(benchmark::State& state) {
+  Shared& s = Shared::get();
+  vprofile::Model model = s.model;
+  vprofile::OnlineUpdater updater(&model, 1u << 30);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        updater.update(s.edge_sets[i % s.edge_sets.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_OnlineUpdate);
+
+void BM_Training(benchmark::State& state) {
+  Shared& s = Shared::get();
+  const std::vector<vprofile::EdgeSet> sets(
+      s.edge_sets.begin(),
+      s.edge_sets.begin() +
+          std::min<std::size_t>(s.edge_sets.size(), 800));
+  vprofile::TrainingConfig cfg;
+  cfg.metric = vprofile::DistanceMetric::kMahalanobis;
+  cfg.extraction = s.extraction;
+  const auto db = s.vehicle.database();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(vprofile::train_with_database(sets, db, cfg));
+  }
+}
+BENCHMARK(BM_Training)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,151 @@
+// Reproduces Table 4.8 and Fig 4.6: the temperature-variance experiment.
+//
+// Procedure (Section 4.4.1): idle the vehicle with the engine running
+// (battery pinned at 13.60 V by the alternator), train on data captured in
+// the -5..0 C band, then replay data from 0..25 C in 5-degree bins.
+//
+// Paper shape to reproduce: a handful of false positives, all in the
+// hottest (20-25 C) bin, which disappear when 20 C data is added to the
+// training set; the Mahalanobis distance percent-delta grows with
+// temperature — drastically for the engine-mounted ECUs (0 and 2), subtly
+// for the rest (Fig 4.6).
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/extractor.hpp"
+#include "sim/presets.hpp"
+#include "stats/interval.hpp"
+
+namespace {
+
+constexpr double kBatteryV = 13.60;
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 4.8 / Fig 4.6 — temperature variance, Vehicle A");
+
+  sim::Experiment exp(sim::vehicle_a(), 4800);
+  sim::ExperimentParams params =
+      bench::default_params(vprofile::DistanceMetric::kMahalanobis);
+  params.env = analog::Environment{-2.5, kBatteryV};  // the -5..0 C band
+
+  auto trained = exp.train(params);
+  if (!trained.ok()) {
+    std::printf("training failed: %s\n", trained.error.c_str());
+    return 1;
+  }
+  const vprofile::Model& model = *trained.model;
+  const std::size_t num_ecus = model.clusters().size();
+
+  // Fixed margin chosen once from the training band, as a deployment
+  // would; the paper held its margin while sweeping temperature.
+  const double margin = 4.0;
+
+  // Baseline per-ECU mean distance in the training band (for Fig 4.6's
+  // percent delta).
+  const auto mean_distances = [&](double temp) {
+    std::vector<std::vector<double>> dists(num_ecus);
+    const auto caps = exp.vehicle().capture(
+        bench::scaled(3000), analog::Environment{temp, kBatteryV});
+    for (const auto& cap : caps) {
+      const auto es =
+          vprofile::extract_edge_set(cap.codes, model.extraction());
+      if (!es) continue;
+      const auto cluster = model.cluster_of(es->sa);
+      if (!cluster) continue;
+      dists[*cluster].push_back(model.distance(*cluster, es->samples));
+    }
+    return dists;
+  };
+  const auto baseline = mean_distances(-2.5);
+
+  // Table 4.8: confusion matrix over the full 0..25 C replay.
+  stats::BinaryConfusion table;
+  std::map<int, std::uint64_t> fp_by_bin;
+  std::printf("\nFig 4.6 — Mahalanobis distance %%-delta vs -5..0 C training"
+              " (99%% CI)\n");
+  std::printf("%-12s", "bin");
+  for (std::size_t e = 0; e < num_ecus; ++e) std::printf("   ECU %zu        ", e);
+  std::printf("\n");
+
+  for (int bin = 0; bin < 5; ++bin) {
+    const double temp = 2.5 + 5.0 * bin;  // bin midpoints 2.5..22.5
+    const auto dists = mean_distances(temp);
+    std::printf("%2d-%2d C     ", bin * 5, bin * 5 + 5);
+    for (std::size_t e = 0; e < num_ecus; ++e) {
+      const auto base_ci =
+          stats::mean_confidence_interval(baseline[e], 0.99);
+      const auto ci = stats::mean_confidence_interval(dists[e], 0.99);
+      const double delta =
+          (ci.mean - base_ci.mean) / base_ci.mean * 100.0;
+      const double half = ci.half_width / base_ci.mean * 100.0;
+      std::printf(" %+7.1f%%+-%4.1f", delta, half);
+    }
+    std::printf("\n");
+
+    // Score this bin for the confusion matrix.
+    for (std::size_t e = 0; e < num_ecus; ++e) {
+      for (double d : dists[e]) {
+        const bool fp = d > model.clusters()[e].max_distance + margin;
+        table.add(false, fp);
+        if (fp) ++fp_by_bin[bin];
+      }
+    }
+  }
+
+  std::printf("\n%s", table.to_table("Table 4.8 — temperature confusion "
+                                     "matrix (0..25 C replay)").c_str());
+  std::printf("  false positives by bin:");
+  for (int bin = 0; bin < 5; ++bin) {
+    std::printf(" [%d-%d C]=%llu", bin * 5, bin * 5 + 5,
+                static_cast<unsigned long long>(fp_by_bin[bin]));
+  }
+  std::printf("\n  paper: 4 FP / 5,775,557 msgs, all between 20 and 25 C\n");
+  std::printf(
+      "  paper Fig 4.6: distance increases with temperature for all ECUs; "
+      "drastic for ECUs 0 and 2, subtle for the others\n");
+
+  // The paper's fix: fold hot data into the training set.
+  {
+    sim::Experiment retrain(sim::vehicle_a(), 4800);
+    std::vector<vprofile::EdgeSet> sets;
+    for (double temp : {-2.5, 22.5}) {
+      for (const auto& cap : retrain.vehicle().capture(
+               bench::scaled(2000), analog::Environment{temp, kBatteryV})) {
+        if (auto es =
+                vprofile::extract_edge_set(cap.codes, model.extraction())) {
+          sets.push_back(std::move(*es));
+        }
+      }
+    }
+    vprofile::TrainingConfig cfg;
+    cfg.metric = vprofile::DistanceMetric::kMahalanobis;
+    cfg.extraction = model.extraction();
+    const auto wide = vprofile::train_with_database(
+        sets, retrain.vehicle().database(), cfg);
+    if (wide.ok()) {
+      stats::BinaryConfusion fixed;
+      const auto caps = retrain.vehicle().capture(
+          bench::scaled(4000), analog::Environment{22.5, kBatteryV});
+      for (const auto& cap : caps) {
+        const auto es =
+            vprofile::extract_edge_set(cap.codes, wide.model->extraction());
+        if (!es) continue;
+        const auto cluster = wide.model->cluster_of(es->sa);
+        if (!cluster) continue;
+        const double d = wide.model->distance(*cluster, es->samples);
+        fixed.add(false,
+                  d > wide.model->clusters()[*cluster].max_distance + margin);
+      }
+      std::printf(
+          "\nAfter adding 20-25 C data to training: %llu FP / %llu msgs "
+          "(paper: all false positives disappear)\n",
+          static_cast<unsigned long long>(fixed.false_positives()),
+          static_cast<unsigned long long>(fixed.total()));
+    }
+  }
+  return 0;
+}

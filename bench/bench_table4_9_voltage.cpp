@@ -1,0 +1,143 @@
+// Reproduces Table 4.9 and Figs 4.7 / 4.8: the battery-voltage / electrical
+// load experiment.
+//
+// Procedure (Section 4.4.2): with the vehicle in accessory mode (battery
+// only, ~12.61 V, sagging to ~12.54 V under load), train on quiet
+// accessory-mode data, then replay high-power events: lights, A/C, both
+// together, plus an engine-start (13.60 V) comparison.
+//
+// Paper shape to reproduce: a perfect detection rate (Table 4.9 shows 0
+// FP in 840k messages); the distance percent-deltas are minimal, with the
+// largest increase during/after the heaviest load (Fig 4.7); across
+// repeated trials the distance creeps upward (Fig 4.8, attributed to
+// slow temperature rise).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/extractor.hpp"
+#include "sim/presets.hpp"
+#include "stats/interval.hpp"
+
+namespace {
+
+constexpr double kAmbientC = 28.4;
+
+struct Event {
+  const char* name;
+  analog::Environment env;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 4.9 / Figs 4.7, 4.8 — high-power vehicle functions, Vehicle A");
+
+  sim::Experiment exp(sim::vehicle_a(), 4900);
+  sim::ExperimentParams params =
+      bench::default_params(vprofile::DistanceMetric::kMahalanobis);
+  params.env = analog::accessory_mode(kAmbientC);  // quiet accessory mode
+
+  auto trained = exp.train(params);
+  if (!trained.ok()) {
+    std::printf("training failed: %s\n", trained.error.c_str());
+    return 1;
+  }
+  const vprofile::Model& model = *trained.model;
+  const double margin = 3.0;
+
+  // The confusion matrix covers the accessory-mode load events; the
+  // engine-start row is reported for the Fig 4.7 delta only (the paper's
+  // Table 4.9 likewise scores the high-power accessory functions, with
+  // the 13.60 V alternator level noted separately).
+  const std::vector<Event> events = {
+      {"lights", analog::accessory_under_load(0.03, kAmbientC)},
+      {"A/C", analog::accessory_under_load(0.05, kAmbientC)},
+      {"lights+A/C", analog::accessory_under_load(0.07, kAmbientC)},
+  };
+  const Event engine{"engine start", analog::engine_running(kAmbientC)};
+
+  auto distances_under = [&](const analog::Environment& env) {
+    std::vector<double> dists;
+    for (const auto& cap :
+         exp.vehicle().capture(bench::scaled(3000), env)) {
+      const auto es =
+          vprofile::extract_edge_set(cap.codes, model.extraction());
+      if (!es) continue;
+      const auto cluster = model.cluster_of(es->sa);
+      if (!cluster) continue;
+      dists.push_back(model.distance(*cluster, es->samples));
+    }
+    return dists;
+  };
+
+  const auto baseline = distances_under(params.env);
+  const auto base_ci = stats::mean_confidence_interval(baseline, 0.99);
+
+  stats::BinaryConfusion table;
+  std::printf("\nFig 4.7 — distance %%-delta vs quiet accessory mode "
+              "(99%% CI)\n");
+  std::printf("%-14s %14s %18s %12s\n", "event", "battery (V)",
+              "%-delta (CI)", "FPs");
+  for (const Event& ev : events) {
+    const auto dists = distances_under(ev.env);
+    const auto ci = stats::mean_confidence_interval(dists, 0.99);
+    const double delta = (ci.mean - base_ci.mean) / base_ci.mean * 100.0;
+    const double half = ci.half_width / base_ci.mean * 100.0;
+
+    // Score a fresh replay of this event against the per-cluster
+    // thresholds.
+    std::uint64_t fps = 0;
+    for (const auto& cap :
+         exp.vehicle().capture(bench::scaled(1500), ev.env)) {
+      const auto es =
+          vprofile::extract_edge_set(cap.codes, model.extraction());
+      if (!es) continue;
+      const auto cluster = model.cluster_of(es->sa);
+      if (!cluster) continue;
+      const double d = model.distance(*cluster, es->samples);
+      const bool flagged =
+          d > model.clusters()[*cluster].max_distance + margin;
+      table.add(false, flagged);
+      fps += flagged;
+    }
+    std::printf("%-14s %14.2f %+11.1f%%+-%4.1f %12llu\n", ev.name,
+                ev.env.battery_v, delta, half,
+                static_cast<unsigned long long>(fps));
+  }
+
+  {
+    // Engine start shifts the supply by ~1 V; report its delta without
+    // scoring it against the accessory-mode model.
+    const auto dists = distances_under(engine.env);
+    const auto ci = stats::mean_confidence_interval(dists, 0.99);
+    std::printf("%-14s %14.2f %+11.1f%%+-%4.1f %12s\n", engine.name,
+                engine.env.battery_v,
+                (ci.mean - base_ci.mean) / base_ci.mean * 100.0,
+                ci.half_width / base_ci.mean * 100.0, "(not scored)");
+  }
+
+  std::printf("\n%s",
+              table.to_table("Table 4.9 — high-power functions confusion "
+                             "matrix").c_str());
+  std::printf("  paper: 0 FP / 840,625 msgs; largest distance increase "
+              "during/after lights+A/C\n");
+
+  // Fig 4.8: trial-to-trial creep. The paper attributes the upward drift
+  // across trials to slow bus warming; we replay accessory mode with a
+  // slowly rising temperature.
+  std::printf("\nFig 4.8 — accessory-mode trials vs trial 1 (%%-delta)\n");
+  for (int trial = 2; trial <= 5; ++trial) {
+    const double temp = kAmbientC + 2.5 * (trial - 1);  // slow bus warming
+    const auto dists =
+        distances_under(analog::Environment{temp, 12.61});
+    const auto ci = stats::mean_confidence_interval(dists, 0.99);
+    const double delta = (ci.mean - base_ci.mean) / base_ci.mean * 100.0;
+    std::printf("  trial %d: %+6.1f%% +- %4.1f%%\n", trial, delta,
+                ci.half_width / base_ci.mean * 100.0);
+  }
+  std::printf("  paper: overall increase in distance over successive "
+              "trials\n");
+  return 0;
+}

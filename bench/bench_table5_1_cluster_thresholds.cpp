@@ -1,0 +1,105 @@
+// Reproduces Table 5.1: the per-cluster extraction threshold enhancement
+// (Section 5.1).
+//
+// Two models are trained from the same Vehicle A traffic: one extracting
+// every edge set with the fixed global bit threshold, one re-extracting
+// each ECU's traces with that ECU's own threshold (midpoint of min/max of
+// the first half of the message, ACK excluded).
+//
+// Paper shape to reproduce: per-ECU standard deviation and maximum
+// Mahalanobis distance change only marginally — improving for some ECUs
+// and degrading for others — without affecting detection on these
+// vehicles.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/extractor.hpp"
+#include "sim/presets.hpp"
+#include "stats/welford.hpp"
+
+int main() {
+  bench::print_header(
+      "Table 5.1 — fixed vs per-cluster extraction thresholds, Vehicle A");
+
+  sim::Vehicle vehicle(sim::vehicle_a(), 5100);
+  const auto base = sim::default_extraction(vehicle.config());
+  const std::size_t num_ecus = vehicle.config().ecus.size();
+  const auto caps =
+      vehicle.capture(bench::scaled(4000), analog::Environment::reference());
+
+  // Pass 1: per-ECU thresholds from each ECU's own traces (Section 5.1's
+  // "mean of the maximum and minimum values from the first half").
+  std::vector<double> cluster_threshold(num_ecus, 0.0);
+  std::vector<std::size_t> counts(num_ecus, 0);
+  for (const auto& cap : caps) {
+    cluster_threshold[cap.true_ecu] +=
+        vprofile::estimate_bit_threshold(cap.codes);
+    ++counts[cap.true_ecu];
+  }
+  for (std::size_t e = 0; e < num_ecus; ++e) {
+    cluster_threshold[e] /= static_cast<double>(counts[e]);
+  }
+
+  // Extract with both threshold policies and train a model per policy.
+  auto train_with = [&](bool per_cluster) {
+    std::vector<vprofile::EdgeSet> sets;
+    for (const auto& cap : caps) {
+      vprofile::ExtractionConfig cfg = base;
+      if (per_cluster) cfg.bit_threshold = cluster_threshold[cap.true_ecu];
+      if (auto es = vprofile::extract_edge_set(cap.codes, cfg)) {
+        sets.push_back(std::move(*es));
+      }
+    }
+    vprofile::TrainingConfig cfg;
+    cfg.metric = vprofile::DistanceMetric::kMahalanobis;
+    cfg.extraction = base;
+    return vprofile::train_with_database(sets, vehicle.database(), cfg);
+  };
+
+  const auto fixed = train_with(false);
+  const auto clustered = train_with(true);
+  if (!fixed.ok() || !clustered.ok()) {
+    std::printf("training failed: %s %s\n", fixed.error.c_str(),
+                clustered.error.c_str());
+    return 1;
+  }
+
+  // Per-ECU statistics: std-dev of edge-set samples around the cluster
+  // mean (in ADC codes) and maximum Mahalanobis distance.
+  auto stats_of = [&](const vprofile::Model& model, bool per_cluster) {
+    std::vector<stats::Welford> spread(num_ecus);
+    std::vector<double> max_dist(num_ecus, 0.0);
+    for (const auto& cap : caps) {
+      vprofile::ExtractionConfig cfg = base;
+      if (per_cluster) cfg.bit_threshold = cluster_threshold[cap.true_ecu];
+      const auto es = vprofile::extract_edge_set(cap.codes, cfg);
+      if (!es) continue;
+      const auto cluster = model.cluster_of(es->sa);
+      if (!cluster) continue;
+      const auto& mean = model.clusters()[*cluster].mean;
+      for (std::size_t i = 0; i < mean.size(); ++i) {
+        spread[*cluster].add(es->samples[i] - mean[i]);
+      }
+      max_dist[*cluster] = std::max(
+          max_dist[*cluster], model.distance(*cluster, es->samples));
+    }
+    return std::make_pair(std::move(spread), std::move(max_dist));
+  };
+
+  auto [fixed_spread, fixed_max] = stats_of(*fixed.model, false);
+  auto [clust_spread, clust_max] = stats_of(*clustered.model, true);
+
+  std::printf("\n%-6s %18s %18s %14s %14s\n", "ECU", "stddev (fixed)",
+              "stddev (cluster)", "maxD (fixed)", "maxD (cluster)");
+  for (std::size_t e = 0; e < num_ecus; ++e) {
+    std::printf("%-6zu %18.3f %18.3f %14.3f %14.3f\n", e,
+                fixed_spread[e].stddev(), clust_spread[e].stddev(),
+                fixed_max[e], clust_max[e]);
+  }
+  std::printf(
+      "\npaper (Table 5.1): stddev 152.9..190.6 codes, max distance "
+      "10.5..21.1; cluster thresholds improve some ECUs (2, 4) and degrade "
+      "others slightly, without changing detection\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Digitizer-selection helper (Section 4.3): explores the sampling-rate /
+// resolution trade-off for a target vehicle and reports, per operating
+// point, the detection scores and the relative compute/memory cost — the
+// analysis an integrator runs before picking capture hardware.
+#include <cstdio>
+
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+
+int main() {
+  std::printf("sampling-rate / resolution trade-off on Vehicle A "
+              "(Mahalanobis)\n\n");
+  std::printf("%-10s %6s %12s %12s %12s %14s\n", "rate", "bits", "FP acc",
+              "hijack F", "dim", "rel. cost");
+
+  const double native_rate = sim::vehicle_a().adc.sample_rate_hz();
+  for (const auto& [factor, rate_name] :
+       std::initializer_list<std::pair<std::size_t, const char*>>{
+           {1, "20 MS/s"}, {2, "10 MS/s"}, {4, "5 MS/s"}, {8, "2.5 MS/s"}}) {
+    for (int bits : {16, 12, 10}) {
+      sim::ExperimentParams p;
+      p.metric = vprofile::DistanceMetric::kMahalanobis;
+      p.train_count = 1500;
+      p.test_count = 2500;
+      p.front_end.downsample_factor = factor;
+      p.front_end.resolution_bits = bits;
+
+      sim::Experiment fp_exp(sim::vehicle_a(), 9000 + factor * 10 + bits);
+      const auto fp = fp_exp.false_positive_test(p);
+      sim::Experiment hj_exp(sim::vehicle_a(), 9100 + factor * 10 + bits);
+      const auto hj = hj_exp.hijack_test(p);
+
+      const auto extraction =
+          sim::front_end_extraction(sim::vehicle_a(), p.front_end);
+      // Cost model: samples/second to move * dimension^2 for the
+      // Mahalanobis solve, normalized to the native point.
+      const double rate = native_rate / static_cast<double>(factor);
+      const double dim = static_cast<double>(extraction.dimension());
+      const double cost =
+          (rate * bits + 250e3 / 8.0 * dim * dim) /
+          (native_rate * 16 + 250e3 / 8.0 * 66.0 * 66.0);
+
+      char fp_s[16];
+      char hj_s[16];
+      if (fp.ok()) {
+        std::snprintf(fp_s, sizeof fp_s, "%.5f", fp.confusion.accuracy());
+      } else {
+        std::snprintf(fp_s, sizeof fp_s, "singular");
+      }
+      if (hj.ok()) {
+        std::snprintf(hj_s, sizeof hj_s, "%.5f", hj.confusion.f_score());
+      } else {
+        std::snprintf(hj_s, sizeof hj_s, "singular");
+      }
+      std::printf("%-10s %6d %12s %12s %12zu %13.2f%%\n", rate_name, bits,
+                  fp_s, hj_s, extraction.dimension(), cost * 100.0);
+    }
+  }
+
+  std::printf(
+      "\nthe paper picked 10 MS/s at 12 bits: scores hold while the "
+      "front-end cost drops by roughly half\n");
+  return 0;
+}

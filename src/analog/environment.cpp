@@ -1,0 +1,19 @@
+#include "analog/environment.hpp"
+
+namespace analog {
+
+Environment accessory_mode(double temperature_c) {
+  return Environment{temperature_c, 12.61};
+}
+
+Environment engine_running(double temperature_c) {
+  return Environment{temperature_c, 13.60};
+}
+
+Environment accessory_under_load(double sag_v, double temperature_c) {
+  Environment env = accessory_mode(temperature_c);
+  env.battery_v -= sag_v;
+  return env;
+}
+
+}  // namespace analog

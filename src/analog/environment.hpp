@@ -1,0 +1,34 @@
+// Operating environment of the vehicle electrical system.
+//
+// Section 4.4 of the paper shows that ECU temperature and battery voltage
+// shift the CAN bus voltage; this struct carries those two quantities into
+// the waveform synthesizer.  Each ECU couples to ambient temperature with
+// its own factor (the paper theorizes that "the temperature of some ECUs
+// did not rise much throughout the experiments").
+#pragma once
+
+namespace analog {
+
+/// Environment at the moment a frame is transmitted.
+struct Environment {
+  /// Ambient / engine-bay temperature in degrees Celsius.
+  double temperature_c = 20.0;
+  /// Battery (supply) voltage in volts.  Idling with the alternator
+  /// running sits near 13.6 V; accessory mode near 12.6 V.
+  double battery_v = 12.6;
+
+  static Environment reference() { return Environment{}; }
+};
+
+/// Reference conditions the signature parameters are specified at.
+inline constexpr double kReferenceTemperatureC = 20.0;
+inline constexpr double kReferenceBatteryV = 12.6;
+
+/// Battery voltage presets mirroring the paper's measurements (§4.4.2).
+Environment accessory_mode(double temperature_c = 28.4);
+Environment engine_running(double temperature_c = 20.0);
+/// Accessory mode under a heavy electrical load (lights + A/C): the
+/// battery sags by `sag_v` from the accessory-mode level.
+Environment accessory_under_load(double sag_v, double temperature_c = 28.4);
+
+}  // namespace analog

@@ -1,0 +1,210 @@
+#include "analog/synth.hpp"
+
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+#include <vector>
+
+#include "analog/two_tap.hpp"
+
+namespace analog {
+namespace {
+
+/// One constant-target interval of the switched system.
+struct Segment {
+  double start_s = 0.0;   // transition instant
+  double target_v = 0.0;  // level the output settles toward
+  bool to_dominant = false;
+};
+
+/// Analytic state of the second-order response within one segment:
+///   v(t) = target + Re(w0 * exp(pole * (t - start))).
+struct ResponseState {
+  std::complex<double> w0;    // complex deviation amplitude at t = start
+  std::complex<double> pole;  // -alpha + i*omega_d
+  double target = 0.0;
+  double start_s = 0.0;
+
+  double value_at(double t) const {
+    return target + (w0 * std::exp(pole * (t - start_s))).real();
+  }
+  double slope_at(double t) const {
+    return (w0 * pole * std::exp(pole * (t - start_s))).real();
+  }
+};
+
+std::complex<double> pole_of(const EdgeDynamics& dyn) {
+  const double wn = 2.0 * M_PI * dyn.natural_freq_hz;
+  const double zeta = dyn.damping;
+  const double alpha = zeta * wn;
+  const double wd = wn * std::sqrt(std::max(1e-6, 1.0 - zeta * zeta));
+  return {-alpha, wd};
+}
+
+/// Starts a new segment given the output value/slope at the switch time.
+ResponseState enter_segment(const Segment& seg, const EdgeDynamics& dyn,
+                            double v_now, double vdot_now) {
+  ResponseState st;
+  st.pole = pole_of(dyn);
+  st.target = seg.target_v;
+  st.start_s = seg.start_s;
+  const double d0 = v_now - seg.target_v;
+  const double alpha = -st.pole.real();
+  const double wd = st.pole.imag();
+  // Match v(start) = v_now and v'(start) = vdot_now:
+  //   Re(w0) = d0, Re(w0 * pole) = vdot_now.
+  st.w0 = {d0, -(alpha * d0 + vdot_now) / wd};
+  return st;
+}
+
+void validate(const canbus::BitVector& wire_bits, const SynthOptions& opts) {
+  if (wire_bits.empty()) {
+    throw std::invalid_argument("synthesize_frame_voltage: empty bit vector");
+  }
+  if (opts.bitrate_bps <= 0.0 || opts.sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("synthesize_frame_voltage: rates must be > 0");
+  }
+}
+
+/// Builds the transmitted-waveform segment list: lead-in recessive, then
+/// one segment per run of equal bits, with per-transition transceiver
+/// jitter.  Returns the segments and the number of synthesized bits.
+std::vector<Segment> build_segments(const canbus::BitVector& wire_bits,
+                                    const EcuSignature& sig,
+                                    const SynthOptions& opts, double phase,
+                                    std::size_t nbits, stats::Rng& rng) {
+  const double bit_t = 1.0 / opts.bitrate_bps;
+  std::vector<Segment> segments;
+  segments.push_back(Segment{0.0, sig.recessive_v, false});
+  const double sof_time = opts.lead_in_bits * bit_t + phase;
+  bool prev = true;  // bus idles recessive
+  for (std::size_t i = 0; i < nbits; ++i) {
+    const bool bit = wire_bits[i];
+    if (bit == prev) continue;
+    double t = sof_time + static_cast<double>(i) * bit_t;
+    if (sig.edge_jitter_s > 0.0) t += rng.gaussian(0.0, sig.edge_jitter_s);
+    segments.push_back(Segment{t, bit ? sig.recessive_v : sig.dominant_v,
+                               /*to_dominant=*/!bit});
+    prev = bit;
+  }
+  return segments;
+}
+
+/// Renders one tap's view of the segment list: the waveform shifted by
+/// `arrival_delay_s`, scaled by `gain`, with independent measurement
+/// noise.
+dsp::Trace render(const std::vector<Segment>& segments,
+                  const EcuSignature& sig, const SynthOptions& opts,
+                  std::size_t nsamples, double arrival_delay_s, double gain,
+                  stats::Rng& rng) {
+  const double dt = 1.0 / opts.sample_rate_hz;
+  dsp::Trace out(nsamples);
+  ResponseState st =
+      enter_segment(segments.front(), sig.release, sig.recessive_v, 0.0);
+  std::size_t next_seg = 1;
+
+  // Per-sample recurrence within a segment: z tracks
+  // w0 * exp(pole * (t_k - start)) on the sample grid, advanced by a
+  // constant complex factor per sample.
+  std::complex<double> z = st.w0;
+  std::complex<double> step = std::exp(st.pole * dt);
+  bool z_fresh = true;  // z refers to the current sample time already
+
+  for (std::size_t k = 0; k < nsamples; ++k) {
+    // Time in the transmitter's frame: the tap sees everything late.
+    const double t = static_cast<double>(k) * dt - arrival_delay_s;
+    bool switched = false;
+    while (next_seg < segments.size() && segments[next_seg].start_s <= t) {
+      const Segment& seg = segments[next_seg];
+      const double v_now = st.value_at(seg.start_s);
+      const double vdot_now = st.slope_at(seg.start_s);
+      st = enter_segment(seg, seg.to_dominant ? sig.drive : sig.release,
+                         v_now, vdot_now);
+      switched = true;
+      ++next_seg;
+    }
+    if (switched) {
+      // Align the recurrence to this (sub-sample-offset) segment start.
+      z = st.w0 * std::exp(st.pole * (t - st.start_s));
+      step = std::exp(st.pole * dt);
+      z_fresh = true;
+    }
+    if (!z_fresh) z *= step;
+    z_fresh = false;
+    out[k] = gain * (st.target + z.real()) +
+             rng.gaussian(0.0, sig.noise_sigma_v);
+  }
+  return out;
+}
+
+}  // namespace
+
+dsp::Trace synthesize_frame_voltage(const canbus::BitVector& wire_bits,
+                                    const EcuSignature& sig_nominal,
+                                    const Environment& env,
+                                    const SynthOptions& opts,
+                                    stats::Rng& rng) {
+  validate(wire_bits, opts);
+  const EcuSignature sig = sig_nominal.under(env);
+  const double bit_t = 1.0 / opts.bitrate_bps;
+  const double dt = 1.0 / opts.sample_rate_hz;
+
+  const std::size_t nbits = (opts.max_bits != 0)
+                                ? std::min(opts.max_bits, wire_bits.size())
+                                : wire_bits.size();
+  // Asynchronous sampling: shift all bit boundaries by a random fraction
+  // of one sample period.
+  const double phase = opts.sampling_phase_jitter ? rng.uniform() * dt : 0.0;
+  const std::vector<Segment> segments =
+      build_segments(wire_bits, sig, opts, phase, nbits, rng);
+
+  const double total_t =
+      opts.lead_in_bits * bit_t + phase +
+      (static_cast<double>(nbits) + opts.lead_out_bits) * bit_t;
+  const std::size_t nsamples = static_cast<std::size_t>(total_t / dt);
+  return render(segments, sig, opts, nsamples, /*arrival_delay_s=*/0.0,
+                /*gain=*/1.0, rng);
+}
+
+std::pair<dsp::Trace, dsp::Trace> synthesize_two_tap_voltage(
+    const canbus::BitVector& wire_bits, const EcuSignature& sig_nominal,
+    const Environment& env, const SynthOptions& opts, const TwoTapBus& bus,
+    double position_m, stats::Rng& rng) {
+  validate(wire_bits, opts);
+  if (position_m < 0.0 || position_m > bus.length_m) {
+    throw std::invalid_argument(
+        "synthesize_two_tap_voltage: position outside the bus");
+  }
+  const EcuSignature sig = sig_nominal.under(env);
+  const double bit_t = 1.0 / opts.bitrate_bps;
+  const double dt = 1.0 / opts.sample_rate_hz;
+
+  const std::size_t nbits = (opts.max_bits != 0)
+                                ? std::min(opts.max_bits, wire_bits.size())
+                                : wire_bits.size();
+  const double phase = opts.sampling_phase_jitter ? rng.uniform() * dt : 0.0;
+  // One transmitted waveform (shared bit timing and edge jitter)...
+  const std::vector<Segment> segments =
+      build_segments(wire_bits, sig, opts, phase, nbits, rng);
+
+  const double total_t =
+      opts.lead_in_bits * bit_t + phase +
+      (static_cast<double>(nbits) + opts.lead_out_bits) * bit_t;
+  const std::size_t nsamples = static_cast<std::size_t>(total_t / dt);
+
+  // ...seen by the two taps with position-dependent delay and attenuation
+  // and independent measurement noise.
+  const double delay_a = position_m / bus.propagation_mps;
+  const double delay_b = (bus.length_m - position_m) / bus.propagation_mps;
+  const double gain_a = 1.0 - bus.attenuation_per_m * position_m;
+  const double gain_b =
+      1.0 - bus.attenuation_per_m * (bus.length_m - position_m);
+
+  dsp::Trace tap_a =
+      render(segments, sig, opts, nsamples, delay_a, gain_a, rng);
+  dsp::Trace tap_b =
+      render(segments, sig, opts, nsamples, delay_b, gain_b, rng);
+  return {std::move(tap_a), std::move(tap_b)};
+}
+
+}  // namespace analog

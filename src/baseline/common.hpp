@@ -1,0 +1,72 @@
+// Common interface for the related-work sender-identification baselines
+// the paper compares against (Section 1.2.1): SIMPLE, a Scission-style
+// machine-learning classifier, and a Murvay-Groza-style MSE fingerprint.
+//
+// Each baseline consumes the same input as vProfile — a digitized voltage
+// trace plus the claimed source address — so the bench harness can run
+// them side by side.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/trainer.hpp"
+#include "dsp/trace.hpp"
+
+namespace baseline {
+
+/// One training example: a message-aligned trace and its (trusted) SA.
+struct TrainExample {
+  dsp::Trace trace;
+  std::uint8_t sa = 0;
+};
+
+/// Classification of one incoming message.
+struct Classification {
+  bool anomaly = false;
+  /// Index of the class (ECU) the waveform was attributed to.
+  std::size_t predicted_class = 0;
+  /// Method-specific score (distance, MSE, negative log-likelihood).
+  double score = 0.0;
+};
+
+/// Interface shared by all baselines.
+class SenderIds {
+ public:
+  virtual ~SenderIds() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Trains from labelled traces using the SA database to group SAs into
+  /// ECU classes.  Returns false and sets `error` on failure (too little
+  /// data, degenerate statistics).
+  virtual bool train(const std::vector<TrainExample>& examples,
+                     const vprofile::SaDatabase& database,
+                     std::string* error) = 0;
+
+  /// Classifies a message.  std::nullopt when the trace cannot be
+  /// processed (no SOF, truncated) or the claimed SA is unknown — callers
+  /// treat unknown SAs as trivially detected, like the paper does.
+  virtual std::optional<Classification> classify(
+      const dsp::Trace& trace, std::uint8_t claimed_sa) const = 0;
+
+  /// Names of the trained classes, index-aligned with predicted_class.
+  virtual const std::vector<std::string>& class_names() const = 0;
+};
+
+/// Shared trace-processing parameters (mirrors vProfile's constants).
+struct BaselineConfig {
+  double bit_threshold = 38000.0;
+  std::size_t bit_width_samples = 80;
+};
+
+/// Maps each example to a dense class index via the database; returns the
+/// class names.  Examples with SAs missing from the database are dropped
+/// (their indices are set to SIZE_MAX).
+std::vector<std::string> assign_classes(
+    const std::vector<TrainExample>& examples,
+    const vprofile::SaDatabase& database, std::vector<std::size_t>& labels);
+
+}  // namespace baseline

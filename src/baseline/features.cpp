@@ -1,0 +1,124 @@
+#include "baseline/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/welford.hpp"
+
+namespace baseline {
+
+std::vector<Run> segment_runs(const dsp::Trace& trace, double threshold) {
+  std::vector<Run> runs;
+  std::size_t i = 0;
+  // Skip the idle lead-in; the first run starts at SOF.
+  while (i < trace.size() && trace[i] < threshold) ++i;
+  if (i == trace.size()) return runs;
+
+  Run current{true, i, i};
+  for (++i; i < trace.size(); ++i) {
+    const bool dominant = trace[i] >= threshold;
+    if (dominant == current.dominant) {
+      current.last = i;
+    } else {
+      runs.push_back(current);
+      current = Run{dominant, i, i};
+    }
+  }
+  runs.push_back(current);
+  return runs;
+}
+
+std::optional<linalg::Vector> simple_features(const dsp::Trace& trace,
+                                              const BaselineConfig& config,
+                                              std::size_t max_states) {
+  constexpr std::size_t kSamplesPerState = 8;
+  const std::vector<Run> runs = segment_runs(trace, config.bit_threshold);
+
+  // Accumulate sample-wise sums separately per polarity.
+  linalg::Vector dom_sum(kSamplesPerState, 0.0);
+  linalg::Vector rec_sum(kSamplesPerState, 0.0);
+  std::size_t dom_count = 0;
+  std::size_t rec_count = 0;
+
+  for (const Run& run : runs) {
+    auto& sum = run.dominant ? dom_sum : rec_sum;
+    auto& count = run.dominant ? dom_count : rec_count;
+    if (count >= max_states) continue;
+    // Evenly spaced positions across the run interior; short runs sample
+    // with repetition.
+    for (std::size_t k = 0; k < kSamplesPerState; ++k) {
+      const double frac = (kSamplesPerState == 1)
+                              ? 0.5
+                              : static_cast<double>(k) /
+                                    static_cast<double>(kSamplesPerState - 1);
+      const std::size_t idx =
+          run.first + static_cast<std::size_t>(
+                          frac * static_cast<double>(run.length() - 1) + 0.5);
+      sum[k] += trace[idx];
+    }
+    ++count;
+  }
+
+  if (dom_count < 2 || rec_count < 2) return std::nullopt;
+
+  linalg::Vector features;
+  features.reserve(2 * kSamplesPerState);
+  for (double s : dom_sum) {
+    features.push_back(s / static_cast<double>(dom_count));
+  }
+  for (double s : rec_sum) {
+    features.push_back(s / static_cast<double>(rec_count));
+  }
+  return features;
+}
+
+std::vector<std::string> assign_classes(
+    const std::vector<TrainExample>& examples,
+    const vprofile::SaDatabase& database, std::vector<std::size_t>& labels) {
+  std::vector<std::string> names;
+  // Deterministic class order: database iteration order (sorted by SA),
+  // first occurrence of each name.
+  for (const auto& [sa, name] : database) {
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+  labels.assign(examples.size(), static_cast<std::size_t>(-1));
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    const auto it = database.find(examples[i].sa);
+    if (it == database.end()) continue;
+    const auto pos = std::find(names.begin(), names.end(), it->second);
+    labels[i] = static_cast<std::size_t>(pos - names.begin());
+  }
+  return names;
+}
+
+Standardizer Standardizer::fit(const std::vector<linalg::Vector>& xs) {
+  if (xs.empty()) {
+    throw std::invalid_argument("Standardizer::fit: empty input");
+  }
+  stats::VectorWelford acc(xs.front().size());
+  for (const auto& x : xs) acc.add(x);
+  Standardizer st;
+  st.mean = acc.mean();
+  st.inv_std.resize(st.mean.size());
+  const std::vector<double> sd = acc.stddev();
+  for (std::size_t i = 0; i < sd.size(); ++i) {
+    st.inv_std[i] = (sd[i] > 1e-12) ? 1.0 / sd[i] : 0.0;
+  }
+  return st;
+}
+
+linalg::Vector Standardizer::apply(const linalg::Vector& x) const {
+  if (x.size() != mean.size()) {
+    throw std::invalid_argument("Standardizer::apply: size mismatch");
+  }
+  linalg::Vector out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = (x[i] - mean[i]) * inv_std[i];
+  }
+  return out;
+}
+
+}  // namespace baseline

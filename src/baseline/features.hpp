@@ -1,0 +1,53 @@
+// Feature extraction shared by the baselines.
+//
+//  * Run segmentation: splits a trace into dominant / recessive runs by
+//    threshold, the first step of SIMPLE's per-state sampling.
+//  * SIMPLE features: eight interior samples per dominant state and eight
+//    per recessive state, averaged sample-wise across states -> 16
+//    features (Foruhandeh et al., described in Section 1.2.1).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "baseline/common.hpp"
+#include "dsp/trace.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace baseline {
+
+/// One constant-polarity run of samples.
+struct Run {
+  bool dominant = false;
+  std::size_t first = 0;  // inclusive
+  std::size_t last = 0;   // inclusive
+  std::size_t length() const { return last - first + 1; }
+};
+
+/// Splits the trace into alternating runs, starting at the first dominant
+/// sample (the SOF).  Empty when the trace never crosses the threshold.
+std::vector<Run> segment_runs(const dsp::Trace& trace, double threshold);
+
+/// SIMPLE's 16-dimensional feature vector.  Uses up to `max_states` runs
+/// of each polarity (more states average out noise but add latency).
+/// Runs shorter than 8 samples are sampled with repetition at evenly
+/// spaced fractional positions.  std::nullopt when the trace yields fewer
+/// than 2 runs of either polarity.
+std::optional<linalg::Vector> simple_features(const dsp::Trace& trace,
+                                              const BaselineConfig& config,
+                                              std::size_t max_states = 16);
+
+/// Per-dimension standardization (z-score) parameters learned on training
+/// data and applied to every classified message.
+struct Standardizer {
+  linalg::Vector mean;
+  linalg::Vector inv_std;
+
+  /// Learns parameters.  Dimensions with zero variance get inv_std 0 so
+  /// they contribute nothing (rather than exploding).
+  static Standardizer fit(const std::vector<linalg::Vector>& xs);
+  linalg::Vector apply(const linalg::Vector& x) const;
+};
+
+}  // namespace baseline

@@ -1,0 +1,132 @@
+#include "baseline/fisher.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/eigen.hpp"
+#include "linalg/vector_ops.hpp"
+
+namespace baseline {
+
+std::optional<FisherProjection> FisherProjection::fit(
+    const std::vector<linalg::Vector>& xs,
+    const std::vector<std::size_t>& labels, std::size_t num_classes,
+    std::size_t out_dim, double ridge) {
+  if (xs.empty() || xs.size() != labels.size()) {
+    throw std::invalid_argument("FisherProjection::fit: bad input sizes");
+  }
+  const std::size_t d = xs.front().size();
+  if (d == 0) throw std::invalid_argument("FisherProjection::fit: empty dim");
+  if (num_classes < 2) {
+    throw std::invalid_argument("FisherProjection::fit: need >= 2 classes");
+  }
+
+  // Class means and the global mean.
+  std::vector<linalg::Vector> class_mean(num_classes,
+                                         linalg::Vector(d, 0.0));
+  std::vector<std::size_t> class_count(num_classes, 0);
+  linalg::Vector global_mean(d, 0.0);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i].size() != d) {
+      throw std::invalid_argument("FisherProjection::fit: ragged input");
+    }
+    if (labels[i] >= num_classes) {
+      throw std::invalid_argument("FisherProjection::fit: label out of range");
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      class_mean[labels[i]][j] += xs[i][j];
+      global_mean[j] += xs[i][j];
+    }
+    ++class_count[labels[i]];
+  }
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    if (class_count[c] == 0) continue;
+    for (double& v : class_mean[c]) {
+      v /= static_cast<double>(class_count[c]);
+    }
+  }
+  for (double& v : global_mean) v /= static_cast<double>(xs.size());
+
+  // Within-class and between-class scatter.
+  linalg::Matrix sw(d, d);
+  linalg::Matrix sb(d, d);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const linalg::Vector dev = linalg::subtract(xs[i], class_mean[labels[i]]);
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        sw.at(r, c) += dev[r] * dev[c];
+      }
+    }
+  }
+  for (std::size_t cls = 0; cls < num_classes; ++cls) {
+    if (class_count[cls] == 0) continue;
+    const linalg::Vector dev = linalg::subtract(class_mean[cls], global_mean);
+    const double n = static_cast<double>(class_count[cls]);
+    for (std::size_t r = 0; r < d; ++r) {
+      for (std::size_t c = 0; c < d; ++c) {
+        sb.at(r, c) += n * dev[r] * dev[c];
+      }
+    }
+  }
+  sw.add_ridge(ridge * std::max(1.0, sw.trace() / static_cast<double>(d)));
+
+  // Whiten: Sw = L L^T; M = L^-1 Sb L^-T is symmetric with the same
+  // generalized eigenvalues.
+  const auto chol = linalg::Cholesky::factorize(sw);
+  if (!chol) return std::nullopt;
+
+  // Compute L^-1 Sb L^-T column by column using triangular solves on the
+  // full inverse (dimensions are tiny, 16x16).
+  const linalg::Matrix sw_inv_sb_sym = [&] {
+    const linalg::Matrix l = chol->lower();
+    // Forward-substitute L X = Sb  => X = L^-1 Sb.
+    const std::size_t n = d;
+    linalg::Matrix x(n, n);
+    for (std::size_t col = 0; col < n; ++col) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = sb.at(i, col);
+        for (std::size_t k = 0; k < i; ++k) s -= l.at(i, k) * x.at(k, col);
+        x.at(i, col) = s / l.at(i, i);
+      }
+    }
+    // Now solve L Y^T = X^T => Y = X L^-T.
+    linalg::Matrix y(n, n);
+    for (std::size_t row = 0; row < n; ++row) {
+      for (std::size_t i = 0; i < n; ++i) {
+        double s = x.at(row, i);
+        for (std::size_t k = 0; k < i; ++k) s -= l.at(i, k) * y.at(row, k);
+        y.at(row, i) = s / l.at(i, i);
+      }
+    }
+    return y;
+  }();
+
+  const linalg::EigenDecomposition eig = linalg::jacobi_eigen(
+      (sw_inv_sb_sym + sw_inv_sb_sym.transpose()) * 0.5);
+
+  const std::size_t k =
+      std::min({out_dim, num_classes - 1, d});
+  // Map whitened directions back: w = L^-T v.
+  linalg::Matrix w(k, d);
+  const linalg::Matrix& l = chol->lower();
+  for (std::size_t row = 0; row < k; ++row) {
+    // Solve L^T u = v_row by back substitution.
+    linalg::Vector v(d);
+    for (std::size_t i = 0; i < d; ++i) v[i] = eig.vectors.at(i, row);
+    linalg::Vector u(d);
+    for (std::size_t ii = d; ii-- > 0;) {
+      double s = v[ii];
+      for (std::size_t kk = ii + 1; kk < d; ++kk) s -= l.at(kk, ii) * u[kk];
+      u[ii] = s / l.at(ii, ii);
+    }
+    for (std::size_t c = 0; c < d; ++c) w.at(row, c) = u[c];
+  }
+  return FisherProjection(std::move(w));
+}
+
+linalg::Vector FisherProjection::project(const linalg::Vector& x) const {
+  return w_ * x;
+}
+
+}  // namespace baseline

@@ -1,0 +1,44 @@
+// Multi-class Fisher Discriminant Analysis.
+//
+// SIMPLE reduces its 16 features with FDA before thresholding; this is the
+// standard formulation: maximize between-class scatter relative to
+// within-class scatter, solved by whitening S_w with its Cholesky factor
+// and diagonalizing the whitened S_b with the Jacobi eigensolver.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace baseline {
+
+/// A fitted FDA projection.
+class FisherProjection {
+ public:
+  /// Fits from labelled feature vectors.  `num_classes` must cover every
+  /// label; `out_dim` caps the projected dimensionality (at most
+  /// num_classes - 1, the rank of S_b).  Returns std::nullopt when the
+  /// within-class scatter is singular.  Throws std::invalid_argument on
+  /// empty/ragged input or labels out of range.
+  static std::optional<FisherProjection> fit(
+      const std::vector<linalg::Vector>& xs,
+      const std::vector<std::size_t>& labels, std::size_t num_classes,
+      std::size_t out_dim, double ridge = 1e-8);
+
+  std::size_t input_dim() const { return w_.rows() ? w_.cols() : 0; }
+  std::size_t output_dim() const { return w_.rows(); }
+
+  /// Projects a feature vector into discriminant space.
+  linalg::Vector project(const linalg::Vector& x) const;
+
+  /// Projection matrix (rows are discriminant directions).
+  const linalg::Matrix& weights() const { return w_; }
+
+ private:
+  explicit FisherProjection(linalg::Matrix w) : w_(std::move(w)) {}
+  linalg::Matrix w_;
+};
+
+}  // namespace baseline

@@ -1,0 +1,152 @@
+#include "baseline/logistic_ids.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/extractor.hpp"
+
+namespace baseline {
+namespace {
+
+linalg::Vector softmax(const linalg::Vector& logits) {
+  const double m = *std::max_element(logits.begin(), logits.end());
+  linalg::Vector p(logits.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    p[i] = std::exp(logits[i] - m);
+    sum += p[i];
+  }
+  for (double& v : p) v /= sum;
+  return p;
+}
+
+}  // namespace
+
+bool LogisticIds::train(const std::vector<TrainExample>& examples,
+                        const vprofile::SaDatabase& database,
+                        std::string* error) {
+  auto set_error = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  std::vector<std::size_t> labels;
+  class_names_ = assign_classes(examples, database, labels);
+  const std::size_t num_classes = class_names_.size();
+  if (num_classes < 2) {
+    return set_error("logistic: need at least two ECU classes");
+  }
+  sa_to_class_.fill(-1);
+  for (const auto& [sa, name] : database) {
+    const auto pos =
+        std::find(class_names_.begin(), class_names_.end(), name);
+    sa_to_class_[sa] = static_cast<std::int16_t>(pos - class_names_.begin());
+  }
+
+  // Features: the raw edge set, like vProfile, standardized.
+  std::vector<linalg::Vector> xs;
+  std::vector<std::size_t> ys;
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    if (labels[i] == static_cast<std::size_t>(-1)) continue;
+    auto es = vprofile::extract_edge_set(examples[i].trace,
+                                         options_.extraction);
+    if (!es) continue;
+    xs.push_back(std::move(es->samples));
+    ys.push_back(labels[i]);
+  }
+  if (xs.size() < 4 * num_classes) {
+    return set_error("logistic: too few usable training traces");
+  }
+  standardizer_ = Standardizer::fit(xs);
+  for (auto& x : xs) x = standardizer_.apply(x);
+
+  const std::size_t d = xs.front().size();
+  weights_ = linalg::Matrix(num_classes, d);
+  biases_.assign(num_classes, 0.0);
+
+  // Full-batch gradient descent on the cross-entropy loss.
+  const double inv_n = 1.0 / static_cast<double>(xs.size());
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    linalg::Matrix grad_w(num_classes, d);
+    linalg::Vector grad_b(num_classes, 0.0);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      linalg::Vector logits(num_classes, 0.0);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        double s = biases_[c];
+        for (std::size_t j = 0; j < d; ++j) s += weights_.at(c, j) * xs[i][j];
+        logits[c] = s;
+      }
+      const linalg::Vector p = softmax(logits);
+      for (std::size_t c = 0; c < num_classes; ++c) {
+        const double delta = p[c] - (c == ys[i] ? 1.0 : 0.0);
+        grad_b[c] += delta;
+        for (std::size_t j = 0; j < d; ++j) {
+          grad_w.at(c, j) += delta * xs[i][j];
+        }
+      }
+    }
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      biases_[c] -= options_.learning_rate * grad_b[c] * inv_n;
+      for (std::size_t j = 0; j < d; ++j) {
+        const double g =
+            grad_w.at(c, j) * inv_n + options_.l2 * weights_.at(c, j);
+        weights_.at(c, j) -= options_.learning_rate * g;
+      }
+    }
+  }
+  trained_ = true;
+
+  // Confidence floor: a low quantile of own-class probabilities.
+  std::vector<double> own_probs;
+  own_probs.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    linalg::Vector logits(num_classes, 0.0);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+      double s = biases_[c];
+      for (std::size_t j = 0; j < d; ++j) s += weights_.at(c, j) * xs[i][j];
+      logits[c] = s;
+    }
+    own_probs.push_back(softmax(logits)[ys[i]]);
+  }
+  std::sort(own_probs.begin(), own_probs.end());
+  const std::size_t idx = static_cast<std::size_t>(
+      options_.confidence_quantile * static_cast<double>(own_probs.size()));
+  confidence_floor_ = own_probs[std::min(idx, own_probs.size() - 1)];
+  return true;
+}
+
+linalg::Vector LogisticIds::predict_probabilities(
+    const linalg::Vector& raw_features) const {
+  const linalg::Vector x = standardizer_.apply(raw_features);
+  const std::size_t num_classes = class_names_.size();
+  linalg::Vector logits(num_classes, 0.0);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    double s = biases_[c];
+    for (std::size_t j = 0; j < x.size(); ++j) s += weights_.at(c, j) * x[j];
+    logits[c] = s;
+  }
+  return softmax(logits);
+}
+
+std::optional<Classification> LogisticIds::classify(
+    const dsp::Trace& trace, std::uint8_t claimed_sa) const {
+  if (!trained_) return std::nullopt;
+  const std::int16_t cls = sa_to_class_[claimed_sa];
+  if (cls < 0) return std::nullopt;
+  auto es = vprofile::extract_edge_set(trace, options_.extraction);
+  if (!es) return std::nullopt;
+
+  const linalg::Vector p = predict_probabilities(es->samples);
+  const std::size_t predicted = static_cast<std::size_t>(
+      std::max_element(p.begin(), p.end()) - p.begin());
+
+  Classification out;
+  out.predicted_class = predicted;
+  const double claimed_prob = p[static_cast<std::size_t>(cls)];
+  out.score = -std::log(std::max(claimed_prob, 1e-300));
+  out.anomaly = predicted != static_cast<std::size_t>(cls) ||
+                claimed_prob < confidence_floor_;
+  return out;
+}
+
+}  // namespace baseline

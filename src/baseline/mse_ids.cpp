@@ -1,0 +1,119 @@
+#include "baseline/mse_ids.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "dsp/trace.hpp"
+
+namespace baseline {
+namespace {
+
+double mse(const dsp::Trace& a, const dsp::Trace& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s / static_cast<double>(a.size());
+}
+
+}  // namespace
+
+MseIds::MseIds(Options options)
+    : options_(options),
+      filter_(options.cutoff_fraction * options.sample_rate_hz / 2.0,
+              options.sample_rate_hz, options.fir_taps) {}
+
+std::optional<dsp::Trace> MseIds::fingerprint_window(
+    const dsp::Trace& trace) const {
+  const auto sof = dsp::find_sof(trace, options_.base.bit_threshold);
+  if (!sof) return std::nullopt;
+  if (*sof + options_.window_len > trace.size()) return std::nullopt;
+  dsp::Trace window(trace.begin() + static_cast<std::ptrdiff_t>(*sof),
+                    trace.begin() +
+                        static_cast<std::ptrdiff_t>(*sof +
+                                                    options_.window_len));
+  return filter_.apply(window);
+}
+
+bool MseIds::train(const std::vector<TrainExample>& examples,
+                   const vprofile::SaDatabase& database,
+                   std::string* error) {
+  auto set_error = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  std::vector<std::size_t> labels;
+  class_names_ = assign_classes(examples, database, labels);
+  if (class_names_.empty()) return set_error("MSE: empty database");
+  sa_to_class_.fill(-1);
+  for (const auto& [sa, name] : database) {
+    const auto pos =
+        std::find(class_names_.begin(), class_names_.end(), name);
+    sa_to_class_[sa] = static_cast<std::int16_t>(pos - class_names_.begin());
+  }
+
+  // Mean filtered window per class.
+  std::vector<dsp::Trace> sums(class_names_.size(),
+                               dsp::Trace(options_.window_len, 0.0));
+  std::vector<std::size_t> counts(class_names_.size(), 0);
+  std::vector<std::vector<dsp::Trace>> kept(class_names_.size());
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    if (labels[i] == static_cast<std::size_t>(-1)) continue;
+    auto w = fingerprint_window(examples[i].trace);
+    if (!w) continue;
+    for (std::size_t j = 0; j < options_.window_len; ++j) {
+      sums[labels[i]][j] += (*w)[j];
+    }
+    ++counts[labels[i]];
+    kept[labels[i]].push_back(std::move(*w));
+  }
+
+  fingerprints_.assign(class_names_.size(),
+                       dsp::Trace(options_.window_len, 0.0));
+  thresholds_.assign(class_names_.size(), 0.0);
+  for (std::size_t c = 0; c < class_names_.size(); ++c) {
+    if (counts[c] < 4) {
+      return set_error("MSE: class '" + class_names_[c] +
+                       "' has too few usable traces");
+    }
+    for (std::size_t j = 0; j < options_.window_len; ++j) {
+      fingerprints_[c][j] = sums[c][j] / static_cast<double>(counts[c]);
+    }
+    double max_mse = 0.0;
+    for (const dsp::Trace& w : kept[c]) {
+      max_mse = std::max(max_mse, mse(w, fingerprints_[c]));
+    }
+    thresholds_[c] = max_mse * (1.0 + options_.threshold_slack);
+  }
+  return true;
+}
+
+std::optional<Classification> MseIds::classify(
+    const dsp::Trace& trace, std::uint8_t claimed_sa) const {
+  if (fingerprints_.empty()) return std::nullopt;
+  const std::int16_t cls = sa_to_class_[claimed_sa];
+  if (cls < 0) return std::nullopt;
+  auto w = fingerprint_window(trace);
+  if (!w) return std::nullopt;
+
+  Classification out;
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < fingerprints_.size(); ++c) {
+    const double e = mse(*w, fingerprints_[c]);
+    if (e < best) {
+      best = e;
+      out.predicted_class = c;
+    }
+  }
+  const double claimed_mse =
+      mse(*w, fingerprints_[static_cast<std::size_t>(cls)]);
+  out.score = claimed_mse;
+  out.anomaly = claimed_mse > thresholds_[static_cast<std::size_t>(cls)] ||
+                out.predicted_class != static_cast<std::size_t>(cls);
+  return out;
+}
+
+}  // namespace baseline

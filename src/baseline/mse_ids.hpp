@@ -1,0 +1,56 @@
+// Murvay-Groza-style baseline (Section 1.2.1): low-pass-filter the signal,
+// store a mean fingerprint per ECU, and compare incoming messages by mean
+// square error against the claimed ECU's fingerprint.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "baseline/common.hpp"
+#include "dsp/fir.hpp"
+
+namespace baseline {
+
+/// MSE fingerprint sender identifier.
+class MseIds final : public SenderIds {
+ public:
+  struct Options {
+    BaselineConfig base;
+    /// Samples of the fingerprint window, anchored at SOF.
+    std::size_t window_len = 400;
+    /// Low-pass cutoff as a fraction of the Nyquist frequency.
+    double cutoff_fraction = 0.35;
+    double sample_rate_hz = 20.0e6;
+    std::size_t fir_taps = 31;
+    /// Detection threshold = max training MSE * (1 + slack).
+    double threshold_slack = 0.25;
+  };
+
+  explicit MseIds(Options options);
+
+  std::string name() const override { return "MSE"; }
+
+  bool train(const std::vector<TrainExample>& examples,
+             const vprofile::SaDatabase& database,
+             std::string* error) override;
+
+  std::optional<Classification> classify(const dsp::Trace& trace,
+                                         std::uint8_t claimed_sa)
+      const override;
+
+  const std::vector<std::string>& class_names() const override {
+    return class_names_;
+  }
+
+ private:
+  std::optional<dsp::Trace> fingerprint_window(const dsp::Trace& trace) const;
+
+  Options options_;
+  dsp::FirLowPass filter_;
+  std::vector<std::string> class_names_;
+  std::array<std::int16_t, 256> sa_to_class_{};
+  std::vector<dsp::Trace> fingerprints_;
+  std::vector<double> thresholds_;
+};
+
+}  // namespace baseline

@@ -1,0 +1,168 @@
+#include "baseline/simple_ids.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/covariance.hpp"
+#include "linalg/mahalanobis.hpp"
+
+namespace baseline {
+namespace {
+
+/// Equal-error-rate threshold by binary search: the value where the
+/// fraction of in-class distances above it (false rejects) equals the
+/// fraction of out-of-class distances below it (false accepts).
+double eer_threshold(std::vector<double> genuine,
+                     std::vector<double> impostor) {
+  std::sort(genuine.begin(), genuine.end());
+  std::sort(impostor.begin(), impostor.end());
+  auto frr = [&](double t) {
+    // fraction of genuine > t
+    const auto it = std::upper_bound(genuine.begin(), genuine.end(), t);
+    return static_cast<double>(genuine.end() - it) /
+           static_cast<double>(genuine.size());
+  };
+  auto far = [&](double t) {
+    // fraction of impostor <= t
+    const auto it = std::upper_bound(impostor.begin(), impostor.end(), t);
+    return static_cast<double>(it - impostor.begin()) /
+           static_cast<double>(impostor.size());
+  };
+  double lo = std::min(genuine.front(), impostor.front());
+  double hi = std::max(genuine.back(), impostor.back());
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (frr(mid) > far(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace
+
+bool SimpleIds::train(const std::vector<TrainExample>& examples,
+                      const vprofile::SaDatabase& database,
+                      std::string* error) {
+  auto set_error = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+
+  std::vector<std::size_t> labels;
+  class_names_ = assign_classes(examples, database, labels);
+  if (class_names_.size() < 2) {
+    return set_error("SIMPLE: need at least two ECU classes");
+  }
+  sa_to_class_.fill(-1);
+  for (const auto& [sa, name] : database) {
+    const auto pos =
+        std::find(class_names_.begin(), class_names_.end(), name);
+    sa_to_class_[sa] =
+        static_cast<std::int16_t>(pos - class_names_.begin());
+  }
+
+  // Raw 16-dim features.
+  std::vector<linalg::Vector> features;
+  std::vector<std::size_t> kept_labels;
+  features.reserve(examples.size());
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    if (labels[i] == static_cast<std::size_t>(-1)) continue;
+    auto f = simple_features(examples[i].trace, config_);
+    if (!f) continue;
+    features.push_back(std::move(*f));
+    kept_labels.push_back(labels[i]);
+  }
+  if (features.size() < 4 * class_names_.size()) {
+    return set_error("SIMPLE: too few usable training traces");
+  }
+
+  // Fisher projection to (C-1) dimensions.
+  projection_ = FisherProjection::fit(features, kept_labels,
+                                      class_names_.size(),
+                                      class_names_.size() - 1);
+  if (!projection_) {
+    return set_error("SIMPLE: singular within-class scatter");
+  }
+
+  // Per-class Gaussian templates in FDA space.
+  const std::size_t k = projection_->output_dim();
+  std::vector<linalg::CovarianceAccumulator> accs(
+      class_names_.size(), linalg::CovarianceAccumulator(k));
+  std::vector<std::vector<linalg::Vector>> projected(class_names_.size());
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    linalg::Vector p = projection_->project(features[i]);
+    accs[kept_labels[i]].add(p);
+    projected[kept_labels[i]].push_back(std::move(p));
+  }
+
+  templates_.clear();
+  templates_.resize(class_names_.size());
+  for (std::size_t c = 0; c < class_names_.size(); ++c) {
+    if (accs[c].count() < 4) {
+      return set_error("SIMPLE: class '" + class_names_[c] +
+                       "' has too few traces");
+    }
+    linalg::Matrix cov = accs[c].covariance();
+    auto chol = linalg::factorize_with_ridge(cov, 1e-9 * cov.trace());
+    if (!chol) {
+      return set_error("SIMPLE: singular covariance for class '" +
+                       class_names_[c] + "'");
+    }
+    templates_[c].mean = accs[c].mean();
+    templates_[c].inv_cov = chol->factor.inverse();
+  }
+
+  // Equal-error-rate thresholds per class.
+  thresholds_.assign(class_names_.size(), 0.0);
+  for (std::size_t c = 0; c < class_names_.size(); ++c) {
+    std::vector<double> genuine;
+    std::vector<double> impostor;
+    for (std::size_t other = 0; other < class_names_.size(); ++other) {
+      for (const auto& p : projected[other]) {
+        const double d = linalg::mahalanobis_distance_inv(
+            p, templates_[c].mean, templates_[c].inv_cov);
+        (other == c ? genuine : impostor).push_back(d);
+      }
+    }
+    if (genuine.empty() || impostor.empty()) {
+      return set_error("SIMPLE: missing genuine or impostor samples");
+    }
+    thresholds_[c] = eer_threshold(std::move(genuine), std::move(impostor));
+  }
+  return true;
+}
+
+std::optional<Classification> SimpleIds::classify(
+    const dsp::Trace& trace, std::uint8_t claimed_sa) const {
+  if (!projection_) return std::nullopt;
+  const std::int16_t cls = sa_to_class_[claimed_sa];
+  if (cls < 0) return std::nullopt;
+  auto f = simple_features(trace, config_);
+  if (!f) return std::nullopt;
+  const linalg::Vector p = projection_->project(*f);
+
+  const std::size_t c = static_cast<std::size_t>(cls);
+  const double dist = linalg::mahalanobis_distance_inv(
+      p, templates_[c].mean, templates_[c].inv_cov);
+
+  Classification out;
+  out.score = dist;
+  out.anomaly = dist > thresholds_[c];
+  // Attribution: nearest template.
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t other = 0; other < templates_.size(); ++other) {
+    const double d = linalg::mahalanobis_distance_inv(
+        p, templates_[other].mean, templates_[other].inv_cov);
+    if (d < best) {
+      best = d;
+      out.predicted_class = other;
+    }
+  }
+  return out;
+}
+
+}  // namespace baseline

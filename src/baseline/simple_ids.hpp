@@ -1,0 +1,52 @@
+// SIMPLE baseline (Foruhandeh, Man, Gerdes, Li, Chantem — described in
+// Section 1.2.1): 16 per-state averaged features, Fisher Discriminant
+// Analysis dimensionality reduction, and per-ECU Mahalanobis thresholds
+// found by a binary search on the equal error rate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "baseline/common.hpp"
+#include "baseline/features.hpp"
+#include "baseline/fisher.hpp"
+#include "linalg/matrix.hpp"
+
+namespace baseline {
+
+class SimpleIds final : public SenderIds {
+ public:
+  explicit SimpleIds(BaselineConfig config) : config_(config) {}
+
+  std::string name() const override { return "SIMPLE"; }
+
+  bool train(const std::vector<TrainExample>& examples,
+             const vprofile::SaDatabase& database,
+             std::string* error) override;
+
+  std::optional<Classification> classify(const dsp::Trace& trace,
+                                         std::uint8_t claimed_sa)
+      const override;
+
+  const std::vector<std::string>& class_names() const override {
+    return class_names_;
+  }
+
+  /// Per-class equal-error-rate threshold (for diagnostics).
+  double threshold_of(std::size_t cls) const { return thresholds_.at(cls); }
+
+ private:
+  struct ClassTemplate {
+    linalg::Vector mean;          // in FDA space
+    linalg::Matrix inv_cov;       // in FDA space
+  };
+
+  BaselineConfig config_;
+  std::vector<std::string> class_names_;
+  std::array<std::int16_t, 256> sa_to_class_{};
+  std::optional<FisherProjection> projection_;
+  std::vector<ClassTemplate> templates_;
+  std::vector<double> thresholds_;
+};
+
+}  // namespace baseline

@@ -1,0 +1,108 @@
+#include "baseline/viden_ids.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "baseline/features.hpp"
+#include "stats/summary.hpp"
+
+namespace baseline {
+namespace {
+
+/// Dominant steady-state samples of one message: interior samples of each
+/// dominant run, skipping the post-edge settle window.
+void collect_dominant_samples(const dsp::Trace& trace, double threshold,
+                              std::size_t settle,
+                              std::vector<double>& out) {
+  for (const Run& run : segment_runs(trace, threshold)) {
+    if (!run.dominant) continue;
+    if (run.length() <= settle + 2) continue;
+    for (std::size_t i = run.first + settle; i < run.last; ++i) {
+      out.push_back(trace[i]);
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<VidenIds::Profile> VidenIds::profile_from(
+    const std::vector<dsp::Trace>& messages) const {
+  std::vector<double> samples;
+  for (const dsp::Trace& t : messages) {
+    collect_dominant_samples(t, options_.base.bit_threshold,
+                             options_.settle_samples, samples);
+  }
+  if (samples.size() <
+      options_.min_samples_per_message * std::max<std::size_t>(1,
+                                                               messages.size() / 4)) {
+    return std::nullopt;
+  }
+  Profile p;
+  p.median = stats::percentile(samples, 0.5);
+  p.p90 = stats::percentile(samples, 0.9);
+  return p;
+}
+
+bool VidenIds::train(const std::vector<TrainExample>& examples,
+                     const vprofile::SaDatabase& database,
+                     std::string* error) {
+  auto set_error = [&](const std::string& msg) {
+    if (error != nullptr) *error = msg;
+    return false;
+  };
+  std::vector<std::size_t> labels;
+  class_names_ = assign_classes(examples, database, labels);
+  if (class_names_.empty()) return set_error("Viden: empty database");
+
+  std::vector<std::vector<dsp::Trace>> per_class(class_names_.size());
+  for (std::size_t i = 0; i < examples.size(); ++i) {
+    if (labels[i] == static_cast<std::size_t>(-1)) continue;
+    per_class[labels[i]].push_back(examples[i].trace);
+  }
+
+  profiles_.clear();
+  profiles_.resize(class_names_.size());
+  for (std::size_t c = 0; c < class_names_.size(); ++c) {
+    if (per_class[c].size() < options_.min_train_messages) {
+      return set_error("Viden: class '" + class_names_[c] +
+                       "' has too few messages");
+    }
+    const auto p = profile_from(per_class[c]);
+    if (!p) {
+      return set_error("Viden: class '" + class_names_[c] +
+                       "' yields no usable dominant samples");
+    }
+    profiles_[c] = *p;
+  }
+  return true;
+}
+
+std::optional<VidenIds::Identification> VidenIds::identify(
+    const std::vector<dsp::Trace>& attack_messages) const {
+  if (profiles_.empty()) return std::nullopt;
+  const auto attack = profile_from(attack_messages);
+  if (!attack) return std::nullopt;
+
+  Identification best;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < profiles_.size(); ++c) {
+    const double dm = attack->median - profiles_[c].median;
+    const double dp = attack->p90 - profiles_[c].p90;
+    const double dist = std::sqrt(dm * dm + dp * dp);
+    if (dist < best_dist) {
+      best_dist = dist;
+      best.ecu = c;
+    }
+  }
+  best.distance = best_dist;
+  return best;
+}
+
+std::optional<std::pair<double, double>> VidenIds::profile_of(
+    std::size_t cls) const {
+  if (cls >= profiles_.size()) return std::nullopt;
+  return std::make_pair(profiles_[cls].median, profiles_[cls].p90);
+}
+
+}  // namespace baseline

@@ -1,0 +1,74 @@
+// Viden-style attacker identification (Cho & Shin, Section 1.2.2 of the
+// related work): builds per-ECU *voltage profiles* from the dominant-state
+// output voltages of non-ACK samples and, once an underlying IDS flags an
+// intrusion, matches the attack messages' profile against the known
+// profiles to name the compromised ECU.
+//
+// Faithful simplification: Viden tracks the upper percentiles of CAN_H
+// and lower percentiles of CAN_L ("tracking points") accumulated over
+// many frames.  We work on the differential trace the rest of the library
+// uses, so a profile is the distribution of dominant steady-state
+// voltages summarized by its median and upper percentile.  As in the
+// paper's description, Viden is not itself a detector — identify() needs
+// several attack messages collected after some IDS raised an alarm.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/common.hpp"
+#include "dsp/trace.hpp"
+
+namespace baseline {
+
+/// Voltage-profile attacker identifier.
+class VidenIds {
+ public:
+  struct Options {
+    BaselineConfig base;
+    /// Samples skipped after each dominant-run start (edge + overshoot).
+    std::size_t settle_samples = 12;
+    /// Minimum usable dominant samples per training message.
+    std::size_t min_samples_per_message = 8;
+    std::size_t min_train_messages = 16;
+  };
+
+  explicit VidenIds(Options options) : options_(options) {}
+
+  /// Learns one voltage profile per ECU class from trusted traffic.
+  bool train(const std::vector<TrainExample>& examples,
+             const vprofile::SaDatabase& database, std::string* error);
+
+  /// Builds an attack profile from the flagged messages and returns the
+  /// index of the best-matching known ECU (the likely compromised node)
+  /// together with the match distance.  std::nullopt when the messages
+  /// yield no usable profile.
+  struct Identification {
+    std::size_t ecu = 0;
+    double distance = 0.0;  // profile-space distance to the winner
+  };
+  std::optional<Identification> identify(
+      const std::vector<dsp::Trace>& attack_messages) const;
+
+  const std::vector<std::string>& class_names() const { return class_names_; }
+
+  /// The (median, upper-percentile) profile of a trained class.
+  std::optional<std::pair<double, double>> profile_of(std::size_t cls) const;
+
+ private:
+  struct Profile {
+    double median = 0.0;
+    double p90 = 0.0;
+  };
+  std::optional<Profile> profile_from(
+      const std::vector<dsp::Trace>& messages) const;
+
+  Options options_;
+  std::vector<std::string> class_names_;
+  std::vector<Profile> profiles_;
+};
+
+}  // namespace baseline

@@ -1,0 +1,72 @@
+#include "canbus/arbitration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace canbus {
+namespace {
+
+// Arbitration-relevant bits of the unstuffed frame: SOF through RTR
+// (bit 32).  Stuff bits participate too on a real bus, but contenders that
+// are bit-identical up to a point insert identical stuff bits, so comparing
+// unstuffed prefixes is equivalent.
+BitVector arbitration_bits(const DataFrame& f) {
+  BitVector all = build_unstuffed_bits(f);
+  return BitVector(all.begin(),
+                   all.begin() + frame_bits::kRtr + 1);
+}
+
+}  // namespace
+
+ArbitrationResult arbitrate(const std::vector<DataFrame>& contenders) {
+  if (contenders.empty()) {
+    throw std::invalid_argument("arbitrate: empty contender list");
+  }
+  for (std::size_t i = 0; i < contenders.size(); ++i) {
+    for (std::size_t j = i + 1; j < contenders.size(); ++j) {
+      if (contenders[i].id.pack() == contenders[j].id.pack()) {
+        throw std::invalid_argument("arbitrate: duplicate identifiers");
+      }
+    }
+  }
+
+  std::vector<BitVector> bits;
+  bits.reserve(contenders.size());
+  for (const auto& c : contenders) bits.push_back(arbitration_bits(c));
+
+  ArbitrationResult result;
+  result.lost_at_bit.assign(contenders.size(), 0);
+  std::vector<bool> active(contenders.size(), true);
+  std::size_t active_count = contenders.size();
+
+  const std::size_t field_len = bits.front().size();
+  for (std::size_t bit = 0; bit < field_len && active_count > 1; ++bit) {
+    // Wired-AND: bus is dominant (0) if any active node drives dominant.
+    bool bus_recessive = true;
+    for (std::size_t i = 0; i < contenders.size(); ++i) {
+      if (active[i] && !bits[i][bit]) {
+        bus_recessive = false;
+        break;
+      }
+    }
+    for (std::size_t i = 0; i < contenders.size(); ++i) {
+      // A node transmitting recessive that reads dominant has lost.
+      if (active[i] && bits[i][bit] && !bus_recessive) {
+        active[i] = false;
+        result.lost_at_bit[i] = bit;
+        --active_count;
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < contenders.size(); ++i) {
+    if (active[i]) {
+      result.winner = i;
+      result.lost_at_bit[i] = field_len;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace canbus

@@ -1,0 +1,27 @@
+// CSMA/CR bitwise arbitration (Section 2.1.2, Fig 2.3).  On a wired-AND bus
+// a dominant ('0') bit overwrites recessive ('1'), so the contender with
+// the numerically smallest arbitration field wins without losing time.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "canbus/frame.hpp"
+
+namespace canbus {
+
+/// Outcome of one arbitration round.
+struct ArbitrationResult {
+  std::size_t winner = 0;  // index into the contender list
+  /// Bit position (unstuffed, SOF = 0) at which each loser backed off;
+  /// the winner's entry is the full arbitration field length.
+  std::vector<std::size_t> lost_at_bit;
+};
+
+/// Resolves simultaneous transmission starts.  `contenders` must be
+/// non-empty and contain distinct identifiers (two nodes transmitting the
+/// same ID would collide undetectably, which J1939 forbids).  Throws
+/// std::invalid_argument on an empty list or duplicate IDs.
+ArbitrationResult arbitrate(const std::vector<DataFrame>& contenders);
+
+}  // namespace canbus

@@ -1,0 +1,21 @@
+#include "canbus/crc15.hpp"
+
+namespace canbus {
+
+std::uint16_t crc15(const BitVector& bits) {
+  // Bit-serial LFSR as specified in the Bosch CAN 2.0 standard, section 3.
+  std::uint16_t crc = 0;
+  for (Bit b : bits) {
+    const bool nxt = b ^ (((crc >> 14) & 1u) != 0);
+    crc = static_cast<std::uint16_t>((crc << 1) & 0x7FFF);
+    if (nxt) crc ^= 0x4599;
+  }
+  return crc;
+}
+
+void append_crc15(const BitVector& bits, BitVector& out) {
+  const std::uint16_t crc = crc15(bits);
+  for (int i = 14; i >= 0; --i) out.push_back(((crc >> i) & 1u) != 0);
+}
+
+}  // namespace canbus

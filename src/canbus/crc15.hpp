@@ -1,0 +1,21 @@
+// CAN's 15-bit BCH CRC (generator polynomial x^15 + x^14 + x^10 + x^8 +
+// x^7 + x^4 + x^3 + 1, i.e. 0x4599), computed over the unstuffed bits from
+// SOF through the end of the data field.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace canbus {
+
+/// One on-wire bit; true = recessive ('1'), false = dominant ('0').
+using Bit = bool;
+using BitVector = std::vector<Bit>;
+
+/// Computes the 15-bit CRC over a bit sequence.
+std::uint16_t crc15(const BitVector& bits);
+
+/// Appends the 15 CRC bits (MSB first) for `bits` to `out`.
+void append_crc15(const BitVector& bits, BitVector& out);
+
+}  // namespace canbus

@@ -1,0 +1,55 @@
+#include "canbus/error_state.hpp"
+
+#include <algorithm>
+
+namespace canbus {
+
+const char* to_string(ErrorState state) {
+  switch (state) {
+    case ErrorState::kErrorActive: return "error-active";
+    case ErrorState::kErrorPassive: return "error-passive";
+    case ErrorState::kBusOff: return "bus-off";
+  }
+  return "unknown";
+}
+
+ErrorState ErrorCounters::state() const {
+  if (bus_off_) return ErrorState::kBusOff;
+  if (tec_ > 127 || rec_ > 127) return ErrorState::kErrorPassive;
+  return ErrorState::kErrorActive;
+}
+
+void ErrorCounters::on_transmit_error() {
+  if (bus_off_) return;
+  tec_ = static_cast<std::uint16_t>(tec_ + 8);
+  if (tec_ > 255) bus_off_ = true;
+}
+
+void ErrorCounters::on_receive_error(bool primary) {
+  if (bus_off_) return;
+  rec_ = static_cast<std::uint16_t>(rec_ + (primary ? 8 : 1));
+}
+
+void ErrorCounters::on_transmit_success() {
+  if (bus_off_) return;
+  if (tec_ > 0) --tec_;
+}
+
+void ErrorCounters::on_receive_success() {
+  if (bus_off_) return;
+  if (rec_ > 127) {
+    // The spec sets REC to a value between 119 and 127 after a successful
+    // reception while error-passive; use the upper bound deterministically.
+    rec_ = 127;
+  } else if (rec_ > 0) {
+    --rec_;
+  }
+}
+
+void ErrorCounters::recover_from_bus_off() {
+  bus_off_ = false;
+  tec_ = 0;
+  rec_ = 0;
+}
+
+}  // namespace canbus

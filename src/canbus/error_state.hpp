@@ -1,0 +1,56 @@
+// CAN fault confinement (Bosch CAN 2.0, section 8): transmit / receive
+// error counters and the error-active -> error-passive -> bus-off state
+// machine.
+//
+// The paper's threat model includes attacks that "induce faults to
+// disable an ECU" (Section 1.1) — bus-off attacks work precisely by
+// driving a victim's TEC over 255 through forced bit errors.  This module
+// lets the simulator model such attacks and an IDS reason about them.
+#pragma once
+
+#include <cstdint>
+
+namespace canbus {
+
+/// Node fault-confinement states.
+enum class ErrorState {
+  kErrorActive,   // normal operation, sends active error flags
+  kErrorPassive,  // TEC or REC > 127: passive error flags, suspend time
+  kBusOff,        // TEC > 255: disconnected from the bus
+};
+
+const char* to_string(ErrorState state);
+
+/// Transmit/receive error counters with the CAN 2.0 increment/decrement
+/// rules and derived state.
+class ErrorCounters {
+ public:
+  std::uint16_t tec() const { return tec_; }
+  std::uint16_t rec() const { return rec_; }
+  ErrorState state() const;
+
+  /// Transmitter detected an error in its own frame: TEC += 8.
+  void on_transmit_error();
+  /// Receiver detected an error: REC += 1 (+8 when the node sent a
+  /// dominant bit after its error flag, `primary` = true).
+  void on_receive_error(bool primary = false);
+  /// Successful transmission: TEC -= 1 (floor 0).
+  void on_transmit_success();
+  /// Successful reception: REC -= 1 (floor 0; values > 127 drop to the
+  /// 119..127 band per the spec).
+  void on_receive_success();
+
+  /// Bus-off recovery after the required 128 occurrences of 11 recessive
+  /// bits: both counters reset and the node rejoins error-active.
+  void recover_from_bus_off();
+
+  /// True when the node may transmit at all.
+  bool can_transmit() const { return state() != ErrorState::kBusOff; }
+
+ private:
+  std::uint16_t tec_ = 0;
+  std::uint16_t rec_ = 0;
+  bool bus_off_ = false;
+};
+
+}  // namespace canbus

@@ -1,0 +1,167 @@
+#include "canbus/frame.hpp"
+
+#include <stdexcept>
+
+#include "canbus/stuffing.hpp"
+
+namespace canbus {
+namespace {
+
+void push_bits_msb_first(std::uint32_t value, int width, BitVector& out) {
+  for (int i = width - 1; i >= 0; --i) out.push_back(((value >> i) & 1u) != 0);
+}
+
+// SOF through the CRC sequence: the region bit stuffing applies to.
+BitVector build_stuffable_region(const DataFrame& frame) {
+  if (frame.payload.size() > 8) {
+    throw std::invalid_argument("build_stuffable_region: payload > 8 bytes");
+  }
+  const std::uint32_t id29 = frame.id.pack();
+  BitVector bits;
+  bits.reserve(64 + frame.payload.size() * 8 + 15);
+
+  bits.push_back(false);                       // SOF: dominant
+  push_bits_msb_first(id29 >> 18, 11, bits);   // Base ID = ID28..ID18
+  bits.push_back(true);                        // SRR: recessive
+  bits.push_back(true);                        // IDE: recessive (extended)
+  push_bits_msb_first(id29 & 0x3FFFF, 18, bits);  // Ext ID = ID17..ID0
+  bits.push_back(false);                       // RTR: dominant (data frame)
+  bits.push_back(false);                       // r1
+  bits.push_back(false);                       // r0
+  push_bits_msb_first(static_cast<std::uint32_t>(frame.payload.size()), 4,
+                      bits);                   // DLC
+  for (std::uint8_t byte : frame.payload) push_bits_msb_first(byte, 8, bits);
+
+  append_crc15(bits, bits);                    // CRC over SOF..data
+  return bits;
+}
+
+void append_tail(BitVector& bits) {
+  bits.push_back(true);   // CRC delimiter
+  bits.push_back(false);  // ACK slot, asserted dominant by receivers
+  bits.push_back(true);   // ACK delimiter
+  for (int i = 0; i < 7; ++i) bits.push_back(true);  // EOF
+}
+
+std::uint32_t read_bits_msb_first(const BitVector& bits, std::size_t first,
+                                  int width) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | (bits[first + static_cast<std::size_t>(i)] ? 1u : 0u);
+  }
+  return v;
+}
+
+}  // namespace
+
+BitVector build_unstuffed_bits(const DataFrame& frame) {
+  BitVector bits = build_stuffable_region(frame);
+  append_tail(bits);
+  return bits;
+}
+
+BitVector build_wire_bits(const DataFrame& frame) {
+  BitVector bits = stuff(build_stuffable_region(frame));
+  append_tail(bits);
+  return bits;
+}
+
+std::optional<DataFrame> parse_wire_bits(const BitVector& wire) {
+  // Incrementally destuff until the frame length (known once the DLC is
+  // decoded) is reached, then validate the fixed-form tail.
+  BitVector unstuffed;
+  unstuffed.reserve(wire.size());
+  std::size_t run = 0;
+  bool run_value = false;
+  bool skip_next = false;
+  std::size_t stuffable_len = 0;  // unknown until DLC parsed
+  std::size_t wire_pos = 0;
+
+  for (; wire_pos < wire.size(); ++wire_pos) {
+    const Bit b = wire[wire_pos];
+    if (skip_next) {
+      if (b == run_value) return std::nullopt;  // stuff violation
+      skip_next = false;
+      run_value = b;
+      run = 1;
+      continue;
+    }
+    if (run > 0 && b == run_value) {
+      ++run;
+    } else {
+      run_value = b;
+      run = 1;
+    }
+    unstuffed.push_back(b);
+    if (run == 5) skip_next = true;
+
+    if (stuffable_len == 0 &&
+        unstuffed.size() > frame_bits::kDlcFirst + 3) {
+      const std::uint32_t dlc =
+          read_bits_msb_first(unstuffed, frame_bits::kDlcFirst, 4);
+      if (dlc > 8) return std::nullopt;
+      stuffable_len = frame_bits::kDataFirst + 8 * dlc + 15;
+    }
+    if (stuffable_len != 0 && unstuffed.size() == stuffable_len) {
+      ++wire_pos;
+      break;
+    }
+  }
+  if (stuffable_len == 0 || unstuffed.size() != stuffable_len) {
+    return std::nullopt;  // truncated frame
+  }
+  // A run of five ending exactly on the last CRC bit still inserts a
+  // stuff bit before the (unstuffed) CRC delimiter; consume it.
+  if (skip_next) {
+    if (wire_pos >= wire.size() || wire[wire_pos] == run_value) {
+      return std::nullopt;
+    }
+    ++wire_pos;
+  }
+
+  // Fixed-form tail: CRC delim, ACK slot, ACK delim, 7 x EOF.
+  static constexpr Bit kTail[] = {true, false, true, true, true,
+                                  true, true,  true, true, true};
+  for (Bit expected : kTail) {
+    if (wire_pos >= wire.size() || wire[wire_pos] != expected) {
+      return std::nullopt;
+    }
+    ++wire_pos;
+  }
+
+  // Structural checks on fixed bits.
+  if (unstuffed[frame_bits::kSof]) return std::nullopt;       // SOF must be 0
+  if (!unstuffed[frame_bits::kSrr]) return std::nullopt;      // SRR must be 1
+  if (!unstuffed[frame_bits::kIde]) return std::nullopt;      // IDE must be 1
+  if (unstuffed[frame_bits::kRtr]) return std::nullopt;       // RTR must be 0
+
+  // CRC check: recompute over SOF..data.
+  const std::size_t crc_first = stuffable_len - 15;
+  BitVector body(unstuffed.begin(),
+                 unstuffed.begin() + static_cast<std::ptrdiff_t>(crc_first));
+  const std::uint16_t expected_crc = crc15(body);
+  const std::uint16_t got_crc =
+      static_cast<std::uint16_t>(read_bits_msb_first(unstuffed, crc_first, 15));
+  if (expected_crc != got_crc) return std::nullopt;
+
+  DataFrame frame;
+  const std::uint32_t base =
+      read_bits_msb_first(unstuffed, frame_bits::kBaseIdFirst, 11);
+  const std::uint32_t ext =
+      read_bits_msb_first(unstuffed, frame_bits::kExtIdFirst, 18);
+  frame.id = J1939Id::unpack((base << 18) | ext);
+  const std::uint32_t dlc =
+      read_bits_msb_first(unstuffed, frame_bits::kDlcFirst, 4);
+  frame.payload.resize(dlc);
+  for (std::uint32_t i = 0; i < dlc; ++i) {
+    frame.payload[i] = static_cast<std::uint8_t>(
+        read_bits_msb_first(unstuffed, frame_bits::kDataFirst + 8 * i, 8));
+  }
+  return frame;
+}
+
+std::size_t wire_bit_count(const DataFrame& frame) {
+  return build_wire_bits(frame).size();
+}
+
+}  // namespace canbus

@@ -1,0 +1,65 @@
+// CAN 2.0B extended data frame construction and parsing (Fig 2.2 /
+// Table 2.1).  The on-wire bitstream produced here is what the analog
+// synthesizer converts to a voltage waveform, and what vProfile's edge-set
+// extractor traverses bit-by-bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "canbus/crc15.hpp"
+#include "canbus/j1939.hpp"
+
+namespace canbus {
+
+/// Payload container: up to 8 octets.
+using Payload = std::vector<std::uint8_t>;
+
+/// A CAN 2.0B extended data frame before physical-layer encoding.
+struct DataFrame {
+  J1939Id id;
+  Payload payload;  // 0-8 bytes
+
+  bool operator==(const DataFrame&) const = default;
+};
+
+/// Zero-based positions of fields within the *unstuffed* extended data
+/// frame, SOF = bit 0 (as used by the paper's Algorithm 1).
+namespace frame_bits {
+inline constexpr std::size_t kSof = 0;
+inline constexpr std::size_t kBaseIdFirst = 1;    // 11 bits: 1..11
+inline constexpr std::size_t kSrr = 12;
+inline constexpr std::size_t kIde = 13;
+inline constexpr std::size_t kExtIdFirst = 14;    // 18 bits: 14..31
+inline constexpr std::size_t kRtr = 32;
+/// SA = last 8 bits of the 29-bit identifier = unstuffed bits 24..31.
+inline constexpr std::size_t kSourceAddrFirst = 24;
+inline constexpr std::size_t kSourceAddrLast = 31;
+/// First bit after the arbitration field (reserved bit r1); the edge set
+/// is taken at or after this point because arbitration bits are unstable.
+inline constexpr std::size_t kFirstPostArbitration = 33;
+inline constexpr std::size_t kDlcFirst = 35;      // 4 bits: 35..38
+inline constexpr std::size_t kDataFirst = 39;
+}  // namespace frame_bits
+
+/// Builds the unstuffed logical bitstream of a data frame: SOF through EOF,
+/// CRC computed over SOF..data.  Throws std::invalid_argument for payloads
+/// longer than 8 bytes.
+BitVector build_unstuffed_bits(const DataFrame& frame);
+
+/// Builds the on-wire bitstream: stuffing applied from SOF through the CRC
+/// sequence, followed by the unstuffed CRC delimiter, ACK slot (dominant,
+/// as asserted by receivers of a valid frame), ACK delimiter and EOF.
+BitVector build_wire_bits(const DataFrame& frame);
+
+/// Parses an on-wire bitstream back into a frame.  Returns std::nullopt on
+/// stuff violations, malformed fixed-form bits, or CRC mismatch.
+std::optional<DataFrame> parse_wire_bits(const BitVector& wire);
+
+/// Total number of on-wire bits of a frame (stuffed), excluding interframe
+/// space.
+std::size_t wire_bit_count(const DataFrame& frame);
+
+}  // namespace canbus

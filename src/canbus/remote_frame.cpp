@@ -1,0 +1,138 @@
+#include "canbus/remote_frame.hpp"
+
+#include <stdexcept>
+
+#include "canbus/frame.hpp"
+#include "canbus/stuffing.hpp"
+
+namespace canbus {
+namespace {
+
+void push_bits_msb_first(std::uint32_t value, int width, BitVector& out) {
+  for (int i = width - 1; i >= 0; --i) out.push_back(((value >> i) & 1u) != 0);
+}
+
+std::uint32_t read_bits_msb_first(const BitVector& bits, std::size_t first,
+                                  int width) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | (bits[first + static_cast<std::size_t>(i)] ? 1u : 0u);
+  }
+  return v;
+}
+
+BitVector build_stuffable_region(const RemoteFrame& frame) {
+  if (frame.dlc > 8) {
+    throw std::invalid_argument("remote frame: dlc > 8");
+  }
+  const std::uint32_t id29 = frame.id.pack();
+  BitVector bits;
+  bits.push_back(false);                      // SOF
+  push_bits_msb_first(id29 >> 18, 11, bits);  // Base ID
+  bits.push_back(true);                       // SRR
+  bits.push_back(true);                       // IDE
+  push_bits_msb_first(id29 & 0x3FFFF, 18, bits);
+  bits.push_back(true);                       // RTR: recessive = remote
+  bits.push_back(false);                      // r1
+  bits.push_back(false);                      // r0
+  push_bits_msb_first(frame.dlc, 4, bits);    // DLC (no data follows)
+  append_crc15(bits, bits);
+  return bits;
+}
+
+void append_tail(BitVector& bits) {
+  bits.push_back(true);   // CRC delimiter
+  bits.push_back(false);  // ACK slot
+  bits.push_back(true);   // ACK delimiter
+  for (int i = 0; i < 7; ++i) bits.push_back(true);
+}
+
+}  // namespace
+
+BitVector build_unstuffed_bits(const RemoteFrame& frame) {
+  BitVector bits = build_stuffable_region(frame);
+  append_tail(bits);
+  return bits;
+}
+
+BitVector build_wire_bits(const RemoteFrame& frame) {
+  BitVector bits = stuff(build_stuffable_region(frame));
+  append_tail(bits);
+  return bits;
+}
+
+std::optional<RemoteFrame> parse_remote_wire_bits(const BitVector& wire) {
+  // A remote frame's stuffable region is fixed-length (no data field):
+  // 39 header bits + 15 CRC.
+  constexpr std::size_t kStuffableLen = 39 + 15;
+
+  BitVector unstuffed;
+  std::size_t run = 0;
+  bool run_value = false;
+  bool skip_next = false;
+  std::size_t wire_pos = 0;
+  for (; wire_pos < wire.size(); ++wire_pos) {
+    const Bit b = wire[wire_pos];
+    if (skip_next) {
+      if (b == run_value) return std::nullopt;
+      skip_next = false;
+      run_value = b;
+      run = 1;
+      continue;
+    }
+    if (run > 0 && b == run_value) {
+      ++run;
+    } else {
+      run_value = b;
+      run = 1;
+    }
+    unstuffed.push_back(b);
+    if (run == 5) skip_next = true;
+    if (unstuffed.size() == kStuffableLen) {
+      ++wire_pos;
+      break;
+    }
+  }
+  if (unstuffed.size() != kStuffableLen) return std::nullopt;
+  if (skip_next) {
+    if (wire_pos >= wire.size() || wire[wire_pos] == run_value) {
+      return std::nullopt;
+    }
+    ++wire_pos;
+  }
+
+  static constexpr Bit kTail[] = {true, false, true, true, true,
+                                  true, true,  true, true, true};
+  for (Bit expected : kTail) {
+    if (wire_pos >= wire.size() || wire[wire_pos] != expected) {
+      return std::nullopt;
+    }
+    ++wire_pos;
+  }
+
+  namespace fb = frame_bits;
+  if (unstuffed[fb::kSof]) return std::nullopt;
+  if (!unstuffed[fb::kSrr] || !unstuffed[fb::kIde]) return std::nullopt;
+  if (!unstuffed[fb::kRtr]) return std::nullopt;  // must be recessive
+
+  const std::size_t crc_first = kStuffableLen - 15;
+  BitVector body(unstuffed.begin(),
+                 unstuffed.begin() + static_cast<std::ptrdiff_t>(crc_first));
+  if (crc15(body) != static_cast<std::uint16_t>(read_bits_msb_first(
+                         unstuffed, crc_first, 15))) {
+    return std::nullopt;
+  }
+
+  RemoteFrame frame;
+  const std::uint32_t base =
+      read_bits_msb_first(unstuffed, fb::kBaseIdFirst, 11);
+  const std::uint32_t ext =
+      read_bits_msb_first(unstuffed, fb::kExtIdFirst, 18);
+  frame.id = J1939Id::unpack((base << 18) | ext);
+  frame.dlc = static_cast<std::uint8_t>(
+      read_bits_msb_first(unstuffed, fb::kDlcFirst, 4));
+  if (frame.dlc > 8) return std::nullopt;
+  return frame;
+}
+
+}  // namespace canbus

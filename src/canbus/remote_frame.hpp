@@ -1,0 +1,36 @@
+// CAN remote frames (extended format): a receiver's request for a data
+// frame, carrying an identifier and DLC but no data field, with RTR
+// recessive.  One of the four frame types of Table 2.1's surrounding
+// spec; included so the traffic substrate covers request/response
+// patterns (remote frames are also a classic injection vector — a forged
+// remote frame solicits traffic from a victim ECU).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "canbus/crc15.hpp"
+#include "canbus/j1939.hpp"
+
+namespace canbus {
+
+/// An extended remote frame: identifier + requested DLC, no payload.
+struct RemoteFrame {
+  J1939Id id;
+  std::uint8_t dlc = 0;  // requested data length, 0-8
+
+  bool operator==(const RemoteFrame&) const = default;
+};
+
+/// Unstuffed logical bitstream (SOF..EOF).  Throws std::invalid_argument
+/// when dlc > 8.
+BitVector build_unstuffed_bits(const RemoteFrame& frame);
+
+/// On-wire bitstream: stuffed SOF..CRC plus the fixed-form tail.
+BitVector build_wire_bits(const RemoteFrame& frame);
+
+/// Parses an on-wire extended remote frame; std::nullopt on malformed
+/// input, a data frame (RTR dominant), or CRC mismatch.
+std::optional<RemoteFrame> parse_remote_wire_bits(const BitVector& wire);
+
+}  // namespace canbus

@@ -1,0 +1,97 @@
+#include "canbus/scheduler.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "canbus/arbitration.hpp"
+
+namespace canbus {
+
+Scheduler::Scheduler(std::vector<PeriodicMessage> messages, double bitrate_bps,
+                     stats::Rng rng)
+    : messages_(std::move(messages)), bitrate_bps_(bitrate_bps), rng_(rng) {
+  if (messages_.empty()) {
+    throw std::invalid_argument("Scheduler: empty message set");
+  }
+  if (bitrate_bps_ <= 0.0) {
+    throw std::invalid_argument("Scheduler: bitrate must be positive");
+  }
+  for (const auto& m : messages_) {
+    if (m.period_s <= 0.0) {
+      throw std::invalid_argument("Scheduler: periods must be positive");
+    }
+    if (m.payload_len > 8) {
+      throw std::invalid_argument("Scheduler: payload_len > 8");
+    }
+  }
+}
+
+std::vector<Transmission> Scheduler::run(std::size_t count) {
+  const std::size_t n = messages_.size();
+  // Periodic tasks release on an absolute grid (phase + k * period) with
+  // bounded per-instance jitter — jitter does not accumulate across
+  // instances, matching crystal-driven ECU schedulers.  Initial phases are
+  // spread across the period so the bus does not start with a
+  // synchronized burst.
+  std::vector<double> phase(n);
+  std::vector<std::uint64_t> instance(n, 0);
+  std::vector<double> next_release(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    phase[i] = rng_.uniform() * messages_[i].period_s;
+    next_release[i] = phase[i] + rng_.uniform() * messages_[i].jitter_s;
+  }
+
+  std::vector<Transmission> out;
+  out.reserve(count);
+  double bus_free_at = 0.0;
+
+  while (out.size() < count) {
+    // The bus becomes interesting at the later of "bus idle" and "first
+    // pending release".
+    double earliest = std::numeric_limits<double>::infinity();
+    for (double t : next_release) earliest = std::min(earliest, t);
+    const double now = std::max(bus_free_at, earliest);
+
+    // All messages released by `now` contend for the bus.
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (next_release[i] <= now) pending.push_back(i);
+    }
+
+    std::vector<DataFrame> contenders;
+    contenders.reserve(pending.size());
+    for (std::size_t i : pending) {
+      DataFrame f;
+      f.id = messages_[i].id;
+      f.payload.resize(messages_[i].payload_len);
+      for (auto& b : f.payload) {
+        b = static_cast<std::uint8_t>(rng_.below(256));
+      }
+      contenders.push_back(std::move(f));
+    }
+
+    const std::size_t winner_pos =
+        (contenders.size() == 1) ? 0 : arbitrate(contenders).winner;
+    const std::size_t msg_index = pending[winner_pos];
+    DataFrame frame = std::move(contenders[winner_pos]);
+
+    const double duration =
+        static_cast<double>(wire_bit_count(frame) + 3) / bitrate_bps_;
+    // +3 bits of interframe space before the next SOF.
+    out.push_back(Transmission{now, messages_[msg_index].node, std::move(frame)});
+    bus_free_at = now + duration;
+
+    // Losers stay pending (their release time is unchanged); the winner's
+    // next instance releases on the absolute grid with fresh jitter.
+    ++instance[msg_index];
+    next_release[msg_index] =
+        phase[msg_index] +
+        static_cast<double>(instance[msg_index]) *
+            messages_[msg_index].period_s +
+        rng_.uniform() * messages_[msg_index].jitter_s;
+  }
+  return out;
+}
+
+}  // namespace canbus

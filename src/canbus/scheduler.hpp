@@ -1,0 +1,52 @@
+// Periodic J1939 traffic scheduling with bitwise-arbitration conflict
+// resolution.  Produces the transmission timeline the analog front end
+// turns into voltage captures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "canbus/frame.hpp"
+#include "stats/rng.hpp"
+
+namespace canbus {
+
+/// A periodic message definition, owned by one node (ECU).
+struct PeriodicMessage {
+  J1939Id id;
+  double period_s = 0.1;
+  /// Uniform release jitter in [0, jitter_s), modelling task-level timing
+  /// noise in the sending ECU.
+  double jitter_s = 0.0;
+  std::size_t node = 0;      // transmitting ECU index
+  std::size_t payload_len = 8;
+};
+
+/// One completed transmission on the bus.
+struct Transmission {
+  double start_s = 0.0;   // SOF time
+  std::size_t node = 0;   // which ECU won the bus
+  DataFrame frame;
+};
+
+/// Event-driven scheduler: releases periodic messages with jitter, resolves
+/// simultaneous contenders by CAN arbitration, and serializes frames onto a
+/// single bus of the given bitrate.
+class Scheduler {
+ public:
+  /// Throws std::invalid_argument for an empty message set, non-positive
+  /// bitrate, or non-positive periods.
+  Scheduler(std::vector<PeriodicMessage> messages, double bitrate_bps,
+            stats::Rng rng);
+
+  /// Runs until `count` transmissions have completed and returns them in
+  /// bus order.  Payload bytes are drawn from the scheduler's RNG.
+  std::vector<Transmission> run(std::size_t count);
+
+ private:
+  std::vector<PeriodicMessage> messages_;
+  double bitrate_bps_;
+  stats::Rng rng_;
+};
+
+}  // namespace canbus

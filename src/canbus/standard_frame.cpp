@@ -1,0 +1,148 @@
+#include "canbus/standard_frame.hpp"
+
+#include <stdexcept>
+
+#include "canbus/stuffing.hpp"
+
+namespace canbus {
+namespace {
+
+void push_bits_msb_first(std::uint32_t value, int width, BitVector& out) {
+  for (int i = width - 1; i >= 0; --i) out.push_back(((value >> i) & 1u) != 0);
+}
+
+std::uint32_t read_bits_msb_first(const BitVector& bits, std::size_t first,
+                                  int width) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | (bits[first + static_cast<std::size_t>(i)] ? 1u : 0u);
+  }
+  return v;
+}
+
+BitVector build_stuffable_region(const StandardDataFrame& frame) {
+  if (frame.id > 0x7FF) {
+    throw std::invalid_argument("standard frame: id exceeds 11 bits");
+  }
+  if (frame.payload.size() > 8) {
+    throw std::invalid_argument("standard frame: payload > 8 bytes");
+  }
+  BitVector bits;
+  bits.reserve(32 + frame.payload.size() * 8 + 15);
+  bits.push_back(false);                      // SOF
+  push_bits_msb_first(frame.id, 11, bits);    // identifier
+  bits.push_back(false);                      // RTR: data frame
+  bits.push_back(false);                      // IDE: standard format
+  bits.push_back(false);                      // r0
+  push_bits_msb_first(static_cast<std::uint32_t>(frame.payload.size()), 4,
+                      bits);                  // DLC
+  for (std::uint8_t byte : frame.payload) push_bits_msb_first(byte, 8, bits);
+  append_crc15(bits, bits);
+  return bits;
+}
+
+void append_tail(BitVector& bits) {
+  bits.push_back(true);   // CRC delimiter
+  bits.push_back(false);  // ACK slot, asserted by receivers
+  bits.push_back(true);   // ACK delimiter
+  for (int i = 0; i < 7; ++i) bits.push_back(true);  // EOF
+}
+
+}  // namespace
+
+BitVector build_unstuffed_bits(const StandardDataFrame& frame) {
+  BitVector bits = build_stuffable_region(frame);
+  append_tail(bits);
+  return bits;
+}
+
+BitVector build_wire_bits(const StandardDataFrame& frame) {
+  BitVector bits = stuff(build_stuffable_region(frame));
+  append_tail(bits);
+  return bits;
+}
+
+std::optional<StandardDataFrame> parse_standard_wire_bits(
+    const BitVector& wire) {
+  namespace fb = standard_frame_bits;
+  BitVector unstuffed;
+  unstuffed.reserve(wire.size());
+  std::size_t run = 0;
+  bool run_value = false;
+  bool skip_next = false;
+  std::size_t stuffable_len = 0;
+  std::size_t wire_pos = 0;
+
+  for (; wire_pos < wire.size(); ++wire_pos) {
+    const Bit b = wire[wire_pos];
+    if (skip_next) {
+      if (b == run_value) return std::nullopt;
+      skip_next = false;
+      run_value = b;
+      run = 1;
+      continue;
+    }
+    if (run > 0 && b == run_value) {
+      ++run;
+    } else {
+      run_value = b;
+      run = 1;
+    }
+    unstuffed.push_back(b);
+    if (run == 5) skip_next = true;
+
+    if (stuffable_len == 0 && unstuffed.size() > fb::kDlcFirst + 3) {
+      const std::uint32_t dlc =
+          read_bits_msb_first(unstuffed, fb::kDlcFirst, 4);
+      if (dlc > 8) return std::nullopt;
+      stuffable_len = fb::kDataFirst + 8 * dlc + 15;
+    }
+    if (stuffable_len != 0 && unstuffed.size() == stuffable_len) {
+      ++wire_pos;
+      break;
+    }
+  }
+  if (stuffable_len == 0 || unstuffed.size() != stuffable_len) {
+    return std::nullopt;
+  }
+  if (skip_next) {
+    if (wire_pos >= wire.size() || wire[wire_pos] == run_value) {
+      return std::nullopt;
+    }
+    ++wire_pos;
+  }
+
+  static constexpr Bit kTail[] = {true, false, true, true, true,
+                                  true, true,  true, true, true};
+  for (Bit expected : kTail) {
+    if (wire_pos >= wire.size() || wire[wire_pos] != expected) {
+      return std::nullopt;
+    }
+    ++wire_pos;
+  }
+
+  if (unstuffed[fb::kSof]) return std::nullopt;
+  if (unstuffed[fb::kRtr]) return std::nullopt;           // data frame
+  if (unstuffed[fb::kFirstPostArbitration]) return std::nullopt;  // IDE = 0
+
+  const std::size_t crc_first = stuffable_len - 15;
+  BitVector body(unstuffed.begin(),
+                 unstuffed.begin() + static_cast<std::ptrdiff_t>(crc_first));
+  const std::uint16_t expected_crc = crc15(body);
+  const std::uint16_t got_crc =
+      static_cast<std::uint16_t>(read_bits_msb_first(unstuffed, crc_first, 15));
+  if (expected_crc != got_crc) return std::nullopt;
+
+  StandardDataFrame frame;
+  frame.id = static_cast<std::uint16_t>(
+      read_bits_msb_first(unstuffed, fb::kIdFirst, 11));
+  const std::uint32_t dlc = read_bits_msb_first(unstuffed, fb::kDlcFirst, 4);
+  frame.payload.resize(dlc);
+  for (std::uint32_t i = 0; i < dlc; ++i) {
+    frame.payload[i] = static_cast<std::uint8_t>(
+        read_bits_msb_first(unstuffed, fb::kDataFirst + 8 * i, 8));
+  }
+  return frame;
+}
+
+}  // namespace canbus

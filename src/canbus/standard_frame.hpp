@@ -1,0 +1,52 @@
+// CAN 2.0A standard data frames (11-bit identifier).
+//
+// The paper's vehicles speak J1939 (extended frames only) and its future
+// work calls out adapting vProfile to the standard format used by most
+// consumer cars (Section 6.1).  This header provides the frame layer for
+// that: build and parse standard data frames, with the field positions
+// the extractor needs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "canbus/crc15.hpp"
+#include "canbus/frame.hpp"
+
+namespace canbus {
+
+/// A CAN 2.0A standard data frame.
+struct StandardDataFrame {
+  std::uint16_t id = 0;  // 11 bits; lower value = higher priority
+  Payload payload;       // 0-8 bytes
+
+  bool operator==(const StandardDataFrame&) const = default;
+};
+
+/// Zero-based positions of fields within the *unstuffed* standard data
+/// frame, SOF = bit 0.
+namespace standard_frame_bits {
+inline constexpr std::size_t kSof = 0;
+inline constexpr std::size_t kIdFirst = 1;   // 11 bits: 1..11
+inline constexpr std::size_t kIdLast = 11;
+inline constexpr std::size_t kRtr = 12;
+/// First bit after the arbitration field (IDE, dominant for standard
+/// frames) — the edge-set search starts at or after this bit.
+inline constexpr std::size_t kFirstPostArbitration = 13;
+inline constexpr std::size_t kDlcFirst = 15;  // 4 bits: 15..18
+inline constexpr std::size_t kDataFirst = 19;
+}  // namespace standard_frame_bits
+
+/// Unstuffed logical bitstream, SOF through EOF.  Throws
+/// std::invalid_argument for ids needing > 11 bits or payloads > 8 bytes.
+BitVector build_unstuffed_bits(const StandardDataFrame& frame);
+
+/// On-wire bitstream: stuffed SOF..CRC plus the fixed-form tail.
+BitVector build_wire_bits(const StandardDataFrame& frame);
+
+/// Parses an on-wire standard frame; std::nullopt on stuff violations,
+/// malformed fixed bits, or CRC mismatch.
+std::optional<StandardDataFrame> parse_standard_wire_bits(
+    const BitVector& wire);
+
+}  // namespace canbus

@@ -1,0 +1,44 @@
+#include "core/detector.hpp"
+
+namespace vprofile {
+
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kOk: return "ok";
+    case Verdict::kUnknownSa: return "unknown SA";
+    case Verdict::kClusterMismatch: return "cluster mismatch";
+    case Verdict::kDistanceExceeded: return "distance exceeded";
+  }
+  return "unknown";
+}
+
+Detection detect(const Model& model, const EdgeSet& edge_set,
+                 const DetectionConfig& config) {
+  Detection result;
+
+  const std::optional<std::size_t> expected = model.cluster_of(edge_set.sa);
+  if (!expected) {
+    result.verdict = Verdict::kUnknownSa;
+    return result;
+  }
+  result.expected_cluster = expected;
+
+  const auto [predicted, min_dist] = model.nearest_cluster(edge_set.samples);
+  result.predicted_cluster = predicted;
+  result.min_distance = min_dist;
+
+  if (predicted != *expected) {
+    result.verdict = Verdict::kClusterMismatch;
+    return result;
+  }
+  const double threshold =
+      model.clusters()[predicted].max_distance + config.margin;
+  if (min_dist > threshold) {
+    result.verdict = Verdict::kDistanceExceeded;
+    return result;
+  }
+  result.verdict = Verdict::kOk;
+  return result;
+}
+
+}  // namespace vprofile

@@ -1,0 +1,53 @@
+// vProfile detection (paper Algorithm 3).
+//
+// A message is anomalous when (a) its SA is unknown, (b) the cluster its
+// waveform is nearest to differs from the cluster its SA claims, or (c) the
+// nearest distance exceeds the cluster's maximum training distance plus a
+// configurable margin.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/edge_set.hpp"
+#include "core/model.hpp"
+
+namespace vprofile {
+
+/// Why a message was flagged (or not).
+enum class Verdict {
+  kOk,                 // message considered legitimate
+  kUnknownSa,          // SA absent from the model's LUT
+  kClusterMismatch,    // waveform nearest to a different ECU than claimed
+  kDistanceExceeded,   // too far from every trained waveform
+};
+
+const char* to_string(Verdict verdict);
+
+/// Detection options.
+struct DetectionConfig {
+  /// Extra distance allowed beyond each cluster's maximum training
+  /// distance.  "A margin that is too small can result in more false
+  /// positives and a margin that is too large can cause additional false
+  /// negatives" (Section 3.2.3).
+  double margin = 0.0;
+};
+
+/// Full detection result, including attribution.
+struct Detection {
+  Verdict verdict = Verdict::kOk;
+  /// Cluster the SA claims; unset for unknown SAs.
+  std::optional<std::size_t> expected_cluster;
+  /// Cluster the waveform is nearest to — for anomalies from trained ECUs
+  /// this identifies the attack's origin (Section 3.2.3).
+  std::optional<std::size_t> predicted_cluster;
+  double min_distance = 0.0;
+
+  bool is_anomaly() const { return verdict != Verdict::kOk; }
+};
+
+/// Classifies one edge set against a trained model.
+Detection detect(const Model& model, const EdgeSet& edge_set,
+                 const DetectionConfig& config);
+
+}  // namespace vprofile

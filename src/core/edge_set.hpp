@@ -1,0 +1,50 @@
+// Edge sets: the single feature vProfile classifies on.
+//
+// An edge set is the concatenated sample window around the first rising
+// edge after the arbitration field and the following falling edge
+// (Section 3.2.1).  Together with the source address decoded from the same
+// trace it is everything the detector ever sees.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+#include "linalg/vector_ops.hpp"
+
+namespace vprofile {
+
+/// One extracted edge set paired with the SA decoded from the trace.
+struct EdgeSet {
+  std::uint8_t sa = 0;
+  linalg::Vector samples;  // ADC codes
+};
+
+/// Extraction parameters (the constants of Algorithm 1).
+struct ExtractionConfig {
+  /// Samples per bit; 40 for 10 MS/s on a 250 kb/s bus.
+  std::size_t bit_width_samples = 40;
+  /// ADC-code value that horizontally bisects a rising edge.
+  double bit_threshold = 38000.0;
+  /// Samples kept before a threshold crossing.
+  std::size_t prefix_len = 2;
+  /// Samples kept after a threshold crossing.
+  std::size_t suffix_len = 14;
+  /// Number of edge sets averaged per message (Section 5.2 enhancement).
+  std::size_t num_edge_sets = 1;
+  /// Sample spacing between successive edge-set search starts when
+  /// num_edge_sets > 1.
+  std::size_t edge_set_spacing = 250;
+
+  /// Dimensionality of the produced edge sets: prefix + crossing sample +
+  /// suffix for each of the rising and falling edges.
+  std::size_t dimension() const { return 2 * (prefix_len + suffix_len + 1); }
+};
+
+/// Scales the paper's 10 MS/s reference constants (bit width 40, prefix 2,
+/// suffix 14) to another sampling rate / bitrate, keeping the same time
+/// window.  Throws std::invalid_argument on non-positive rates.
+ExtractionConfig make_extraction_config(double sample_rate_hz,
+                                        double bitrate_bps,
+                                        double bit_threshold);
+
+}  // namespace vprofile

@@ -1,0 +1,63 @@
+// Internal helpers shared by the extended- and standard-frame edge-set
+// extractors.  Not part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/edge_set.hpp"
+#include "dsp/trace.hpp"
+
+namespace vprofile {
+enum class ExtractError;
+}
+
+namespace vprofile::detail {
+
+/// Result of walking a message trace bit-by-bit from SOF.
+struct BitWalk {
+  /// Unstuffed bit polarities; index 0 is SOF, true = dominant ('0').
+  std::vector<bool> dominant;
+  /// Trace index at the centre of the last counted bit.
+  std::size_t pos = 0;
+};
+
+/// Walks the trace from SOF through unstuffed bit `stop_bit` (inclusive),
+/// re-aligning at transitions and skipping stuff bits (the loop of
+/// Algorithm 1).  On failure returns std::nullopt and stores the reason in
+/// `err` when non-null.
+std::optional<BitWalk> walk_unstuffed_bits(const dsp::Trace& trace,
+                                           const ExtractionConfig& cfg,
+                                           std::size_t stop_bit,
+                                           ExtractError* err);
+
+/// Index of the first rising crossing at or after `pos`: the first sample
+/// >= threshold whose predecessor is below.  Leaves a dominant region
+/// first if `pos` starts inside one.
+std::optional<std::size_t> next_rising_crossing(const dsp::Trace& t,
+                                                std::size_t pos,
+                                                double threshold);
+
+/// Index of the first falling crossing after `pos`.
+std::optional<std::size_t> next_falling_crossing(const dsp::Trace& t,
+                                                 std::size_t pos,
+                                                 double threshold);
+
+/// Extracts one rising+falling window pair starting the search at `pos`;
+/// std::nullopt when the trace ends first.
+std::optional<linalg::Vector> extract_one_set(const dsp::Trace& trace,
+                                              std::size_t pos,
+                                              const ExtractionConfig& cfg);
+
+/// Extracts cfg.num_edge_sets window pairs starting at `pos` and averages
+/// them; std::nullopt when any set is truncated.
+std::optional<linalg::Vector> extract_edge_windows(
+    const dsp::Trace& trace, std::size_t pos, const ExtractionConfig& cfg);
+
+/// Reads unstuffed bits [first, last] (inclusive, SOF = 0) as an MSB-first
+/// unsigned value; dominant = '0'.
+std::uint32_t read_walk_bits(const BitWalk& walk, std::size_t first,
+                             std::size_t last);
+
+}  // namespace vprofile::detail

@@ -1,0 +1,239 @@
+#include "core/extractor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "canbus/frame.hpp"
+#include "core/extract_util.hpp"
+#include "dsp/trace.hpp"
+
+namespace vprofile {
+
+namespace detail {
+
+std::optional<std::size_t> next_rising_crossing(const dsp::Trace& t,
+                                                std::size_t pos,
+                                                double threshold) {
+  // If we start inside a dominant region, leave it first.
+  while (pos < t.size() && t[pos] >= threshold) ++pos;
+  while (pos < t.size() && t[pos] < threshold) ++pos;
+  if (pos >= t.size()) return std::nullopt;
+  return pos;
+}
+
+std::optional<std::size_t> next_falling_crossing(const dsp::Trace& t,
+                                                 std::size_t pos,
+                                                 double threshold) {
+  while (pos < t.size() && t[pos] < threshold) ++pos;
+  while (pos < t.size() && t[pos] >= threshold) ++pos;
+  if (pos >= t.size()) return std::nullopt;
+  return pos;
+}
+
+namespace {
+
+/// Copies [crossing - prefix, crossing + suffix] into `out`.  Returns false
+/// when the window does not fit in the trace.
+bool append_window(const dsp::Trace& t, std::size_t crossing,
+                   const ExtractionConfig& cfg, linalg::Vector& out) {
+  if (crossing < cfg.prefix_len) return false;
+  const std::size_t first = crossing - cfg.prefix_len;
+  const std::size_t last = crossing + cfg.suffix_len;
+  if (last >= t.size()) return false;
+  for (std::size_t i = first; i <= last; ++i) out.push_back(t[i]);
+  return true;
+}
+
+}  // namespace
+
+std::optional<linalg::Vector> extract_one_set(const dsp::Trace& trace,
+                                              std::size_t pos,
+                                              const ExtractionConfig& cfg) {
+  linalg::Vector samples;
+  samples.reserve(cfg.dimension());
+  const auto rising = next_rising_crossing(trace, pos, cfg.bit_threshold);
+  if (!rising) return std::nullopt;
+  if (!append_window(trace, *rising, cfg, samples)) return std::nullopt;
+  const auto falling =
+      next_falling_crossing(trace, *rising, cfg.bit_threshold);
+  if (!falling) return std::nullopt;
+  if (!append_window(trace, *falling, cfg, samples)) return std::nullopt;
+  return samples;
+}
+
+std::optional<linalg::Vector> extract_edge_windows(
+    const dsp::Trace& trace, std::size_t pos, const ExtractionConfig& cfg) {
+  std::vector<linalg::Vector> sets;
+  sets.reserve(cfg.num_edge_sets);
+  for (std::size_t k = 0; k < cfg.num_edge_sets; ++k) {
+    auto one = extract_one_set(trace, pos + k * cfg.edge_set_spacing, cfg);
+    if (!one) return std::nullopt;
+    sets.push_back(std::move(*one));
+  }
+  return (sets.size() == 1) ? std::move(sets.front()) : linalg::mean_of(sets);
+}
+
+namespace {
+
+bool set_walk_error(ExtractError* err, ExtractError value) {
+  if (err != nullptr) *err = value;
+  return false;
+}
+
+}  // namespace
+
+std::optional<BitWalk> walk_unstuffed_bits(const dsp::Trace& trace,
+                                           const ExtractionConfig& cfg,
+                                           std::size_t stop_bit,
+                                           ExtractError* err) {
+  const double threshold = cfg.bit_threshold;
+  const auto sof = dsp::find_sof(trace, threshold);
+  if (!sof) {
+    set_walk_error(err, ExtractError::kNoSof);
+    return std::nullopt;
+  }
+
+  BitWalk walk;
+  walk.dominant.reserve(stop_bit + 1);
+  walk.dominant.push_back(true);  // SOF is dominant
+  std::size_t pos = *sof + cfg.bit_width_samples / 2;
+  if (pos >= trace.size()) {
+    set_walk_error(err, ExtractError::kTruncated);
+    return std::nullopt;
+  }
+
+  bool prev_bit_dominant = true;
+  std::size_t same_bit_run = 1;  // consecutive equal *wire* bits
+  bool next_is_stuff = false;
+
+  while (pos + cfg.bit_width_samples < trace.size() &&
+         walk.dominant.size() <= stop_bit) {
+    pos += cfg.bit_width_samples;
+    const bool dominant = trace[pos] >= threshold;
+
+    if (dominant != prev_bit_dominant) {
+      // Re-align to the transition centre to stay synchronized.
+      const std::size_t edge = dsp::align_to_edge_start(trace, pos, threshold);
+      pos = edge + cfg.bit_width_samples / 2;
+      prev_bit_dominant = dominant;
+      if (next_is_stuff) {
+        // The opposite-polarity bit after a run of five is the stuff bit:
+        // consume it without counting.
+        next_is_stuff = false;
+        same_bit_run = 1;
+        continue;
+      }
+      same_bit_run = 1;
+    } else {
+      if (next_is_stuff) {
+        // A sixth consecutive equal bit is a form error on a real bus.
+        set_walk_error(err, ExtractError::kStuffViolation);
+        return std::nullopt;
+      }
+      ++same_bit_run;
+    }
+    if (same_bit_run == 5) next_is_stuff = true;
+    walk.dominant.push_back(dominant);
+  }
+
+  if (walk.dominant.size() <= stop_bit) {
+    set_walk_error(err, ExtractError::kTruncated);
+    return std::nullopt;
+  }
+  walk.pos = pos;
+  return walk;
+}
+
+std::uint32_t read_walk_bits(const BitWalk& walk, std::size_t first,
+                             std::size_t last) {
+  std::uint32_t v = 0;
+  for (std::size_t i = first; i <= last; ++i) {
+    // Logical '1' is recessive, i.e. not dominant.
+    v = (v << 1) | (walk.dominant.at(i) ? 0u : 1u);
+  }
+  return v;
+}
+
+}  // namespace detail
+
+namespace {
+
+bool set_error(ExtractError* err, ExtractError value) {
+  if (err != nullptr) *err = value;
+  return false;
+}
+
+}  // namespace
+
+const char* to_string(ExtractError err) {
+  switch (err) {
+    case ExtractError::kNone: return "none";
+    case ExtractError::kNoSof: return "no SOF found";
+    case ExtractError::kTruncated: return "trace truncated";
+    case ExtractError::kStuffViolation: return "stuff bit violation";
+  }
+  return "unknown";
+}
+
+std::optional<EdgeSet> extract_edge_set(const dsp::Trace& trace,
+                                        const ExtractionConfig& cfg,
+                                        ExtractError* err) {
+  if (err != nullptr) *err = ExtractError::kNone;
+  if (cfg.bit_width_samples < 2) {
+    throw std::invalid_argument("extract_edge_set: bit width too small");
+  }
+
+  // Walk the message bit-by-bit from SOF through the first bit after the
+  // arbitration field (Algorithm 1), then read the SA from unstuffed bits
+  // 24..31 and extract the edge windows.
+  const auto walk = detail::walk_unstuffed_bits(
+      trace, cfg, canbus::frame_bits::kFirstPostArbitration, err);
+  if (!walk) return std::nullopt;
+
+  // Extract num_edge_sets windows and average them (Section 5.2).
+  auto samples = detail::extract_edge_windows(trace, walk->pos, cfg);
+  if (!samples) {
+    set_error(err, ExtractError::kTruncated);
+    return std::nullopt;
+  }
+
+  EdgeSet result;
+  result.sa = static_cast<std::uint8_t>(detail::read_walk_bits(
+      *walk, canbus::frame_bits::kSourceAddrFirst,
+      canbus::frame_bits::kSourceAddrLast));
+  result.samples = std::move(*samples);
+  return result;
+}
+
+double estimate_bit_threshold(const dsp::Trace& trace) {
+  if (trace.empty()) {
+    throw std::invalid_argument("estimate_bit_threshold: empty trace");
+  }
+  const std::size_t half = std::max<std::size_t>(1, trace.size() / 2);
+  const auto [lo, hi] =
+      std::minmax_element(trace.begin(), trace.begin() + half);
+  return (*lo + *hi) / 2.0;
+}
+
+ExtractionConfig make_extraction_config(double sample_rate_hz,
+                                        double bitrate_bps,
+                                        double bit_threshold) {
+  if (sample_rate_hz <= 0.0 || bitrate_bps <= 0.0) {
+    throw std::invalid_argument("make_extraction_config: rates must be > 0");
+  }
+  // Reference constants from the paper: 10 MS/s on a 250 kb/s bus gives a
+  // 40-sample bit, 2-sample prefix, 14-sample suffix.
+  const double samples_per_bit = sample_rate_hz / bitrate_bps;
+  const double ratio = samples_per_bit / 40.0;
+  ExtractionConfig cfg;
+  cfg.bit_width_samples =
+      std::max<std::size_t>(2, static_cast<std::size_t>(samples_per_bit + 0.5));
+  cfg.bit_threshold = bit_threshold;
+  cfg.prefix_len =
+      std::max<std::size_t>(1, static_cast<std::size_t>(2.0 * ratio + 0.5));
+  cfg.suffix_len =
+      std::max<std::size_t>(2, static_cast<std::size_t>(14.0 * ratio + 0.5));
+  return cfg;
+}
+
+}  // namespace vprofile

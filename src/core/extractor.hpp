@@ -1,0 +1,41 @@
+// Edge-set extraction (paper Algorithm 1).
+//
+// Walks the sampled voltage trace of one CAN message bit-by-bit: finds SOF,
+// re-aligns at every transition to stay synchronized, skips stuff bits,
+// decodes the source address from unstuffed bits 24-31, and extracts the
+// sample windows around the first rising and falling edges after the
+// arbitration field.
+#pragma once
+
+#include <optional>
+
+#include "core/edge_set.hpp"
+#include "dsp/trace.hpp"
+
+namespace vprofile {
+
+/// Why extraction failed.
+enum class ExtractError {
+  kNone,
+  kNoSof,            // trace never crosses the bit threshold
+  kTruncated,        // trace ends before the edge set is complete
+  kStuffViolation,   // six consecutive equal bits (malformed frame)
+};
+
+const char* to_string(ExtractError err);
+
+/// Extracts the SA and edge set(s) from a message-aligned trace of ADC
+/// codes.  When `config.num_edge_sets` > 1 the returned samples are the
+/// element-wise mean of the extracted sets (Section 5.2).  On failure
+/// returns std::nullopt and, if `err` is non-null, stores the reason.
+std::optional<EdgeSet> extract_edge_set(const dsp::Trace& trace,
+                                        const ExtractionConfig& config,
+                                        ExtractError* err = nullptr);
+
+/// Per-cluster threshold estimation (Section 5.1): the midpoint of the
+/// minimum and maximum of the first half of the message.  The second half
+/// is excluded because the ACK bit's level can deviate significantly.
+/// Throws std::invalid_argument on an empty trace.
+double estimate_bit_threshold(const dsp::Trace& trace);
+
+}  // namespace vprofile

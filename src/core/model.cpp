@@ -1,0 +1,78 @@
+#include "core/model.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "linalg/mahalanobis.hpp"
+
+namespace vprofile {
+
+const char* to_string(DistanceMetric metric) {
+  switch (metric) {
+    case DistanceMetric::kEuclidean: return "euclidean";
+    case DistanceMetric::kMahalanobis: return "mahalanobis";
+  }
+  return "unknown";
+}
+
+Model::Model(DistanceMetric metric, ExtractionConfig extraction,
+             std::vector<ClusterModel> clusters)
+    : metric_(metric),
+      extraction_(std::move(extraction)),
+      clusters_(std::move(clusters)) {
+  if (clusters_.empty()) {
+    throw std::invalid_argument("Model: need at least one cluster");
+  }
+  const std::size_t dim = clusters_.front().mean.size();
+  sa_lut_.fill(-1);
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const ClusterModel& cl = clusters_[c];
+    if (cl.mean.size() != dim) {
+      throw std::invalid_argument("Model: inconsistent cluster dimensions");
+    }
+    if (metric_ == DistanceMetric::kMahalanobis &&
+        (cl.inv_covariance.rows() != dim || cl.inv_covariance.cols() != dim)) {
+      throw std::invalid_argument(
+          "Model: Mahalanobis cluster lacks an inverse covariance");
+    }
+    for (std::uint8_t sa : cl.sas) {
+      if (sa_lut_[sa] != -1) {
+        throw std::invalid_argument(
+            "Model: SA mapped to more than one cluster");
+      }
+      sa_lut_[sa] = static_cast<std::int16_t>(c);
+    }
+  }
+}
+
+std::size_t Model::dimension() const { return clusters_.front().mean.size(); }
+
+std::optional<std::size_t> Model::cluster_of(std::uint8_t sa) const {
+  const std::int16_t c = sa_lut_[sa];
+  if (c < 0) return std::nullopt;
+  return static_cast<std::size_t>(c);
+}
+
+double Model::distance(std::size_t cluster, const linalg::Vector& x) const {
+  const ClusterModel& cl = clusters_.at(cluster);
+  if (metric_ == DistanceMetric::kEuclidean) {
+    return linalg::euclidean_distance(x, cl.mean);
+  }
+  return linalg::mahalanobis_distance_inv(x, cl.mean, cl.inv_covariance);
+}
+
+std::pair<std::size_t, double> Model::nearest_cluster(
+    const linalg::Vector& x) const {
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < clusters_.size(); ++c) {
+    const double d = distance(c, x);
+    if (d < best_dist) {
+      best_dist = d;
+      best = c;
+    }
+  }
+  return {best, best_dist};
+}
+
+}  // namespace vprofile

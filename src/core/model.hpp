@@ -1,0 +1,70 @@
+// The trained vProfile model (output of Algorithm 2, input of Algorithm 3):
+// per-cluster mean / covariance / maximum training distance, plus the
+// SA -> cluster lookup table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/edge_set.hpp"
+#include "linalg/matrix.hpp"
+
+namespace vprofile {
+
+/// Distance metric used for clustering, thresholding and detection.
+enum class DistanceMetric { kEuclidean, kMahalanobis };
+
+const char* to_string(DistanceMetric metric);
+
+/// Everything the model stores about one ECU (cluster).
+struct ClusterModel {
+  std::string name;                 // e.g. "ECU 0"
+  std::vector<std::uint8_t> sas;    // source addresses this ECU transmits
+  linalg::Vector mean;
+  /// Covariance and its inverse; empty (0x0) for Euclidean models.
+  linalg::Matrix covariance;
+  linalg::Matrix inv_covariance;
+  /// Largest distance from a training edge set to the mean — the detection
+  /// threshold before margin.
+  double max_distance = 0.0;
+  /// Number of edge sets behind the statistics (N_n in Algorithm 4).
+  std::size_t edge_set_count = 0;
+  /// Per-cluster bit threshold (Section 5.1); NaN when the global
+  /// extraction threshold applies.
+  double extraction_threshold = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Trained model: clusters plus the SA lookup table.
+class Model {
+ public:
+  Model(DistanceMetric metric, ExtractionConfig extraction,
+        std::vector<ClusterModel> clusters);
+
+  DistanceMetric metric() const { return metric_; }
+  const ExtractionConfig& extraction() const { return extraction_; }
+  const std::vector<ClusterModel>& clusters() const { return clusters_; }
+  std::vector<ClusterModel>& clusters() { return clusters_; }
+  std::size_t dimension() const;
+
+  /// Cluster index for an SA, or std::nullopt for an unknown SA.
+  std::optional<std::size_t> cluster_of(std::uint8_t sa) const;
+
+  /// Distance from `x` to the given cluster's mean under the model metric.
+  double distance(std::size_t cluster, const linalg::Vector& x) const;
+
+  /// Index and distance of the nearest cluster.  Throws std::logic_error
+  /// if the model has no clusters (constructor prevents that).
+  std::pair<std::size_t, double> nearest_cluster(const linalg::Vector& x) const;
+
+ private:
+  DistanceMetric metric_;
+  ExtractionConfig extraction_;
+  std::vector<ClusterModel> clusters_;
+  std::array<std::int16_t, 256> sa_lut_;  // -1 = unknown SA
+};
+
+}  // namespace vprofile

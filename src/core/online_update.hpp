@@ -1,0 +1,58 @@
+// Online model update (paper Algorithm 4 / Section 5.3).
+//
+// Folds new, trusted edge sets into an existing model so vProfile can track
+// slow environmental drift (temperature, battery voltage) without a full
+// retrain.  Mean and covariance follow Eq 5.1; the inverse covariance is
+// maintained incrementally (Sherman-Morrison), and the per-cluster maximum
+// distance grows when a new edge set lands beyond it.
+//
+// The paper cautions that updates lose impact as the edge-set count N_n
+// grows, so each cluster carries a retrain bound M; updates past the bound
+// are refused and the cluster is flagged for retraining.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/edge_set.hpp"
+#include "core/model.hpp"
+
+namespace vprofile {
+
+/// Outcome of one update attempt.
+enum class UpdateStatus {
+  kUpdated,
+  kUnknownSa,        // edge set's SA is not in the model
+  kRetrainRequired,  // cluster reached the retrain bound M
+  kDimensionMismatch,
+  kNotMahalanobis,   // only Mahalanobis models carry covariance state
+};
+
+const char* to_string(UpdateStatus status);
+
+/// Applies Algorithm 4 to a model in place.
+class OnlineUpdater {
+ public:
+  /// `model` must outlive the updater and use the Mahalanobis metric.
+  /// `retrain_bound` is the paper's M: once a cluster's edge-set count
+  /// reaches it, further updates are refused.  Throws
+  /// std::invalid_argument for a Euclidean model or a bound of 0.
+  OnlineUpdater(Model* model, std::size_t retrain_bound);
+
+  /// Folds one edge set into its cluster.
+  UpdateStatus update(const EdgeSet& edge_set);
+
+  /// Convenience: updates with a batch; returns the count actually folded.
+  std::size_t update_all(const std::vector<EdgeSet>& edge_sets);
+
+  /// Clusters whose edge-set count reached the retrain bound.
+  std::vector<std::size_t> clusters_needing_retrain() const;
+
+  std::size_t retrain_bound() const { return retrain_bound_; }
+
+ private:
+  Model* model_;
+  std::size_t retrain_bound_;
+};
+
+}  // namespace vprofile

@@ -1,0 +1,63 @@
+#include "core/standard_extractor.hpp"
+
+#include <stdexcept>
+
+#include "canbus/standard_frame.hpp"
+#include "core/extract_util.hpp"
+
+namespace vprofile {
+
+std::optional<StandardEdgeSet> extract_standard_edge_set(
+    const dsp::Trace& trace, const ExtractionConfig& cfg, ExtractError* err) {
+  if (err != nullptr) *err = ExtractError::kNone;
+  if (cfg.bit_width_samples < 2) {
+    throw std::invalid_argument(
+        "extract_standard_edge_set: bit width too small");
+  }
+
+  namespace fb = canbus::standard_frame_bits;
+  const auto walk =
+      detail::walk_unstuffed_bits(trace, cfg, fb::kFirstPostArbitration, err);
+  if (!walk) return std::nullopt;
+
+  auto samples = detail::extract_edge_windows(trace, walk->pos, cfg);
+  if (!samples) {
+    if (err != nullptr) *err = ExtractError::kTruncated;
+    return std::nullopt;
+  }
+
+  StandardEdgeSet result;
+  result.can_id = static_cast<std::uint16_t>(
+      detail::read_walk_bits(*walk, fb::kIdFirst, fb::kIdLast));
+  result.samples = std::move(*samples);
+  return result;
+}
+
+std::optional<std::uint8_t> StandardIdMap::alias_of(std::uint16_t can_id) {
+  if (can_id > 0x7FF) {
+    throw std::invalid_argument("StandardIdMap: id exceeds 11 bits");
+  }
+  const auto it = forward_.find(can_id);
+  if (it != forward_.end()) return it->second;
+  if (forward_.size() >= 256) return std::nullopt;
+  const auto alias = static_cast<std::uint8_t>(forward_.size());
+  forward_.emplace(can_id, alias);
+  return alias;
+}
+
+std::optional<std::uint8_t> StandardIdMap::find(std::uint16_t can_id) const {
+  const auto it = forward_.find(can_id);
+  if (it == forward_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<EdgeSet> StandardIdMap::to_edge_set(StandardEdgeSet edge_set) {
+  const auto alias = alias_of(edge_set.can_id);
+  if (!alias) return std::nullopt;
+  EdgeSet out;
+  out.sa = *alias;
+  out.samples = std::move(edge_set.samples);
+  return out;
+}
+
+}  // namespace vprofile

@@ -1,0 +1,61 @@
+// Edge-set extraction for CAN 2.0A standard frames — the paper's future
+// work ("we want to investigate adapting vProfile for standard frames,
+// though we do not anticipate many required changes", Section 6.1).
+//
+// Two adaptations relative to the extended extractor:
+//  * the sender key is the full 11-bit identifier (standard CAN has no
+//    source-address field — each ID maps to exactly one sender);
+//  * the arbitration field ends at bit 12 (RTR), so the edge-set search
+//    starts at bit 13 (IDE) instead of bit 33.
+//
+// To reuse the trained-model machinery (whose lookup table is keyed by a
+// byte-sized source address), a StandardIdMap assigns each distinct
+// 11-bit identifier a stable 8-bit alias.  Real vehicles carry well under
+// 256 distinct IDs; the map reports exhaustion explicitly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/edge_set.hpp"
+#include "core/extractor.hpp"
+#include "dsp/trace.hpp"
+
+namespace vprofile {
+
+/// Edge set keyed by the full standard identifier.
+struct StandardEdgeSet {
+  std::uint16_t can_id = 0;  // 11 bits
+  linalg::Vector samples;
+};
+
+/// Extracts the identifier and edge set(s) from a standard-frame trace.
+/// Same configuration and failure semantics as `extract_edge_set`.
+std::optional<StandardEdgeSet> extract_standard_edge_set(
+    const dsp::Trace& trace, const ExtractionConfig& config,
+    ExtractError* err = nullptr);
+
+/// Stable 11-bit-ID -> 8-bit alias assignment.
+class StandardIdMap {
+ public:
+  /// Alias for `can_id`, allocating one on first sight.  Returns
+  /// std::nullopt once 256 distinct IDs have been seen (the alias space
+  /// is exhausted).  Throws std::invalid_argument for IDs over 11 bits.
+  std::optional<std::uint8_t> alias_of(std::uint16_t can_id);
+
+  /// Alias lookup without allocation (for detection-time use where an
+  /// unseen ID should be treated as an unknown sender).
+  std::optional<std::uint8_t> find(std::uint16_t can_id) const;
+
+  std::size_t size() const { return forward_.size(); }
+
+  /// Converts a standard edge set into the byte-keyed form the trainer
+  /// and detector consume, allocating an alias if needed.
+  std::optional<EdgeSet> to_edge_set(StandardEdgeSet edge_set);
+
+ private:
+  std::map<std::uint16_t, std::uint8_t> forward_;
+};
+
+}  // namespace vprofile

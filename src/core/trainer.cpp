@@ -1,0 +1,264 @@
+#include "core/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <sstream>
+
+#include "linalg/cholesky.hpp"
+#include "linalg/covariance.hpp"
+#include "linalg/mahalanobis.hpp"
+
+namespace vprofile {
+namespace {
+
+/// Edge sets grouped into clusters, each with a name and its SA list.
+struct ClusterGroup {
+  std::string name;
+  std::vector<std::uint8_t> sas;
+  std::vector<const EdgeSet*> members;
+};
+
+/// Builds the per-cluster statistics and assembles the model.
+TrainOutcome finalize(std::vector<ClusterGroup> groups,
+                      const TrainingConfig& config) {
+  TrainOutcome outcome;
+  if (groups.empty()) {
+    outcome.error = "no training data";
+    return outcome;
+  }
+  const std::size_t dim = config.extraction.dimension();
+
+  std::vector<ClusterModel> clusters;
+  clusters.reserve(groups.size());
+  for (ClusterGroup& g : groups) {
+    if (g.members.size() < config.min_cluster_size) {
+      std::ostringstream os;
+      os << "cluster '" << g.name << "' has only " << g.members.size()
+         << " edge sets (min " << config.min_cluster_size << ")";
+      outcome.error = os.str();
+      return outcome;
+    }
+    linalg::CovarianceAccumulator acc(dim);
+    for (const EdgeSet* e : g.members) {
+      if (e->samples.size() != dim) {
+        outcome.error = "edge set dimension mismatch";
+        return outcome;
+      }
+      acc.add(e->samples);
+    }
+
+    ClusterModel cm;
+    cm.name = std::move(g.name);
+    cm.sas = std::move(g.sas);
+    cm.mean = acc.mean();
+    cm.edge_set_count = acc.count();
+
+    if (config.metric == DistanceMetric::kMahalanobis) {
+      cm.covariance = acc.covariance();
+      std::optional<linalg::Cholesky> factor =
+          linalg::Cholesky::factorize(cm.covariance);
+      if (!factor && config.ridge > 0.0) {
+        auto ridged =
+            linalg::factorize_with_ridge(cm.covariance, config.ridge);
+        if (ridged) {
+          outcome.ridge_used = std::max(outcome.ridge_used, ridged->ridge);
+          cm.covariance.add_ridge(ridged->ridge);
+          factor = std::move(ridged->factor);
+        }
+      }
+      if (!factor) {
+        outcome.error =
+            "singular covariance matrix for cluster '" + cm.name + "'";
+        return outcome;
+      }
+      cm.inv_covariance = factor->inverse();
+    }
+
+    // Detection threshold: the largest training distance to the mean.
+    double max_dist = 0.0;
+    for (const EdgeSet* e : g.members) {
+      double d;
+      if (config.metric == DistanceMetric::kEuclidean) {
+        d = linalg::euclidean_distance(e->samples, cm.mean);
+      } else {
+        d = linalg::mahalanobis_distance_inv(e->samples, cm.mean,
+                                             cm.inv_covariance);
+      }
+      max_dist = std::max(max_dist, d);
+    }
+    cm.max_distance = max_dist;
+    clusters.push_back(std::move(cm));
+  }
+
+  outcome.model.emplace(config.metric, config.extraction, std::move(clusters));
+  return outcome;
+}
+
+}  // namespace
+
+TrainOutcome train_with_database(const std::vector<EdgeSet>& edge_sets,
+                                 const SaDatabase& database,
+                                 const TrainingConfig& config) {
+  TrainOutcome outcome;
+  if (edge_sets.empty()) {
+    outcome.error = "no training data";
+    return outcome;
+  }
+
+  // One group per distinct ECU name; SA lists from the database.
+  std::map<std::string, ClusterGroup> by_name;
+  for (const auto& [sa, name] : database) {
+    ClusterGroup& g = by_name[name];
+    g.name = name;
+    g.sas.push_back(sa);
+  }
+  for (const EdgeSet& e : edge_sets) {
+    auto it = database.find(e.sa);
+    if (it == database.end()) {
+      std::ostringstream os;
+      os << "training edge set with SA " << static_cast<int>(e.sa)
+         << " not present in the database";
+      outcome.error = os.str();
+      return outcome;
+    }
+    by_name[it->second].members.push_back(&e);
+  }
+
+  std::vector<ClusterGroup> groups;
+  groups.reserve(by_name.size());
+  for (auto& [name, g] : by_name) {
+    if (g.members.empty()) continue;  // DB entry that never transmitted
+    groups.push_back(std::move(g));
+  }
+  return finalize(std::move(groups), config);
+}
+
+std::vector<std::size_t> cluster_sa_groups_by_distance(
+    const std::vector<std::uint8_t>& sas,
+    const std::vector<linalg::Vector>& sa_means, double merge_threshold) {
+  const std::size_t n = sas.size();
+  if (n != sa_means.size()) {
+    throw std::invalid_argument(
+        "cluster_sa_groups_by_distance: size mismatch");
+  }
+  if (n == 0) return {};
+
+  // Pairwise distances between SA-group means.
+  struct Pair {
+    double dist;
+    std::size_t a, b;
+  };
+  std::vector<Pair> pairs;
+  pairs.reserve(n * (n - 1) / 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      pairs.push_back(
+          {linalg::euclidean_distance(sa_means[i], sa_means[j]), i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const Pair& x, const Pair& y) { return x.dist < y.dist; });
+
+  // Automatic threshold: the largest relative gap in the sorted distance
+  // list separates same-ECU pairs from different-ECU pairs.  Only gaps in
+  // the lower half of the list are considered — merge candidates are by
+  // definition the small distances, and gaps between two genuinely
+  // different ECUs (e.g. a near-twin pair vs the rest) must not move the
+  // threshold above them.
+  double threshold = merge_threshold;
+  if (threshold <= 0.0 && pairs.size() >= 2) {
+    double best_ratio = 0.0;
+    const std::size_t last_gap = std::max<std::size_t>(1, pairs.size() / 2);
+    for (std::size_t k = 0; k < last_gap && k + 1 < pairs.size(); ++k) {
+      const double lo = std::max(pairs[k].dist, 1e-12);
+      const double ratio = pairs[k + 1].dist / lo;
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        threshold = (pairs[k].dist + pairs[k + 1].dist) / 2.0;
+      }
+    }
+    // Without a pronounced gap (same-ECU pairs are typically orders of
+    // magnitude closer than cross-ECU pairs), treat every SA as its own
+    // ECU rather than merging on incidental spacing differences.
+    if (best_ratio < 3.0) threshold = -1.0;
+  }
+
+  // Union-find over SA groups, merging pairs under the threshold.
+  std::vector<std::size_t> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const Pair& p : pairs) {
+    if (p.dist >= threshold) break;
+    parent[find(p.a)] = find(p.b);
+  }
+
+  // Compact root ids into dense cluster indices in first-seen order.
+  std::map<std::size_t, std::size_t> root_to_cluster;
+  std::vector<std::size_t> assignment(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t root = find(i);
+    auto [it, inserted] =
+        root_to_cluster.try_emplace(root, root_to_cluster.size());
+    assignment[i] = it->second;
+  }
+  return assignment;
+}
+
+TrainOutcome train_by_distance(const std::vector<EdgeSet>& edge_sets,
+                               const TrainingConfig& config) {
+  TrainOutcome outcome;
+  if (edge_sets.empty()) {
+    outcome.error = "no training data";
+    return outcome;
+  }
+
+  // GroupBySA.
+  std::map<std::uint8_t, std::vector<const EdgeSet*>> by_sa;
+  for (const EdgeSet& e : edge_sets) by_sa[e.sa].push_back(&e);
+
+  std::vector<std::uint8_t> sas;
+  std::vector<linalg::Vector> means;
+  sas.reserve(by_sa.size());
+  means.reserve(by_sa.size());
+  const std::size_t dim = config.extraction.dimension();
+  for (const auto& [sa, members] : by_sa) {
+    linalg::CovarianceAccumulator acc(dim);
+    for (const EdgeSet* e : members) {
+      if (e->samples.size() != dim) {
+        outcome.error = "edge set dimension mismatch";
+        return outcome;
+      }
+      acc.add(e->samples);
+    }
+    sas.push_back(sa);
+    means.push_back(acc.mean());
+  }
+
+  const std::vector<std::size_t> assignment =
+      cluster_sa_groups_by_distance(sas, means, config.merge_threshold);
+  const std::size_t num_clusters =
+      assignment.empty()
+          ? 0
+          : 1 + *std::max_element(assignment.begin(), assignment.end());
+
+  std::vector<ClusterGroup> groups(num_clusters);
+  for (std::size_t i = 0; i < sas.size(); ++i) {
+    ClusterGroup& g = groups[assignment[i]];
+    if (g.name.empty()) {
+      g.name = "ECU " + std::to_string(assignment[i]);
+    }
+    g.sas.push_back(sas[i]);
+    for (const EdgeSet* e : by_sa[sas[i]]) g.members.push_back(e);
+  }
+  return finalize(std::move(groups), config);
+}
+
+}  // namespace vprofile

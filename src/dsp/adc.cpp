@@ -1,0 +1,65 @@
+#include "dsp/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dsp {
+
+AdcModel::AdcModel(double sample_rate_hz, int resolution_bits, double v_min,
+                   double v_max)
+    : sample_rate_hz_(sample_rate_hz),
+      resolution_bits_(resolution_bits),
+      v_min_(v_min),
+      v_max_(v_max) {
+  if (sample_rate_hz <= 0.0) {
+    throw std::invalid_argument("AdcModel: sample rate must be positive");
+  }
+  if (resolution_bits < 2 || resolution_bits > 24) {
+    throw std::invalid_argument("AdcModel: resolution must be in [2, 24]");
+  }
+  if (v_min >= v_max) {
+    throw std::invalid_argument("AdcModel: v_min must be < v_max");
+  }
+  max_code_ = (1u << resolution_bits) - 1u;
+  volts_per_code_ = (v_max_ - v_min_) / static_cast<double>(max_code_);
+}
+
+double AdcModel::quantize(double volts) const {
+  const double clamped = std::clamp(volts, v_min_, v_max_);
+  const double code = std::round((clamped - v_min_) / volts_per_code_);
+  return std::clamp(code, 0.0, static_cast<double>(max_code_));
+}
+
+double AdcModel::to_volts(double code) const {
+  return v_min_ + code * volts_per_code_;
+}
+
+Trace AdcModel::quantize_trace(const Trace& volts) const {
+  Trace out(volts.size());
+  for (std::size_t i = 0; i < volts.size(); ++i) out[i] = quantize(volts[i]);
+  return out;
+}
+
+AdcModel AdcModel::with_resolution(int bits) const {
+  return AdcModel(sample_rate_hz_, bits, v_min_, v_max_);
+}
+
+AdcModel AdcModel::with_sample_rate(double hz) const {
+  return AdcModel(hz, resolution_bits_, v_min_, v_max_);
+}
+
+Trace requantize_codes(const Trace& codes, int from_bits, int to_bits) {
+  if (to_bits < 1 || from_bits < 1 || to_bits > from_bits) {
+    throw std::invalid_argument("requantize_codes: invalid bit widths");
+  }
+  if (to_bits == from_bits) return codes;
+  const double step = static_cast<double>(1u << (from_bits - to_bits));
+  Trace out(codes.size());
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    out[i] = std::floor(codes[i] / step) * step;
+  }
+  return out;
+}
+
+}  // namespace dsp

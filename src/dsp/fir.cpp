@@ -1,0 +1,55 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dsp {
+
+FirLowPass::FirLowPass(double cutoff_hz, double sample_rate_hz,
+                       std::size_t num_taps) {
+  if (sample_rate_hz <= 0.0 || cutoff_hz <= 0.0 ||
+      cutoff_hz >= sample_rate_hz / 2.0) {
+    throw std::invalid_argument("FirLowPass: cutoff must be in (0, fs/2)");
+  }
+  if (num_taps < 3 || num_taps % 2 == 0) {
+    throw std::invalid_argument("FirLowPass: num_taps must be odd and >= 3");
+  }
+  taps_.resize(num_taps);
+  const double fc = cutoff_hz / sample_rate_hz;  // normalized cutoff
+  const std::ptrdiff_t mid = static_cast<std::ptrdiff_t>(num_taps / 2);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < num_taps; ++i) {
+    const std::ptrdiff_t k = static_cast<std::ptrdiff_t>(i) - mid;
+    const double sinc =
+        (k == 0) ? 2.0 * fc
+                 : std::sin(2.0 * M_PI * fc * static_cast<double>(k)) /
+                       (M_PI * static_cast<double>(k));
+    const double window =
+        0.54 - 0.46 * std::cos(2.0 * M_PI * static_cast<double>(i) /
+                               static_cast<double>(num_taps - 1));
+    taps_[i] = sinc * window;
+    sum += taps_[i];
+  }
+  // Normalize to unity DC gain so steady-state levels are preserved.
+  for (double& t : taps_) t /= sum;
+}
+
+Trace FirLowPass::apply(const Trace& input) const {
+  if (input.empty()) return {};
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(input.size());
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(taps_.size() / 2);
+  Trace out(input.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::size_t t = 0; t < taps_.size(); ++t) {
+      std::ptrdiff_t src = i + static_cast<std::ptrdiff_t>(t) - half;
+      if (src < 0) src = 0;
+      if (src >= n) src = n - 1;
+      acc += taps_[t] * input[static_cast<std::size_t>(src)];
+    }
+    out[static_cast<std::size_t>(i)] = acc;
+  }
+  return out;
+}
+
+}  // namespace dsp

@@ -1,0 +1,22 @@
+#include "dsp/resample.hpp"
+
+#include <stdexcept>
+
+namespace dsp {
+
+Trace downsample(const Trace& trace, std::size_t factor, std::size_t phase) {
+  if (factor == 0) {
+    throw std::invalid_argument("downsample: factor must be positive");
+  }
+  if (phase >= factor) {
+    throw std::invalid_argument("downsample: phase must be < factor");
+  }
+  Trace out;
+  out.reserve(trace.size() / factor + 1);
+  for (std::size_t i = phase; i < trace.size(); i += factor) {
+    out.push_back(trace[i]);
+  }
+  return out;
+}
+
+}  // namespace dsp

@@ -1,0 +1,16 @@
+// Integer-factor decimation for the sampling-rate sweep experiments
+// (Tables 4.6/4.7, Fig 3.1a).  The paper downsamples recorded data in
+// software by keeping every k-th sample; anti-alias filtering is
+// intentionally omitted to match.
+#pragma once
+
+#include "dsp/trace.hpp"
+
+namespace dsp {
+
+/// Keeps samples at indices phase, phase+factor, ...  Throws
+/// std::invalid_argument when factor == 0 or phase >= factor.
+Trace downsample(const Trace& trace, std::size_t factor,
+                 std::size_t phase = 0);
+
+}  // namespace dsp

@@ -1,0 +1,21 @@
+#include "dsp/trace.hpp"
+
+namespace dsp {
+
+std::optional<std::size_t> find_sof(const Trace& trace, double threshold) {
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (trace[i] >= threshold) return i;
+  }
+  return std::nullopt;
+}
+
+std::size_t align_to_edge_start(const Trace& trace, std::size_t pos,
+                                double threshold) {
+  if (trace.empty()) return 0;
+  if (pos >= trace.size()) pos = trace.size() - 1;
+  const bool side = trace[pos] >= threshold;
+  while (pos > 0 && (trace[pos - 1] >= threshold) == side) --pos;
+  return pos;
+}
+
+}  // namespace dsp

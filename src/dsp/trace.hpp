@@ -1,0 +1,30 @@
+// Sampled-voltage trace type and small scanning helpers shared by the
+// digitizer, the extractor and the baselines.
+//
+// A Trace holds ADC codes (offset binary rendered as doubles, e.g. a 16-bit
+// digitizer produces values in [0, 65535]); keeping codes rather than volts
+// matches the paper, whose thresholds (e.g. 38000 in Fig 2.5) are code
+// values.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace dsp {
+
+using Trace = std::vector<double>;
+
+/// Index of the first sample at or above `threshold` — the first dominant
+/// sample, i.e. the SOF edge of a message-aligned capture.  std::nullopt if
+/// the trace never crosses.
+std::optional<std::size_t> find_sof(const Trace& trace, double threshold);
+
+/// Given a position inside/near a bit transition, walks backwards to the
+/// last sample on the other side of `threshold` and returns the index of
+/// the sample just after the crossing (the paper's AlignToEdgeCenter
+/// anchors bit sampling to transition centres).
+std::size_t align_to_edge_start(const Trace& trace, std::size_t pos,
+                                double threshold);
+
+}  // namespace dsp

@@ -1,0 +1,39 @@
+#include "io/csv.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace io {
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quotes =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::write_row(const std::vector<double>& values) {
+  std::ostringstream os;
+  os << std::setprecision(17);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) os << ',';
+    os << values[i];
+  }
+  out_ << os.str() << '\n';
+}
+
+}  // namespace io

@@ -1,0 +1,28 @@
+// Minimal RFC-4180-style CSV writer for exporting figure data series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace io {
+
+/// Streams rows to an std::ostream, quoting fields that need it.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  /// Writes one row of string fields.
+  void write_row(const std::vector<std::string>& fields);
+  /// Writes one row of numeric fields with full double precision.
+  void write_row(const std::vector<double>& values);
+
+  /// Quotes a field per RFC 4180 when it contains commas, quotes or
+  /// newlines.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace io

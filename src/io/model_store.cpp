@@ -1,0 +1,215 @@
+#include "io/model_store.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <limits>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace io {
+namespace {
+
+constexpr const char* kMagic = "vprofile-model";
+constexpr int kVersion = 1;
+
+void write_vector(std::ostream& out, const linalg::Vector& v) {
+  out << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+bool read_vector(std::istream& in, linalg::Vector& v) {
+  std::size_t n = 0;
+  if (!(in >> n)) return false;
+  v.resize(n);
+  for (double& x : v) {
+    if (!(in >> x)) return false;
+  }
+  return true;
+}
+
+void write_matrix(std::ostream& out, const linalg::Matrix& m) {
+  out << m.rows() << ' ' << m.cols();
+  for (double x : m.data()) out << ' ' << x;
+  out << '\n';
+}
+
+bool read_matrix(std::istream& in, linalg::Matrix& m) {
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  if (!(in >> rows >> cols)) return false;
+  if (rows == 0 || cols == 0) {
+    m = linalg::Matrix();
+    return true;
+  }
+  m = linalg::Matrix(rows, cols);
+  for (double& x : m.data()) {
+    if (!(in >> x)) return false;
+  }
+  return true;
+}
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool save_model(const vprofile::Model& model, std::ostream& out) {
+  out << std::setprecision(17);
+  out << kMagic << ' ' << kVersion << '\n';
+  out << to_string(model.metric()) << '\n';
+  const auto& ex = model.extraction();
+  out << ex.bit_width_samples << ' ' << ex.bit_threshold << ' '
+      << ex.prefix_len << ' ' << ex.suffix_len << ' ' << ex.num_edge_sets
+      << ' ' << ex.edge_set_spacing << '\n';
+  out << model.clusters().size() << '\n';
+  for (const auto& cl : model.clusters()) {
+    // Cluster names may contain spaces; quote with a length prefix.
+    out << cl.name.size() << ' ' << cl.name << '\n';
+    out << cl.sas.size();
+    for (std::uint8_t sa : cl.sas) out << ' ' << static_cast<int>(sa);
+    out << '\n';
+    write_vector(out, cl.mean);
+    write_matrix(out, cl.covariance);
+    write_matrix(out, cl.inv_covariance);
+    out << cl.max_distance << ' ' << cl.edge_set_count << ' ';
+    // NaN marks "use the global threshold" but operator>> cannot parse
+    // "nan"; serialize it as an explicit token.
+    if (std::isnan(cl.extraction_threshold)) {
+      out << "global";
+    } else {
+      out << cl.extraction_threshold;
+    }
+    out << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool save_model_file(const vprofile::Model& model, const std::string& path) {
+  std::ofstream out(path);
+  return out && save_model(model, out);
+}
+
+std::optional<vprofile::Model> load_model(std::istream& in,
+                                          std::string* error) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version)) {
+    fail(error, "unreadable header");
+    return std::nullopt;
+  }
+  if (magic != kMagic) {
+    fail(error, "not a vprofile model file");
+    return std::nullopt;
+  }
+  if (version != kVersion) {
+    fail(error, "unsupported model version " + std::to_string(version));
+    return std::nullopt;
+  }
+
+  std::string metric_name;
+  if (!(in >> metric_name)) {
+    fail(error, "missing metric");
+    return std::nullopt;
+  }
+  vprofile::DistanceMetric metric;
+  if (metric_name == "euclidean") {
+    metric = vprofile::DistanceMetric::kEuclidean;
+  } else if (metric_name == "mahalanobis") {
+    metric = vprofile::DistanceMetric::kMahalanobis;
+  } else {
+    fail(error, "unknown metric '" + metric_name + "'");
+    return std::nullopt;
+  }
+
+  vprofile::ExtractionConfig ex;
+  if (!(in >> ex.bit_width_samples >> ex.bit_threshold >> ex.prefix_len >>
+        ex.suffix_len >> ex.num_edge_sets >> ex.edge_set_spacing)) {
+    fail(error, "malformed extraction config");
+    return std::nullopt;
+  }
+
+  std::size_t num_clusters = 0;
+  if (!(in >> num_clusters) || num_clusters == 0) {
+    fail(error, "malformed cluster count");
+    return std::nullopt;
+  }
+
+  std::vector<vprofile::ClusterModel> clusters;
+  clusters.reserve(num_clusters);
+  for (std::size_t c = 0; c < num_clusters; ++c) {
+    vprofile::ClusterModel cl;
+    std::size_t name_len = 0;
+    if (!(in >> name_len)) {
+      fail(error, "malformed cluster name length");
+      return std::nullopt;
+    }
+    in.get();  // the single separator space
+    cl.name.resize(name_len);
+    in.read(cl.name.data(), static_cast<std::streamsize>(name_len));
+    if (!in) {
+      fail(error, "truncated cluster name");
+      return std::nullopt;
+    }
+
+    std::size_t num_sas = 0;
+    if (!(in >> num_sas)) {
+      fail(error, "malformed SA count");
+      return std::nullopt;
+    }
+    cl.sas.resize(num_sas);
+    for (auto& sa : cl.sas) {
+      int v = 0;
+      if (!(in >> v) || v < 0 || v > 255) {
+        fail(error, "malformed SA");
+        return std::nullopt;
+      }
+      sa = static_cast<std::uint8_t>(v);
+    }
+
+    if (!read_vector(in, cl.mean) || !read_matrix(in, cl.covariance) ||
+        !read_matrix(in, cl.inv_covariance)) {
+      fail(error, "malformed cluster statistics");
+      return std::nullopt;
+    }
+    std::string threshold_token;
+    if (!(in >> cl.max_distance >> cl.edge_set_count >> threshold_token)) {
+      fail(error, "malformed cluster scalars");
+      return std::nullopt;
+    }
+    if (threshold_token == "global") {
+      cl.extraction_threshold = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      try {
+        cl.extraction_threshold = std::stod(threshold_token);
+      } catch (const std::exception&) {
+        fail(error, "malformed extraction threshold");
+        return std::nullopt;
+      }
+    }
+    clusters.push_back(std::move(cl));
+  }
+
+  try {
+    return vprofile::Model(metric, ex, std::move(clusters));
+  } catch (const std::exception& e) {
+    fail(error, std::string("inconsistent model: ") + e.what());
+    return std::nullopt;
+  }
+}
+
+std::optional<vprofile::Model> load_model_file(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return load_model(in, error);
+}
+
+}  // namespace io

@@ -1,0 +1,28 @@
+// Text (de)serialization of trained vProfile models.
+//
+// A deployed IDS trains once (in the shop, under controlled conditions)
+// and loads the model at every ignition; this store is that persistence
+// layer.  The format is a line-oriented text format, versioned, with full
+// double precision.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "core/model.hpp"
+
+namespace io {
+
+/// Writes a model; returns false on stream failure.
+bool save_model(const vprofile::Model& model, std::ostream& out);
+bool save_model_file(const vprofile::Model& model, const std::string& path);
+
+/// Reads a model back.  Returns std::nullopt with a diagnostic in `error`
+/// (if non-null) on malformed input, version mismatch, or stream failure.
+std::optional<vprofile::Model> load_model(std::istream& in,
+                                          std::string* error = nullptr);
+std::optional<vprofile::Model> load_model_file(const std::string& path,
+                                               std::string* error = nullptr);
+
+}  // namespace io

@@ -1,0 +1,100 @@
+#include "io/trace_store.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace io {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x56505452;  // "VPTR"
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+bool fail(std::string* error, const char* message) {
+  if (error != nullptr) *error = message;
+  return false;
+}
+
+}  // namespace
+
+bool save_traces(const TraceSet& set, std::ostream& out) {
+  write_pod(out, kMagic);
+  write_pod(out, kVersion);
+  write_pod(out, set.sample_rate_hz);
+  write_pod(out, static_cast<std::int32_t>(set.resolution_bits));
+  write_pod(out, static_cast<std::uint64_t>(set.traces.size()));
+  for (const dsp::Trace& t : set.traces) {
+    write_pod(out, static_cast<std::uint64_t>(t.size()));
+    out.write(reinterpret_cast<const char*>(t.data()),
+              static_cast<std::streamsize>(t.size() * sizeof(double)));
+  }
+  return static_cast<bool>(out);
+}
+
+bool save_traces_file(const TraceSet& set, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  return out && save_traces(set, out);
+}
+
+std::optional<TraceSet> load_traces(std::istream& in, std::string* error) {
+  std::uint32_t magic = 0;
+  std::uint32_t version = 0;
+  if (!read_pod(in, magic) || magic != kMagic) {
+    fail(error, "not a vprofile trace file");
+    return std::nullopt;
+  }
+  if (!read_pod(in, version) || version != kVersion) {
+    fail(error, "unsupported trace file version");
+    return std::nullopt;
+  }
+  TraceSet set;
+  std::int32_t bits = 0;
+  std::uint64_t count = 0;
+  if (!read_pod(in, set.sample_rate_hz) || !read_pod(in, bits) ||
+      !read_pod(in, count)) {
+    fail(error, "truncated trace header");
+    return std::nullopt;
+  }
+  set.resolution_bits = bits;
+  set.traces.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    if (!read_pod(in, len)) {
+      fail(error, "truncated trace length");
+      return std::nullopt;
+    }
+    dsp::Trace t(len);
+    in.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(len * sizeof(double)));
+    if (!in) {
+      fail(error, "truncated trace samples");
+      return std::nullopt;
+    }
+    set.traces.push_back(std::move(t));
+  }
+  return set;
+}
+
+std::optional<TraceSet> load_traces_file(const std::string& path,
+                                         std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  return load_traces(in, error);
+}
+
+}  // namespace io

@@ -1,0 +1,35 @@
+// Binary persistence for captured voltage traces.
+//
+// The paper "recorded the CAN bus traffic of each vehicle and replayed it
+// into vProfile" for test repeatability; this store is the replay file
+// format.  Little-endian binary, versioned.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsp/trace.hpp"
+
+namespace io {
+
+/// A recorded capture session: per-message traces plus digitizer metadata.
+struct TraceSet {
+  double sample_rate_hz = 0.0;
+  int resolution_bits = 0;
+  std::vector<dsp::Trace> traces;
+};
+
+/// Writes a trace set; returns false on stream failure.
+bool save_traces(const TraceSet& set, std::ostream& out);
+bool save_traces_file(const TraceSet& set, const std::string& path);
+
+/// Reads a trace set; std::nullopt with `error` set on malformed input.
+std::optional<TraceSet> load_traces(std::istream& in,
+                                    std::string* error = nullptr);
+std::optional<TraceSet> load_traces_file(const std::string& path,
+                                         std::string* error = nullptr);
+
+}  // namespace io

@@ -1,0 +1,85 @@
+#include "linalg/eigen.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace linalg {
+
+EigenDecomposition jacobi_eigen(const Matrix& input, double sym_tol,
+                                int max_sweeps) {
+  if (input.rows() != input.cols()) {
+    throw std::invalid_argument("jacobi_eigen: matrix must be square");
+  }
+  // Symmetry tolerance scales with magnitude.
+  const double scale =
+      std::max(1.0, std::fabs(input.trace()) /
+                        static_cast<double>(input.rows()));
+  if (!input.is_symmetric(sym_tol * scale)) {
+    throw std::invalid_argument("jacobi_eigen: matrix must be symmetric");
+  }
+
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    }
+    if (off < 1e-24 * scale * scale) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::fabs(apq) < 1e-30) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort by descending eigenvalue, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t i, std::size_t j) {
+    return a.at(i, i) > a.at(j, j);
+  });
+
+  EigenDecomposition out{Vector(n), Matrix(n, n)};
+  for (std::size_t c = 0; c < n; ++c) {
+    out.values[c] = a.at(order[c], order[c]);
+    for (std::size_t r = 0; r < n; ++r) {
+      out.vectors.at(r, c) = v.at(r, order[c]);
+    }
+  }
+  return out;
+}
+
+}  // namespace linalg

@@ -1,0 +1,25 @@
+// Symmetric eigendecomposition via the cyclic Jacobi method.
+//
+// Needed by the SIMPLE baseline's Fisher Discriminant Analysis, which
+// diagonalizes the whitened between-class scatter matrix.  Edge-set feature
+// spaces are small, so Jacobi's O(n^3) sweeps are more than fast enough and
+// are unconditionally stable for symmetric input.
+#pragma once
+
+#include "linalg/matrix.hpp"
+
+namespace linalg {
+
+/// Eigenvalues (descending) and matching eigenvectors (columns of
+/// `vectors`).
+struct EigenDecomposition {
+  Vector values;
+  Matrix vectors;
+};
+
+/// Decomposes a symmetric matrix.  Throws std::invalid_argument when the
+/// input is not square or not symmetric within `sym_tol`.
+EigenDecomposition jacobi_eigen(const Matrix& a, double sym_tol = 1e-6,
+                                int max_sweeps = 64);
+
+}  // namespace linalg

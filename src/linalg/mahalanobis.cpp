@@ -1,0 +1,30 @@
+#include "linalg/mahalanobis.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace linalg {
+
+double mahalanobis_distance(const Vector& x, const Vector& mu,
+                            const Cholesky& sigma_factor) {
+  if (x.size() != mu.size() || x.size() != sigma_factor.dim()) {
+    throw std::invalid_argument("mahalanobis_distance: size mismatch");
+  }
+  Vector d = subtract(x, mu);
+  const double q = sigma_factor.quadratic_form(d);
+  return std::sqrt(std::max(0.0, q));
+}
+
+double mahalanobis_distance_inv(const Vector& x, const Vector& mu,
+                                const Matrix& sigma_inverse) {
+  if (x.size() != mu.size() || sigma_inverse.rows() != x.size() ||
+      sigma_inverse.cols() != x.size()) {
+    throw std::invalid_argument("mahalanobis_distance_inv: size mismatch");
+  }
+  Vector d = subtract(x, mu);
+  Vector sd = sigma_inverse * d;
+  const double q = dot(d, sd);
+  return std::sqrt(std::max(0.0, q));
+}
+
+}  // namespace linalg

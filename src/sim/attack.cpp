@@ -1,0 +1,82 @@
+#include "sim/attack.hpp"
+
+#include <stdexcept>
+
+namespace sim {
+
+std::vector<LabeledCapture> make_normal_stream(
+    Vehicle& vehicle, std::size_t count, const analog::Environment& env) {
+  std::vector<LabeledCapture> out;
+  out.reserve(count);
+  for (Capture& cap : vehicle.capture(count, env)) {
+    out.push_back(LabeledCapture{std::move(cap), false});
+  }
+  return out;
+}
+
+std::vector<LabeledCapture> make_hijack_stream(
+    Vehicle& vehicle, std::size_t count, double attack_prob,
+    const analog::Environment& env) {
+  const auto& ecus = vehicle.config().ecus;
+  if (ecus.size() < 2) {
+    throw std::invalid_argument("make_hijack_stream: need >= 2 ECUs");
+  }
+
+  // SAs grouped by owner, for picking a victim from another cluster.
+  std::vector<std::vector<std::uint8_t>> sas_by_ecu;
+  sas_by_ecu.reserve(ecus.size());
+  for (const auto& ecu : ecus) sas_by_ecu.push_back(ecu.source_addresses());
+
+  std::vector<LabeledCapture> out;
+  out.reserve(count);
+  for (const canbus::Transmission& tx : vehicle.schedule(count)) {
+    const std::size_t attacker = tx.node;
+    canbus::DataFrame frame = tx.frame;
+    bool is_attack = false;
+    if (vehicle.rng().bernoulli(attack_prob)) {
+      // Pick a victim ECU other than the attacker, then one of its SAs.
+      std::size_t victim = vehicle.rng().below(ecus.size() - 1);
+      if (victim >= attacker) ++victim;
+      const auto& victim_sas = sas_by_ecu[victim];
+      frame.id.source_address =
+          victim_sas[vehicle.rng().below(victim_sas.size())];
+      is_attack = true;
+    }
+    Capture cap = vehicle.synthesize_message(frame, attacker, env, tx.start_s);
+    out.push_back(LabeledCapture{std::move(cap), is_attack});
+  }
+  return out;
+}
+
+std::vector<LabeledCapture> make_foreign_stream(
+    Vehicle& vehicle, std::size_t imitator, std::size_t target,
+    std::size_t count, const analog::Environment& env) {
+  const auto& ecus = vehicle.config().ecus;
+  if (imitator >= ecus.size() || target >= ecus.size()) {
+    throw std::invalid_argument("make_foreign_stream: ECU index out of range");
+  }
+  if (imitator == target) {
+    throw std::invalid_argument(
+        "make_foreign_stream: imitator must differ from target");
+  }
+  const auto target_sas = ecus[target].source_addresses();
+
+  std::vector<LabeledCapture> out;
+  out.reserve(count);
+  for (const canbus::Transmission& tx : vehicle.schedule(count)) {
+    canbus::DataFrame frame = tx.frame;
+    bool is_attack = false;
+    if (tx.node == imitator) {
+      // The foreign device reuses the imitator's transmission slots but
+      // crafts frames that claim to come from the target.
+      frame.id.source_address =
+          target_sas[vehicle.rng().below(target_sas.size())];
+      is_attack = true;
+    }
+    Capture cap = vehicle.synthesize_message(frame, tx.node, env, tx.start_s);
+    out.push_back(LabeledCapture{std::move(cap), is_attack});
+  }
+  return out;
+}
+
+}  // namespace sim

@@ -1,0 +1,50 @@
+// Attack injection matching the paper's threat model (Section 3.1) and
+// test procedures (Section 4.1).
+//
+//  * Hijack: an existing ECU transmits frames carrying an SA that belongs
+//    to a different cluster (the paper's replay flips each message's SA
+//    with 20 % probability).
+//  * Foreign device: a device absent from the training data transmits
+//    frames carrying a trained ECU's SA.  The paper uses the most-similar
+//    ECU pair and has one imitate the other.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "analog/environment.hpp"
+#include "sim/vehicle.hpp"
+
+namespace sim {
+
+/// A capture labelled with ground truth for scoring.
+struct LabeledCapture {
+  Capture capture;
+  bool is_attack = false;
+};
+
+/// Generates `count` messages of bus traffic where each message is,
+/// with probability `attack_prob`, rewritten to carry an SA owned by a
+/// *different* ECU while keeping the true sender's waveform.  Requires at
+/// least two ECUs; throws std::invalid_argument otherwise.
+std::vector<LabeledCapture> make_hijack_stream(Vehicle& vehicle,
+                                               std::size_t count,
+                                               double attack_prob,
+                                               const analog::Environment& env);
+
+/// Generates `count` messages where the `imitator` ECU's own transmissions
+/// are replaced by imitations of the `target` ECU: the frame carries the
+/// target's identifier but the imitator's analog signature drives the bus.
+/// All other ECUs transmit normally (and are labelled normal).  Throws
+/// std::invalid_argument when imitator == target or either index is out of
+/// range.
+std::vector<LabeledCapture> make_foreign_stream(
+    Vehicle& vehicle, std::size_t imitator, std::size_t target,
+    std::size_t count, const analog::Environment& env);
+
+/// Plain traffic, labelled all-normal — the false-positive test input.
+std::vector<LabeledCapture> make_normal_stream(Vehicle& vehicle,
+                                               std::size_t count,
+                                               const analog::Environment& env);
+
+}  // namespace sim

@@ -1,0 +1,262 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/extractor.hpp"
+#include "dsp/resample.hpp"
+#include "sim/presets.hpp"
+
+namespace sim {
+
+stats::BinaryConfusion score_at_margin(
+    const std::vector<ScoredMessage>& messages, double margin) {
+  stats::BinaryConfusion cm;
+  for (const ScoredMessage& m : messages) {
+    const bool flagged = m.hard_anomaly || m.excess > margin;
+    cm.add(m.is_attack, flagged);
+  }
+  return cm;
+}
+
+double select_margin(const std::vector<ScoredMessage>& messages,
+                     MarginObjective objective) {
+  // Candidate margins: 0 plus every distinct positive excess (flipping one
+  // message's verdict per step).  Evaluate just above each excess so the
+  // message with that excess becomes "normal".
+  std::vector<double> candidates{0.0};
+  for (const ScoredMessage& m : messages) {
+    if (!m.hard_anomaly && m.excess > 0.0) candidates.push_back(m.excess);
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  double best_margin = 0.0;
+  double best_score = -1.0;
+  for (double c : candidates) {
+    const double margin = std::nextafter(
+        c, std::numeric_limits<double>::infinity());
+    const stats::BinaryConfusion cm = score_at_margin(messages, margin);
+    const double score = (objective == MarginObjective::kAccuracy)
+                             ? cm.accuracy()
+                             : cm.f_score();
+    if (score >= best_score) {  // >= prefers the larger margin on ties
+      best_score = score;
+      best_margin = margin;
+    }
+  }
+  return best_margin;
+}
+
+Capture apply_front_end(const Capture& capture, const FrontEnd& front_end,
+                        int native_bits) {
+  Capture out = capture;
+  if (front_end.downsample_factor > 1) {
+    out.codes = dsp::downsample(out.codes, front_end.downsample_factor);
+  }
+  if (front_end.resolution_bits != 0 &&
+      front_end.resolution_bits != native_bits) {
+    out.codes =
+        dsp::requantize_codes(out.codes, native_bits, front_end.resolution_bits);
+  }
+  return out;
+}
+
+vprofile::ExtractionConfig front_end_extraction(const VehicleConfig& config,
+                                                const FrontEnd& front_end) {
+  const double rate =
+      config.adc.sample_rate_hz() /
+      static_cast<double>(std::max<std::size_t>(1, front_end.downsample_factor));
+  return vprofile::make_extraction_config(rate, config.bitrate_bps,
+                                          default_bit_threshold(config));
+}
+
+Experiment::Experiment(VehicleConfig config, std::uint64_t seed)
+    : vehicle_(std::move(config), seed) {}
+
+namespace {
+
+/// Extracts edge sets from captures through the front end; drops failures.
+std::vector<vprofile::EdgeSet> extract_captures(
+    const std::vector<Capture>& captures, const FrontEnd& front_end,
+    int native_bits, const vprofile::ExtractionConfig& extraction,
+    std::size_t* failures) {
+  std::vector<vprofile::EdgeSet> out;
+  out.reserve(captures.size());
+  std::size_t failed = 0;
+  for (const Capture& cap : captures) {
+    const Capture transformed = apply_front_end(cap, front_end, native_bits);
+    auto edge_set = vprofile::extract_edge_set(transformed.codes, extraction);
+    if (edge_set) {
+      out.push_back(std::move(*edge_set));
+    } else {
+      ++failed;
+    }
+  }
+  if (failures != nullptr) *failures += failed;
+  return out;
+}
+
+}  // namespace
+
+vprofile::TrainOutcome Experiment::train(
+    const ExperimentParams& params, std::optional<std::size_t> exclude_ecu) {
+  const int native_bits = vehicle_.config().adc.resolution_bits();
+  const vprofile::ExtractionConfig extraction =
+      front_end_extraction(vehicle_.config(), params.front_end);
+
+  std::vector<Capture> captures =
+      vehicle_.capture(params.train_count, params.env);
+  if (exclude_ecu) {
+    std::erase_if(captures, [&](const Capture& c) {
+      return c.true_ecu == *exclude_ecu;
+    });
+  }
+  std::vector<vprofile::EdgeSet> edge_sets = extract_captures(
+      captures, params.front_end, native_bits, extraction, nullptr);
+
+  vprofile::SaDatabase db = vehicle_.database();
+  if (exclude_ecu) {
+    const std::string& name = vehicle_.config().ecus[*exclude_ecu].name;
+    std::erase_if(db, [&](const auto& kv) { return kv.second == name; });
+  }
+
+  vprofile::TrainingConfig cfg;
+  cfg.metric = params.metric;
+  cfg.extraction = extraction;
+  cfg.ridge = params.ridge;
+  return vprofile::train_with_database(edge_sets, db, cfg);
+}
+
+std::vector<ScoredMessage> Experiment::score_stream(
+    const vprofile::Model& model, const std::vector<LabeledCapture>& stream,
+    const ExperimentParams& params, std::size_t* extraction_failures) {
+  const int native_bits = vehicle_.config().adc.resolution_bits();
+  std::vector<ScoredMessage> scored;
+  scored.reserve(stream.size());
+  for (const LabeledCapture& lc : stream) {
+    const Capture transformed =
+        apply_front_end(lc.capture, params.front_end, native_bits);
+    auto edge_set =
+        vprofile::extract_edge_set(transformed.codes, model.extraction());
+    if (!edge_set) {
+      if (extraction_failures != nullptr) ++(*extraction_failures);
+      continue;
+    }
+    ScoredMessage sm;
+    sm.is_attack = lc.is_attack;
+
+    const auto expected = model.cluster_of(edge_set->sa);
+    if (!expected) {
+      sm.hard_anomaly = true;
+      sm.excess = std::numeric_limits<double>::infinity();
+    } else {
+      const auto [predicted, dist] = model.nearest_cluster(edge_set->samples);
+      if (predicted != *expected) {
+        sm.hard_anomaly = true;
+        sm.excess = std::numeric_limits<double>::infinity();
+      } else {
+        sm.excess = dist - model.clusters()[predicted].max_distance;
+      }
+    }
+    scored.push_back(sm);
+  }
+  return scored;
+}
+
+ExperimentResult Experiment::run_labeled(
+    const ExperimentParams& params, std::optional<std::size_t> exclude_ecu,
+    const std::function<std::vector<LabeledCapture>()>& make_stream,
+    MarginObjective objective) {
+  ExperimentResult result;
+  vprofile::TrainOutcome trained = train(params, exclude_ecu);
+  if (!trained.ok()) {
+    result.error = trained.error;
+    return result;
+  }
+
+  const std::vector<LabeledCapture> stream = make_stream();
+  const std::vector<ScoredMessage> scored = score_stream(
+      *trained.model, stream, params, &result.extraction_failures);
+
+  result.margin = params.fixed_margin
+                      ? *params.fixed_margin
+                      : select_margin(scored, objective);
+  result.confusion = score_at_margin(scored, result.margin);
+  return result;
+}
+
+ExperimentResult Experiment::false_positive_test(
+    const ExperimentParams& params) {
+  return run_labeled(
+      params, std::nullopt,
+      [&] {
+        return make_normal_stream(vehicle_, params.test_count, params.env);
+      },
+      MarginObjective::kAccuracy);
+}
+
+ExperimentResult Experiment::hijack_test(const ExperimentParams& params) {
+  return run_labeled(
+      params, std::nullopt,
+      [&] {
+        return make_hijack_stream(vehicle_, params.test_count,
+                                  params.hijack_prob, params.env);
+      },
+      MarginObjective::kFScore);
+}
+
+ExperimentResult Experiment::foreign_test(
+    const ExperimentParams& params,
+    std::optional<std::pair<std::size_t, std::size_t>> pair) {
+  // The imitated pair is chosen from a full model (all ECUs trained), then
+  // the imitator is removed and training repeats — matching the paper's
+  // "remove the former's messages from the training set".
+  std::pair<std::size_t, std::size_t> chosen;
+  if (pair) {
+    chosen = *pair;
+  } else {
+    vprofile::TrainOutcome full = train(params);
+    if (!full.ok()) {
+      ExperimentResult result;
+      result.error = full.error;
+      return result;
+    }
+    chosen = most_similar_pair(*full.model);
+  }
+  const auto [imitator, target] = chosen;
+  return run_labeled(
+      params, imitator,
+      [&, imitator = imitator, target = target] {
+        return make_foreign_stream(vehicle_, imitator, target,
+                                   params.test_count, params.env);
+      },
+      MarginObjective::kFScore);
+}
+
+std::pair<std::size_t, std::size_t> Experiment::most_similar_pair(
+    const vprofile::Model& model) {
+  const auto& clusters = model.clusters();
+  if (clusters.size() < 2) {
+    throw std::invalid_argument("most_similar_pair: need >= 2 clusters");
+  }
+  std::pair<std::size_t, std::size_t> best{0, 1};
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < clusters.size(); ++i) {
+    for (std::size_t j = 0; j < clusters.size(); ++j) {
+      if (i == j) continue;
+      // Directed distance: cluster i's mean measured against cluster j.
+      const double d = model.distance(j, clusters[i].mean);
+      if (d < best_dist) {
+        best_dist = d;
+        best = {i, j};
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace sim

@@ -1,0 +1,118 @@
+#include "sim/vehicle.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "canbus/frame.hpp"
+
+namespace sim {
+
+std::vector<std::uint8_t> EcuSpec::source_addresses() const {
+  std::vector<std::uint8_t> sas;
+  for (const auto& m : messages) {
+    if (std::find(sas.begin(), sas.end(), m.id.source_address) == sas.end()) {
+      sas.push_back(m.id.source_address);
+    }
+  }
+  return sas;
+}
+
+Vehicle::Vehicle(VehicleConfig config, std::uint64_t seed)
+    : config_(std::move(config)), rng_(seed) {
+  if (config_.ecus.empty()) {
+    throw std::invalid_argument("Vehicle: need at least one ECU");
+  }
+  std::map<std::uint8_t, std::size_t> sa_owner;
+  for (std::size_t i = 0; i < config_.ecus.size(); ++i) {
+    for (const auto& m : config_.ecus[i].messages) {
+      if (m.node != i) {
+        throw std::invalid_argument(
+            "Vehicle: message node index does not match its ECU");
+      }
+      auto [it, inserted] = sa_owner.try_emplace(m.id.source_address, i);
+      if (!inserted && it->second != i) {
+        throw std::invalid_argument("Vehicle: SA owned by two ECUs");
+      }
+    }
+  }
+}
+
+vprofile::SaDatabase Vehicle::database() const {
+  vprofile::SaDatabase db;
+  for (const auto& ecu : config_.ecus) {
+    for (std::uint8_t sa : ecu.source_addresses()) db[sa] = ecu.name;
+  }
+  return db;
+}
+
+analog::SynthOptions Vehicle::synth_options() const {
+  analog::SynthOptions opts;
+  opts.bitrate_bps = config_.bitrate_bps;
+  opts.sample_rate_hz = config_.adc.sample_rate_hz();
+  opts.max_bits = config_.synth_max_bits;
+  return opts;
+}
+
+std::vector<canbus::Transmission> Vehicle::schedule(std::size_t count) {
+  std::vector<canbus::PeriodicMessage> all;
+  for (const auto& ecu : config_.ecus) {
+    for (canbus::PeriodicMessage m : ecu.messages) {
+      // The sender's oscillator skew stretches its notion of a period.
+      m.period_s *= 1.0 + ecu.clock_skew_ppm * 1e-6;
+      all.push_back(m);
+    }
+  }
+  canbus::Scheduler scheduler(std::move(all), config_.bitrate_bps,
+                              rng_.fork());
+  return scheduler.run(count);
+}
+
+std::vector<Capture> Vehicle::capture(std::size_t count,
+                                      const analog::Environment& env) {
+  return capture_with_env(count, [&env](double) { return env; });
+}
+
+std::vector<Capture> Vehicle::capture_with_env(
+    std::size_t count,
+    const std::function<analog::Environment(double)>& env_at) {
+  std::vector<canbus::Transmission> txs = schedule(count);
+  std::vector<Capture> out;
+  out.reserve(txs.size());
+  for (canbus::Transmission& tx : txs) {
+    Capture cap = synthesize_message(tx.frame, tx.node, env_at(tx.start_s),
+                                     tx.start_s);
+    out.push_back(std::move(cap));
+  }
+  return out;
+}
+
+Capture Vehicle::synthesize_message(const canbus::DataFrame& frame,
+                                    std::size_t ecu,
+                                    const analog::Environment& env,
+                                    double time_s) {
+  if (ecu >= config_.ecus.size()) {
+    throw std::out_of_range("Vehicle::synthesize_message: bad ECU index");
+  }
+  Capture cap =
+      synthesize_foreign(frame, config_.ecus[ecu].signature, env, time_s);
+  cap.true_ecu = ecu;
+  return cap;
+}
+
+Capture Vehicle::synthesize_foreign(const canbus::DataFrame& frame,
+                                    const analog::EcuSignature& signature,
+                                    const analog::Environment& env,
+                                    double time_s) {
+  const canbus::BitVector wire = canbus::build_wire_bits(frame);
+  const dsp::Trace volts = analog::synthesize_frame_voltage(
+      wire, signature, env, synth_options(), rng_);
+  Capture cap;
+  cap.codes = config_.adc.quantize_trace(volts);
+  cap.true_ecu = static_cast<std::size_t>(-1);  // not an onboard ECU
+  cap.frame = frame;
+  cap.time_s = time_s;
+  return cap;
+}
+
+}  // namespace sim

@@ -1,0 +1,45 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/welford.hpp"
+
+namespace stats {
+
+Summary summarize(const std::vector<double>& xs) {
+  Summary s;
+  if (xs.empty()) return s;
+  Welford acc;
+  for (double x : xs) acc.add(x);
+  s.count = acc.count();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.sample_stddev = acc.sample_stddev();
+  s.min = acc.min();
+  s.max = acc.max();
+  return s;
+}
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty input");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("percentile: q must be in [0, 1]");
+  }
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+double percent_delta(double baseline, double value) {
+  if (baseline == 0.0) {
+    throw std::invalid_argument("percent_delta: zero baseline");
+  }
+  return (value - baseline) / baseline * 100.0;
+}
+
+}  // namespace stats

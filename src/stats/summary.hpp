@@ -1,0 +1,31 @@
+// Small descriptive-statistics helpers over in-memory sample vectors.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace stats {
+
+/// Descriptive summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;        // population
+  double sample_stddev = 0.0; // unbiased
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Computes the summary in one pass; returns a zeroed Summary for an empty
+/// input.
+Summary summarize(const std::vector<double>& xs);
+
+/// Linear-interpolation percentile, q in [0, 1].  Throws on empty input or
+/// q outside [0, 1].
+double percentile(std::vector<double> xs, double q);
+
+/// Percent change from `baseline` to `value` ((value-baseline)/baseline*100).
+/// Throws std::invalid_argument when baseline is 0.
+double percent_delta(double baseline, double value);
+
+}  // namespace stats

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/trainer.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using vprofile::Detection;
+using vprofile::DetectionConfig;
+using vprofile::DistanceMetric;
+using vprofile::EdgeSet;
+using vprofile::Model;
+using vprofile::Verdict;
+
+/// Shared fixture: a two-cluster Mahalanobis model with well-separated
+/// levels (cluster A at 100, cluster B at 200, unit noise).
+class DetectorTest : public ::testing::Test {
+ protected:
+  static constexpr std::uint8_t kSaA = 1;
+  static constexpr std::uint8_t kSaA2 = 2;  // second SA of ECU A
+  static constexpr std::uint8_t kSaB = 7;
+
+  void SetUp() override {
+    vprofile::ExtractionConfig ex;
+    ex.prefix_len = 1;
+    ex.suffix_len = 2;
+    dim_ = ex.dimension();
+
+    stats::Rng rng(42);
+    std::vector<EdgeSet> sets;
+    for (auto [sa, level] : {std::pair<std::uint8_t, double>{kSaA, 100.0},
+                             {kSaA2, 100.0},
+                             {kSaB, 200.0}}) {
+      for (int i = 0; i < 150; ++i) {
+        EdgeSet es;
+        es.sa = sa;
+        es.samples.resize(dim_);
+        for (auto& v : es.samples) v = level + rng.gaussian(0.0, 1.0);
+        sets.push_back(std::move(es));
+      }
+    }
+    vprofile::TrainingConfig cfg;
+    cfg.metric = DistanceMetric::kMahalanobis;
+    cfg.extraction = ex;
+    auto outcome = vprofile::train_with_database(
+        sets, {{kSaA, "A"}, {kSaA2, "A"}, {kSaB, "B"}}, cfg);
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+    model_.emplace(std::move(*outcome.model));
+  }
+
+  EdgeSet edge_set(std::uint8_t sa, double level, double jitter = 0.0) {
+    stats::Rng rng(7);
+    EdgeSet es;
+    es.sa = sa;
+    es.samples.resize(dim_);
+    for (auto& v : es.samples) v = level + rng.gaussian(0.0, jitter);
+    return es;
+  }
+
+  std::size_t dim_ = 0;
+  std::optional<Model> model_;
+};
+
+TEST_F(DetectorTest, LegitimateMessagePasses) {
+  const Detection d = vprofile::detect(*model_, edge_set(kSaA, 100.0, 1.0),
+                                       DetectionConfig{2.0});
+  EXPECT_EQ(d.verdict, Verdict::kOk);
+  EXPECT_FALSE(d.is_anomaly());
+  EXPECT_EQ(d.expected_cluster, d.predicted_cluster);
+}
+
+TEST_F(DetectorTest, SecondSaOfSameEcuPasses) {
+  const Detection d = vprofile::detect(*model_, edge_set(kSaA2, 100.0, 1.0),
+                                       DetectionConfig{2.0});
+  EXPECT_EQ(d.verdict, Verdict::kOk);
+}
+
+TEST_F(DetectorTest, UnknownSaIsTriviallyDetected) {
+  const Detection d = vprofile::detect(*model_, edge_set(0x99, 100.0),
+                                       DetectionConfig{});
+  EXPECT_EQ(d.verdict, Verdict::kUnknownSa);
+  EXPECT_TRUE(d.is_anomaly());
+  EXPECT_FALSE(d.expected_cluster.has_value());
+  EXPECT_FALSE(d.predicted_cluster.has_value());
+}
+
+TEST_F(DetectorTest, HijackedSaTriggersClusterMismatch) {
+  // Waveform of B (level 200) claiming A's SA.
+  const Detection d = vprofile::detect(*model_, edge_set(kSaA, 200.0, 1.0),
+                                       DetectionConfig{5.0});
+  EXPECT_EQ(d.verdict, Verdict::kClusterMismatch);
+  EXPECT_TRUE(d.is_anomaly());
+  // Attribution: the predicted cluster identifies the attacker (B).
+  ASSERT_TRUE(d.predicted_cluster.has_value());
+  EXPECT_EQ(model_->clusters()[*d.predicted_cluster].name, "B");
+}
+
+TEST_F(DetectorTest, ForeignWaveformTriggersDistanceExceeded) {
+  // A device whose level sits between the clusters but nearer A, claiming
+  // A: predicted == expected but far outside the training radius.
+  const Detection d = vprofile::detect(*model_, edge_set(kSaA, 120.0, 1.0),
+                                       DetectionConfig{5.0});
+  EXPECT_EQ(d.verdict, Verdict::kDistanceExceeded);
+  EXPECT_TRUE(d.is_anomaly());
+  EXPECT_GT(d.min_distance,
+            model_->clusters()[*d.predicted_cluster].max_distance);
+}
+
+TEST_F(DetectorTest, MarginTradesFalsePositivesForFalseNegatives) {
+  // A slightly-off waveform: rejected at zero margin, accepted with a
+  // generous one (Section 3.2.3's margin discussion).
+  const std::size_t cluster = *model_->cluster_of(kSaA);
+  const double max_dist = model_->clusters()[cluster].max_distance;
+  EdgeSet borderline = edge_set(kSaA, 100.0);
+  // Push the edge set to a known distance just beyond max_dist.
+  const double target = max_dist * 1.2;
+  // Mahalanobis distance for a uniform offset o over dim d with unit-ish
+  // covariance scales ~ o * sqrt(sum(inv_cov)); find it numerically.
+  double lo = 0.0;
+  double hi = 50.0;
+  for (int i = 0; i < 60; ++i) {
+    const double mid = (lo + hi) / 2.0;
+    EdgeSet probe = borderline;
+    for (auto& v : probe.samples) v += mid;
+    (model_->distance(cluster, probe.samples) < target ? lo : hi) = mid;
+  }
+  for (auto& v : borderline.samples) v += hi;
+
+  const Detection strict =
+      vprofile::detect(*model_, borderline, DetectionConfig{0.0});
+  EXPECT_EQ(strict.verdict, Verdict::kDistanceExceeded);
+  const Detection lax = vprofile::detect(*model_, borderline,
+                                         DetectionConfig{max_dist});
+  EXPECT_EQ(lax.verdict, Verdict::kOk);
+}
+
+TEST_F(DetectorTest, DistanceReportedMatchesModelDistance) {
+  const EdgeSet es = edge_set(kSaA, 101.0);
+  const Detection d = vprofile::detect(*model_, es, DetectionConfig{100.0});
+  const std::size_t cluster = *model_->cluster_of(kSaA);
+  EXPECT_DOUBLE_EQ(d.min_distance, model_->distance(cluster, es.samples));
+}
+
+TEST_F(DetectorTest, VerdictNamesAreStable) {
+  EXPECT_STREQ(to_string(Verdict::kOk), "ok");
+  EXPECT_STREQ(to_string(Verdict::kUnknownSa), "unknown SA");
+  EXPECT_STREQ(to_string(Verdict::kClusterMismatch), "cluster mismatch");
+  EXPECT_STREQ(to_string(Verdict::kDistanceExceeded), "distance exceeded");
+}
+
+TEST_F(DetectorTest, EuclideanModelDetectsSameObviousAttacks) {
+  // Rebuild the same clusters with the Euclidean metric.
+  stats::Rng rng(43);
+  std::vector<EdgeSet> sets;
+  for (auto [sa, level] :
+       {std::pair<std::uint8_t, double>{kSaA, 100.0}, {kSaB, 200.0}}) {
+    for (int i = 0; i < 100; ++i) {
+      EdgeSet es;
+      es.sa = sa;
+      es.samples.resize(dim_);
+      for (auto& v : es.samples) v = level + rng.gaussian(0.0, 1.0);
+      sets.push_back(std::move(es));
+    }
+  }
+  vprofile::TrainingConfig cfg;
+  cfg.metric = DistanceMetric::kEuclidean;
+  cfg.extraction.prefix_len = 1;
+  cfg.extraction.suffix_len = 2;
+  auto outcome = vprofile::train_with_database(
+      sets, {{kSaA, "A"}, {kSaB, "B"}}, cfg);
+  ASSERT_TRUE(outcome.ok());
+
+  const Detection ok = vprofile::detect(*outcome.model,
+                                        edge_set(kSaA, 100.0, 1.0),
+                                        DetectionConfig{3.0});
+  EXPECT_EQ(ok.verdict, Verdict::kOk);
+  const Detection hijack = vprofile::detect(*outcome.model,
+                                            edge_set(kSaA, 200.0, 1.0),
+                                            DetectionConfig{3.0});
+  EXPECT_TRUE(hijack.is_anomaly());
+}
+
+}  // namespace

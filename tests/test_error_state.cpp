@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "canbus/error_state.hpp"
+
+namespace {
+
+using canbus::ErrorCounters;
+using canbus::ErrorState;
+
+TEST(ErrorStateTest, StartsErrorActive) {
+  ErrorCounters ec;
+  EXPECT_EQ(ec.state(), ErrorState::kErrorActive);
+  EXPECT_EQ(ec.tec(), 0u);
+  EXPECT_EQ(ec.rec(), 0u);
+  EXPECT_TRUE(ec.can_transmit());
+}
+
+TEST(ErrorStateTest, TransmitErrorsAddEight) {
+  ErrorCounters ec;
+  ec.on_transmit_error();
+  EXPECT_EQ(ec.tec(), 8u);
+  ec.on_transmit_error();
+  EXPECT_EQ(ec.tec(), 16u);
+}
+
+TEST(ErrorStateTest, ReceiveErrorsAddOneOrEight) {
+  ErrorCounters ec;
+  ec.on_receive_error();
+  EXPECT_EQ(ec.rec(), 1u);
+  ec.on_receive_error(/*primary=*/true);
+  EXPECT_EQ(ec.rec(), 9u);
+}
+
+TEST(ErrorStateTest, SuccessesDecrementWithFloorZero) {
+  ErrorCounters ec;
+  ec.on_transmit_success();
+  EXPECT_EQ(ec.tec(), 0u);
+  ec.on_transmit_error();
+  for (int i = 0; i < 20; ++i) ec.on_transmit_success();
+  EXPECT_EQ(ec.tec(), 0u);
+  ec.on_receive_error();
+  ec.on_receive_success();
+  EXPECT_EQ(ec.rec(), 0u);
+}
+
+TEST(ErrorStateTest, ErrorPassiveAbove127) {
+  ErrorCounters ec;
+  for (int i = 0; i < 16; ++i) ec.on_transmit_error();  // TEC = 128
+  EXPECT_EQ(ec.tec(), 128u);
+  EXPECT_EQ(ec.state(), ErrorState::kErrorPassive);
+  EXPECT_TRUE(ec.can_transmit());
+}
+
+TEST(ErrorStateTest, RecAbove127AlsoGoesPassive) {
+  ErrorCounters ec;
+  for (int i = 0; i < 16; ++i) ec.on_receive_error(/*primary=*/true);
+  EXPECT_EQ(ec.state(), ErrorState::kErrorPassive);
+}
+
+TEST(ErrorStateTest, RecoversToActiveWhenCountersDrop) {
+  ErrorCounters ec;
+  for (int i = 0; i < 16; ++i) ec.on_transmit_error();
+  EXPECT_EQ(ec.state(), ErrorState::kErrorPassive);
+  ec.on_transmit_success();  // TEC = 127
+  EXPECT_EQ(ec.state(), ErrorState::kErrorActive);
+}
+
+TEST(ErrorStateTest, BusOffAbove255) {
+  // The bus-off attack scenario: 32 forced transmit errors disconnect the
+  // victim.
+  ErrorCounters ec;
+  for (int i = 0; i < 32; ++i) ec.on_transmit_error();  // TEC = 256
+  EXPECT_EQ(ec.state(), ErrorState::kBusOff);
+  EXPECT_FALSE(ec.can_transmit());
+}
+
+TEST(ErrorStateTest, BusOffIsAbsorbing) {
+  ErrorCounters ec;
+  for (int i = 0; i < 32; ++i) ec.on_transmit_error();
+  ASSERT_EQ(ec.state(), ErrorState::kBusOff);
+  // Counters freeze; successes do not silently restore the node.
+  ec.on_transmit_success();
+  ec.on_receive_success();
+  ec.on_transmit_error();
+  EXPECT_EQ(ec.state(), ErrorState::kBusOff);
+}
+
+TEST(ErrorStateTest, BusOffRecoveryResetsEverything) {
+  ErrorCounters ec;
+  for (int i = 0; i < 32; ++i) ec.on_transmit_error();
+  ec.recover_from_bus_off();
+  EXPECT_EQ(ec.state(), ErrorState::kErrorActive);
+  EXPECT_EQ(ec.tec(), 0u);
+  EXPECT_EQ(ec.rec(), 0u);
+  EXPECT_TRUE(ec.can_transmit());
+}
+
+TEST(ErrorStateTest, PassiveReceiveSuccessCapsRec) {
+  ErrorCounters ec;
+  for (int i = 0; i < 20; ++i) ec.on_receive_error(/*primary=*/true);
+  ASSERT_GT(ec.rec(), 127u);
+  ec.on_receive_success();
+  EXPECT_EQ(ec.rec(), 127u);
+}
+
+TEST(ErrorStateTest, StateNamesAreStable) {
+  EXPECT_STREQ(to_string(ErrorState::kErrorActive), "error-active");
+  EXPECT_STREQ(to_string(ErrorState::kErrorPassive), "error-passive");
+  EXPECT_STREQ(to_string(ErrorState::kBusOff), "bus-off");
+}
+
+}  // namespace

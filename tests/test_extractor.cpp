@@ -1,0 +1,313 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "analog/synth.hpp"
+#include "canbus/frame.hpp"
+#include "core/extractor.hpp"
+#include "dsp/adc.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using analog::EcuSignature;
+using analog::Environment;
+using canbus::DataFrame;
+using canbus::J1939Id;
+using vprofile::EdgeSet;
+using vprofile::ExtractError;
+using vprofile::ExtractionConfig;
+
+EcuSignature test_signature() {
+  EcuSignature s;
+  s.dominant_v = 2.0;
+  s.recessive_v = 0.0;
+  s.drive = {2.0e6, 0.7};
+  s.release = {1.0e6, 0.85};
+  s.noise_sigma_v = 0.003;
+  return s;
+}
+
+struct Pipeline {
+  dsp::AdcModel adc{20e6, 16};
+  analog::SynthOptions synth;
+  ExtractionConfig extraction;
+
+  Pipeline() {
+    synth.bitrate_bps = 250e3;
+    synth.sample_rate_hz = 20e6;
+    synth.max_bits = 70;
+    extraction = vprofile::make_extraction_config(20e6, 250e3,
+                                                  adc.quantize(1.25));
+  }
+
+  dsp::Trace capture(const DataFrame& frame, const EcuSignature& sig,
+                     stats::Rng& rng) const {
+    const auto wire = canbus::build_wire_bits(frame);
+    const auto volts = analog::synthesize_frame_voltage(
+        wire, sig, Environment::reference(), synth, rng);
+    return adc.quantize_trace(volts);
+  }
+};
+
+TEST(ExtractionConfigTest, ScalesPaperConstantsWithRate) {
+  // Reference: 10 MS/s / 250 kb/s => bit width 40, prefix 2, suffix 14.
+  const auto ref = vprofile::make_extraction_config(10e6, 250e3, 38000);
+  EXPECT_EQ(ref.bit_width_samples, 40u);
+  EXPECT_EQ(ref.prefix_len, 2u);
+  EXPECT_EQ(ref.suffix_len, 14u);
+  EXPECT_EQ(ref.dimension(), 2u * (2 + 14 + 1));
+
+  const auto doubled = vprofile::make_extraction_config(20e6, 250e3, 38000);
+  EXPECT_EQ(doubled.bit_width_samples, 80u);
+  EXPECT_EQ(doubled.prefix_len, 4u);
+  EXPECT_EQ(doubled.suffix_len, 28u);
+
+  const auto slow = vprofile::make_extraction_config(2.5e6, 250e3, 38000);
+  EXPECT_EQ(slow.bit_width_samples, 10u);
+  EXPECT_GE(slow.prefix_len, 1u);
+  EXPECT_GE(slow.suffix_len, 2u);
+}
+
+TEST(ExtractionConfigTest, RejectsNonPositiveRates) {
+  EXPECT_THROW(vprofile::make_extraction_config(0, 250e3, 1),
+               std::invalid_argument);
+  EXPECT_THROW(vprofile::make_extraction_config(1e6, 0, 1),
+               std::invalid_argument);
+}
+
+TEST(Extractor, DecodesSourceAddressFromTrace) {
+  Pipeline p;
+  stats::Rng rng(1);
+  DataFrame frame;
+  frame.id = J1939Id{3, 0xF004, 0x42};
+  frame.payload = {1, 2, 3, 4};
+  const auto trace = p.capture(frame, test_signature(), rng);
+  const auto es = vprofile::extract_edge_set(trace, p.extraction);
+  ASSERT_TRUE(es.has_value());
+  EXPECT_EQ(es->sa, 0x42);
+}
+
+// Property test over random frames: the SA decoded from the analog trace
+// must equal the SA packed into the frame, for every payload/ID/stuffing
+// pattern the frame generator produces.
+TEST(Extractor, SaDecodingSurvivesRandomFrames) {
+  Pipeline p;
+  stats::Rng rng(2);
+  for (int trial = 0; trial < 300; ++trial) {
+    DataFrame frame;
+    frame.id = J1939Id{static_cast<std::uint8_t>(rng.below(8)),
+                       static_cast<std::uint32_t>(rng.below(0x40000)),
+                       static_cast<std::uint8_t>(rng.below(256))};
+    frame.payload.resize(rng.below(9));
+    for (auto& b : frame.payload) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto trace = p.capture(frame, test_signature(), rng);
+    const auto es = vprofile::extract_edge_set(trace, p.extraction);
+    ASSERT_TRUE(es.has_value()) << "trial " << trial;
+    EXPECT_EQ(es->sa, frame.id.source_address) << "trial " << trial;
+  }
+}
+
+// SAs whose bit patterns force stuff bits inside the arbitration field are
+// the regression case for stuff-skipping (e.g. long runs of equal bits in
+// the 29-bit ID).
+TEST(Extractor, HandlesStuffBitsInsideArbitrationField) {
+  Pipeline p;
+  stats::Rng rng(3);
+  for (std::uint8_t sa : {0x00, 0xFF, 0xF0, 0x0F, 0xAA, 0x55, 0x1F, 0xF8}) {
+    for (std::uint32_t pgn : {0u, 0x3FFFFu, 0x1F000u, 0x000FFu}) {
+      DataFrame frame;
+      frame.id = J1939Id{0, pgn, sa};
+      frame.payload = {0xAA, 0x55};
+      const auto trace = p.capture(frame, test_signature(), rng);
+      const auto es = vprofile::extract_edge_set(trace, p.extraction);
+      ASSERT_TRUE(es.has_value()) << "sa=" << int(sa) << " pgn=" << pgn;
+      EXPECT_EQ(es->sa, sa) << "pgn=" << pgn;
+    }
+  }
+}
+
+TEST(Extractor, EdgeSetHasConfiguredDimension) {
+  Pipeline p;
+  stats::Rng rng(4);
+  DataFrame frame;
+  frame.id = J1939Id{3, 0xF004, 0x10};
+  frame.payload = {9, 8, 7};
+  const auto trace = p.capture(frame, test_signature(), rng);
+  const auto es = vprofile::extract_edge_set(trace, p.extraction);
+  ASSERT_TRUE(es.has_value());
+  EXPECT_EQ(es->samples.size(), p.extraction.dimension());
+}
+
+TEST(Extractor, EdgeSetSpansThresholdCrossings) {
+  Pipeline p;
+  stats::Rng rng(5);
+  DataFrame frame;
+  frame.id = J1939Id{3, 0xF004, 0x10};
+  frame.payload = {1, 2};
+  const auto trace = p.capture(frame, test_signature(), rng);
+  const auto es = vprofile::extract_edge_set(trace, p.extraction);
+  ASSERT_TRUE(es.has_value());
+  const std::size_t half = es->samples.size() / 2;
+  // Rising window: starts below threshold, ends above.
+  EXPECT_LT(es->samples.front(), p.extraction.bit_threshold);
+  EXPECT_GE(es->samples[half - 1], p.extraction.bit_threshold * 0.9);
+  // Falling window: starts above, ends below.
+  EXPECT_GE(es->samples[half], p.extraction.bit_threshold * 0.9);
+  EXPECT_LT(es->samples.back(), p.extraction.bit_threshold);
+}
+
+TEST(Extractor, FlatTraceReportsNoSof) {
+  ExtractError err = ExtractError::kNone;
+  const auto es = vprofile::extract_edge_set(dsp::Trace(1000, 0.0),
+                                             ExtractionConfig{}, &err);
+  EXPECT_FALSE(es.has_value());
+  EXPECT_EQ(err, ExtractError::kNoSof);
+  EXPECT_STREQ(vprofile::to_string(err), "no SOF found");
+}
+
+TEST(Extractor, TruncatedTraceReportsTruncation) {
+  Pipeline p;
+  stats::Rng rng(6);
+  DataFrame frame;
+  frame.id = J1939Id{3, 0xF004, 0x10};
+  frame.payload = {1};
+  auto trace = p.capture(frame, test_signature(), rng);
+  trace.resize(trace.size() / 4);  // cut inside the arbitration field
+  ExtractError err = ExtractError::kNone;
+  const auto es = vprofile::extract_edge_set(trace, p.extraction, &err);
+  EXPECT_FALSE(es.has_value());
+  EXPECT_EQ(err, ExtractError::kTruncated);
+}
+
+TEST(Extractor, RejectsTinyBitWidth) {
+  ExtractionConfig cfg;
+  cfg.bit_width_samples = 1;
+  EXPECT_THROW(vprofile::extract_edge_set(dsp::Trace(100, 0.0), cfg),
+               std::invalid_argument);
+}
+
+TEST(Extractor, MultipleEdgeSetsAreAveraged) {
+  // Section 5.2: extracting 3 edge sets and averaging reduces noise.
+  Pipeline p;
+  stats::Rng rng(7);
+  DataFrame frame;
+  frame.id = J1939Id{3, 0xF004, 0x10};
+  frame.payload = {0x12, 0x34, 0x56, 0x78, 0x9A};
+  p.synth.max_bits = 110;  // deeper synthesis for later edge sets
+
+  ExtractionConfig one = p.extraction;
+  one.num_edge_sets = 1;
+  ExtractionConfig three = p.extraction;
+  three.num_edge_sets = 3;
+  three.edge_set_spacing = 250;
+
+  const auto trace = p.capture(frame, test_signature(), rng);
+  const auto es1 = vprofile::extract_edge_set(trace, one);
+  const auto es3 = vprofile::extract_edge_set(trace, three);
+  ASSERT_TRUE(es1.has_value());
+  ASSERT_TRUE(es3.has_value());
+  EXPECT_EQ(es1->samples.size(), es3->samples.size());
+  EXPECT_EQ(es1->sa, es3->sa);
+  // Averaging changes the vector (different edges contribute).
+  double diff = 0.0;
+  for (std::size_t i = 0; i < es1->samples.size(); ++i) {
+    diff += std::fabs(es1->samples[i] - es3->samples[i]);
+  }
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(Extractor, MultiEdgeSetFailsGracefullyOnShortTrace) {
+  Pipeline p;
+  stats::Rng rng(8);
+  DataFrame frame;
+  frame.id = J1939Id{3, 0xF004, 0x10};
+  frame.payload = {1};
+  ExtractionConfig cfg = p.extraction;
+  cfg.num_edge_sets = 4;
+  cfg.edge_set_spacing = 4000;  // way past the synthesized trace
+  const auto trace = p.capture(frame, test_signature(), rng);
+  ExtractError err = ExtractError::kNone;
+  const auto es = vprofile::extract_edge_set(trace, cfg, &err);
+  EXPECT_FALSE(es.has_value());
+  EXPECT_EQ(err, ExtractError::kTruncated);
+}
+
+TEST(Extractor, WorksAcrossSamplingRates) {
+  // The same message must extract at every rate the paper sweeps.
+  for (double rate : {20e6, 10e6, 5e6, 2.5e6}) {
+    dsp::AdcModel adc(rate, 16);
+    analog::SynthOptions synth;
+    synth.bitrate_bps = 250e3;
+    synth.sample_rate_hz = rate;
+    synth.max_bits = 70;
+    const auto cfg =
+        vprofile::make_extraction_config(rate, 250e3, adc.quantize(1.25));
+
+    stats::Rng rng(9);
+    DataFrame frame;
+    frame.id = J1939Id{3, 0xF004, 0x33};
+    frame.payload = {1, 2, 3};
+    const auto wire = canbus::build_wire_bits(frame);
+    const auto volts = analog::synthesize_frame_voltage(
+        wire, test_signature(), Environment::reference(), synth, rng);
+    const auto es = vprofile::extract_edge_set(adc.quantize_trace(volts), cfg);
+    ASSERT_TRUE(es.has_value()) << "rate " << rate;
+    EXPECT_EQ(es->sa, 0x33) << "rate " << rate;
+  }
+}
+
+TEST(Extractor, ConsistentDimensionAcrossMessages) {
+  Pipeline p;
+  stats::Rng rng(10);
+  std::size_t dim = 0;
+  for (int i = 0; i < 50; ++i) {
+    DataFrame frame;
+    frame.id = J1939Id{3, static_cast<std::uint32_t>(rng.below(0x40000)),
+                       static_cast<std::uint8_t>(rng.below(256))};
+    frame.payload.resize(1 + rng.below(8));
+    for (auto& b : frame.payload) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto trace = p.capture(frame, test_signature(), rng);
+    const auto es = vprofile::extract_edge_set(trace, p.extraction);
+    ASSERT_TRUE(es.has_value());
+    if (dim == 0) dim = es->samples.size();
+    EXPECT_EQ(es->samples.size(), dim);
+  }
+}
+
+TEST(EstimateThreshold, MidpointOfFirstHalf) {
+  dsp::Trace t;
+  for (int i = 0; i < 50; ++i) t.push_back(100.0);
+  for (int i = 0; i < 50; ++i) t.push_back(300.0);
+  // Second half should be ignored (ACK-level deviations live there).
+  for (int i = 0; i < 100; ++i) t.push_back(900.0);
+  EXPECT_DOUBLE_EQ(vprofile::estimate_bit_threshold(t), 200.0);
+}
+
+TEST(EstimateThreshold, EmptyTraceThrows) {
+  EXPECT_THROW(vprofile::estimate_bit_threshold({}), std::invalid_argument);
+}
+
+TEST(EstimateThreshold, PerClusterThresholdTracksLevels) {
+  // A hotter dominant level shifts the estimated threshold up (Section
+  // 5.1's motivation).
+  Pipeline p;
+  stats::Rng rng(11);
+  DataFrame frame;
+  frame.id = J1939Id{3, 0xF004, 0x10};
+  frame.payload = {1, 2, 3, 4};
+  EcuSignature low = test_signature();
+  low.dominant_v = 1.8;
+  EcuSignature high = test_signature();
+  high.dominant_v = 2.3;
+  const auto t_low = p.capture(frame, low, rng);
+  const auto t_high = p.capture(frame, high, rng);
+  EXPECT_LT(vprofile::estimate_bit_threshold(t_low),
+            vprofile::estimate_bit_threshold(t_high));
+}
+
+}  // namespace

@@ -1,0 +1,194 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/trainer.hpp"
+#include "io/csv.hpp"
+#include "io/model_store.hpp"
+#include "io/trace_store.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+TEST(Csv, PlainFieldsUnquoted) {
+  std::ostringstream os;
+  io::CsvWriter w(os);
+  w.write_row(std::vector<std::string>{"a", "b", "c"});
+  EXPECT_EQ(os.str(), "a,b,c\n");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(io::CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(io::CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(io::CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(io::CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, NumericRowKeepsPrecision) {
+  std::ostringstream os;
+  io::CsvWriter w(os);
+  w.write_row(std::vector<double>{1.0, 0.1234567890123456});
+  EXPECT_NE(os.str().find("0.123456789012345"), std::string::npos);
+}
+
+vprofile::Model make_model(vprofile::DistanceMetric metric) {
+  vprofile::ExtractionConfig ex;
+  ex.prefix_len = 1;
+  ex.suffix_len = 2;
+  stats::Rng rng(1);
+  std::vector<vprofile::EdgeSet> sets;
+  for (auto [sa, level] :
+       {std::pair<std::uint8_t, double>{1, 100.0}, {7, 200.0}}) {
+    for (int i = 0; i < 60; ++i) {
+      vprofile::EdgeSet es;
+      es.sa = sa;
+      es.samples.resize(ex.dimension());
+      for (auto& v : es.samples) v = level + rng.gaussian(0.0, 1.0);
+      sets.push_back(std::move(es));
+    }
+  }
+  vprofile::TrainingConfig cfg;
+  cfg.metric = metric;
+  cfg.extraction = ex;
+  auto outcome = vprofile::train_with_database(
+      sets, {{1, "ECU Alpha"}, {7, "ECU Beta"}}, cfg);
+  EXPECT_TRUE(outcome.ok()) << outcome.error;
+  return std::move(*outcome.model);
+}
+
+TEST(ModelStore, MahalanobisRoundTrip) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  std::string error;
+  const auto loaded = io::load_model(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+
+  EXPECT_EQ(loaded->metric(), model.metric());
+  EXPECT_EQ(loaded->dimension(), model.dimension());
+  ASSERT_EQ(loaded->clusters().size(), model.clusters().size());
+  for (std::size_t c = 0; c < model.clusters().size(); ++c) {
+    const auto& a = model.clusters()[c];
+    const auto& b = loaded->clusters()[c];
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.sas, b.sas);
+    EXPECT_EQ(a.edge_set_count, b.edge_set_count);
+    EXPECT_DOUBLE_EQ(a.max_distance, b.max_distance);
+    for (std::size_t i = 0; i < a.mean.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.mean[i], b.mean[i]);
+    }
+    EXPECT_LT(a.covariance.max_abs_diff(b.covariance), 1e-15);
+    EXPECT_LT(a.inv_covariance.max_abs_diff(b.inv_covariance), 1e-15);
+  }
+  // The reloaded model computes identical distances.
+  linalg::Vector probe(model.dimension(), 150.0);
+  EXPECT_DOUBLE_EQ(model.distance(0, probe), loaded->distance(0, probe));
+}
+
+TEST(ModelStore, EuclideanRoundTrip) {
+  const auto model = make_model(vprofile::DistanceMetric::kEuclidean);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  const auto loaded = io::load_model(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->metric(), vprofile::DistanceMetric::kEuclidean);
+  EXPECT_TRUE(loaded->clusters().front().covariance.empty());
+}
+
+TEST(ModelStore, ExtractionConfigRoundTrips) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  const auto loaded = io::load_model(ss);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->extraction().bit_width_samples,
+            model.extraction().bit_width_samples);
+  EXPECT_DOUBLE_EQ(loaded->extraction().bit_threshold,
+                   model.extraction().bit_threshold);
+  EXPECT_EQ(loaded->extraction().prefix_len, model.extraction().prefix_len);
+  EXPECT_EQ(loaded->extraction().suffix_len, model.extraction().suffix_len);
+}
+
+TEST(ModelStore, RejectsGarbage) {
+  std::stringstream ss("not a model at all");
+  std::string error;
+  EXPECT_FALSE(io::load_model(ss, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ModelStore, RejectsWrongVersion) {
+  std::stringstream ss("vprofile-model 999\n");
+  std::string error;
+  EXPECT_FALSE(io::load_model(ss, &error).has_value());
+  EXPECT_NE(error.find("version"), std::string::npos);
+}
+
+TEST(ModelStore, RejectsTruncatedFile) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() / 2));
+  std::string error;
+  EXPECT_FALSE(io::load_model(truncated, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ModelStore, FileHelpersWork) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  const std::string path = ::testing::TempDir() + "/model.vpm";
+  ASSERT_TRUE(io::save_model_file(model, path));
+  std::string error;
+  EXPECT_TRUE(io::load_model_file(path, &error).has_value()) << error;
+  EXPECT_FALSE(io::load_model_file("/nonexistent/x.vpm").has_value());
+}
+
+TEST(TraceStore, RoundTrip) {
+  io::TraceSet set;
+  set.sample_rate_hz = 20e6;
+  set.resolution_bits = 16;
+  set.traces = {{1.0, 2.0, 3.0}, {}, {42.0}};
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_traces(set, ss));
+  std::string error;
+  const auto loaded = io::load_traces(ss, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_DOUBLE_EQ(loaded->sample_rate_hz, 20e6);
+  EXPECT_EQ(loaded->resolution_bits, 16);
+  ASSERT_EQ(loaded->traces.size(), 3u);
+  EXPECT_EQ(loaded->traces[0], set.traces[0]);
+  EXPECT_TRUE(loaded->traces[1].empty());
+  EXPECT_EQ(loaded->traces[2], set.traces[2]);
+}
+
+TEST(TraceStore, RejectsWrongMagic) {
+  std::stringstream ss("XXXXGARBAGE");
+  std::string error;
+  EXPECT_FALSE(io::load_traces(ss, &error).has_value());
+  EXPECT_NE(error.find("not a vprofile trace file"), std::string::npos);
+}
+
+TEST(TraceStore, RejectsTruncatedSamples) {
+  io::TraceSet set;
+  set.sample_rate_hz = 1.0;
+  set.resolution_bits = 8;
+  set.traces = {{1.0, 2.0, 3.0, 4.0}};
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_traces(set, ss));
+  const std::string full = ss.str();
+  std::stringstream truncated(full.substr(0, full.size() - 8));
+  EXPECT_FALSE(io::load_traces(truncated).has_value());
+}
+
+TEST(TraceStore, FileHelpersWork) {
+  io::TraceSet set;
+  set.sample_rate_hz = 10e6;
+  set.resolution_bits = 12;
+  set.traces = {{7.0, 8.0}};
+  const std::string path = ::testing::TempDir() + "/traces.vpt";
+  ASSERT_TRUE(io::save_traces_file(set, path));
+  EXPECT_TRUE(io::load_traces_file(path).has_value());
+  EXPECT_FALSE(io::load_traces_file("/nonexistent/y.vpt").has_value());
+}
+
+}  // namespace

@@ -1,0 +1,215 @@
+// Fault-injection robustness: a deployed tap sees imperfect captures —
+// glitches, dropouts, clipping, DC shifts, partial messages.  The
+// extractor must never crash, and must either fail cleanly or produce an
+// edge set the detector can still reason about.
+#include <gtest/gtest.h>
+
+#include "analog/synth.hpp"
+#include "canbus/frame.hpp"
+#include "core/detector.hpp"
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+#include "dsp/adc.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+class Robustness : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    vehicle_ = new sim::Vehicle(sim::vehicle_a(), 31415);
+    extraction_ = new vprofile::ExtractionConfig(
+        sim::default_extraction(vehicle_->config()));
+    captures_ = new std::vector<sim::Capture>(
+        vehicle_->capture(600, analog::Environment::reference()));
+
+    std::vector<vprofile::EdgeSet> training;
+    for (const auto& cap :
+         vehicle_->capture(1500, analog::Environment::reference())) {
+      if (auto es = vprofile::extract_edge_set(cap.codes, *extraction_)) {
+        training.push_back(std::move(*es));
+      }
+    }
+    vprofile::TrainingConfig cfg;
+    cfg.metric = vprofile::DistanceMetric::kMahalanobis;
+    cfg.extraction = *extraction_;
+    auto outcome = vprofile::train_with_database(
+        training, vehicle_->database(), cfg);
+    ASSERT_TRUE(outcome.ok()) << outcome.error;
+    model_ = new vprofile::Model(std::move(*outcome.model));
+  }
+
+  static void TearDownTestSuite() {
+    delete vehicle_;
+    delete extraction_;
+    delete captures_;
+    delete model_;
+    vehicle_ = nullptr;
+  }
+
+  static sim::Vehicle* vehicle_;
+  static vprofile::ExtractionConfig* extraction_;
+  static std::vector<sim::Capture>* captures_;
+  static vprofile::Model* model_;
+};
+
+sim::Vehicle* Robustness::vehicle_ = nullptr;
+vprofile::ExtractionConfig* Robustness::extraction_ = nullptr;
+std::vector<sim::Capture>* Robustness::captures_ = nullptr;
+vprofile::Model* Robustness::model_ = nullptr;
+
+TEST_F(Robustness, SingleSampleGlitchesNeverCrash) {
+  stats::Rng rng(1);
+  const double max_code = vehicle_->config().adc.max_code();
+  std::size_t decoded = 0;
+  for (const auto& cap : *captures_) {
+    dsp::Trace corrupted = cap.codes;
+    // Three random single-sample glitches to full scale or zero.
+    for (int g = 0; g < 3; ++g) {
+      corrupted[rng.below(corrupted.size())] =
+          rng.bernoulli(0.5) ? max_code : 0.0;
+    }
+    const auto es = vprofile::extract_edge_set(corrupted, *extraction_);
+    if (es && es->sa == cap.frame.id.source_address) ++decoded;
+  }
+  // Glitches may corrupt individual messages (SOF shifts, fake edges),
+  // but the majority must still decode correctly.
+  EXPECT_GT(decoded, captures_->size() / 2);
+}
+
+TEST_F(Robustness, TruncationAtEveryLengthFailsCleanly) {
+  const auto& cap = captures_->front();
+  for (std::size_t len = 0; len < cap.codes.size();
+       len += cap.codes.size() / 64 + 1) {
+    dsp::Trace truncated(cap.codes.begin(),
+                         cap.codes.begin() + static_cast<std::ptrdiff_t>(len));
+    vprofile::ExtractError err = vprofile::ExtractError::kNone;
+    const auto es =
+        vprofile::extract_edge_set(truncated, *extraction_, &err);
+    if (!es) {
+      EXPECT_NE(err, vprofile::ExtractError::kNone) << "len " << len;
+    }
+  }
+}
+
+TEST_F(Robustness, AllZeroAllHighAndAlternatingTraces) {
+  const double max_code = vehicle_->config().adc.max_code();
+  for (const dsp::Trace& degenerate :
+       {dsp::Trace(5000, 0.0), dsp::Trace(5000, max_code), [&] {
+          dsp::Trace t(5000);
+          for (std::size_t i = 0; i < t.size(); ++i) {
+            t[i] = (i % 2 == 0) ? max_code : 0.0;
+          }
+          return t;
+        }()}) {
+    EXPECT_NO_THROW({
+      const auto es = vprofile::extract_edge_set(degenerate, *extraction_);
+      (void)es;
+    });
+  }
+}
+
+TEST_F(Robustness, DcShiftedTraceIsFlaggedNotMisattributed) {
+  // A tap with a ground-offset fault shifts every code; the message must
+  // not silently pass as legitimate.
+  const auto& cap = captures_->front();
+  dsp::Trace shifted = cap.codes;
+  for (double& c : shifted) c += 3000.0;
+  const auto es = vprofile::extract_edge_set(shifted, *extraction_);
+  if (es) {
+    const auto d =
+        vprofile::detect(*model_, *es, vprofile::DetectionConfig{4.0});
+    EXPECT_TRUE(d.is_anomaly());
+  }
+}
+
+TEST_F(Robustness, DropoutInsideEdgeSetRegionIsAnomalousOrRejected) {
+  const auto& cap = captures_->front();
+  const auto clean = vprofile::extract_edge_set(cap.codes, *extraction_);
+  ASSERT_TRUE(clean.has_value());
+
+  // Zero out a 30-sample window right after the arbitration field, where
+  // the edge set lives.
+  dsp::Trace corrupted = cap.codes;
+  const std::size_t start = 34 * extraction_->bit_width_samples;
+  for (std::size_t i = start;
+       i < std::min(corrupted.size(), start + 30); ++i) {
+    corrupted[i] = 0.0;
+  }
+  const auto es = vprofile::extract_edge_set(corrupted, *extraction_);
+  if (es) {
+    const auto d =
+        vprofile::detect(*model_, *es, vprofile::DetectionConfig{4.0});
+    // Either the SA got corrupted (unknown/mismatch) or the waveform is
+    // off; a silent pass would be a real problem.
+    EXPECT_TRUE(d.is_anomaly() || es->sa != clean->sa);
+  }
+}
+
+TEST_F(Robustness, SaturatedAmplitudeStillDecodesSa) {
+  // Clipping at 80% full scale flattens the tops but preserves edges and
+  // threshold crossings; the SA must survive.
+  const double clip = 0.8 * vehicle_->config().adc.max_code();
+  std::size_t decoded = 0;
+  std::size_t total = 0;
+  for (const auto& cap : *captures_) {
+    dsp::Trace clipped = cap.codes;
+    for (double& c : clipped) c = std::min(c, clip);
+    const auto es = vprofile::extract_edge_set(clipped, *extraction_);
+    ++total;
+    if (es && es->sa == cap.frame.id.source_address) ++decoded;
+  }
+  EXPECT_EQ(decoded, total);
+}
+
+TEST_F(Robustness, ExtremeNoiseDegradesGracefully) {
+  // 10x the configured noise: extraction may fail or decode wrong, but
+  // never crashes, and failures are reported with a reason.
+  stats::Rng rng(7);
+  analog::EcuSignature noisy = vehicle_->config().ecus[0].signature;
+  noisy.noise_sigma_v *= 10.0;
+  canbus::DataFrame frame;
+  frame.id = vehicle_->config().ecus[0].messages[0].id;
+  frame.payload = {1, 2, 3};
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto cap = vehicle_->synthesize_foreign(
+        frame, noisy, analog::Environment::reference());
+    vprofile::ExtractError err;
+    EXPECT_NO_THROW({
+      const auto es =
+          vprofile::extract_edge_set(cap.codes, *extraction_, &err);
+      (void)es;
+    });
+  }
+}
+
+TEST_F(Robustness, BackToBackMessagesExtractTheFirst) {
+  // Two frames concatenated with minimal interframe space: the extractor
+  // anchors on the first SOF and must decode the first message.
+  const auto& a = (*captures_)[0];
+  const auto& b = (*captures_)[1];
+  dsp::Trace combined = a.codes;
+  combined.insert(combined.end(), b.codes.begin(), b.codes.end());
+  const auto es = vprofile::extract_edge_set(combined, *extraction_);
+  ASSERT_TRUE(es.has_value());
+  EXPECT_EQ(es->sa, a.frame.id.source_address);
+}
+
+TEST_F(Robustness, DetectorHandlesDegenerateEdgeSets) {
+  // Hand-built pathological edge sets must yield verdicts, not crashes.
+  vprofile::EdgeSet zero;
+  zero.sa = 0x00;
+  zero.samples.assign(model_->dimension(), 0.0);
+  vprofile::EdgeSet huge;
+  huge.sa = 0x00;
+  huge.samples.assign(model_->dimension(), 1e12);
+  for (const auto& es : {zero, huge}) {
+    const auto d =
+        vprofile::detect(*model_, es, vprofile::DetectionConfig{4.0});
+    EXPECT_TRUE(d.is_anomaly());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,238 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "analog/synth.hpp"
+#include "canbus/standard_frame.hpp"
+#include "core/detector.hpp"
+#include "core/standard_extractor.hpp"
+#include "core/trainer.hpp"
+#include "dsp/adc.hpp"
+#include "stats/rng.hpp"
+
+namespace {
+
+using canbus::StandardDataFrame;
+
+TEST(StandardFrame, LayoutMatchesSpec) {
+  StandardDataFrame f;
+  f.id = 0x7FF;
+  f.payload = {};
+  const auto bits = canbus::build_unstuffed_bits(f);
+  namespace fb = canbus::standard_frame_bits;
+  EXPECT_FALSE(bits[fb::kSof]);
+  // All-ones identifier.
+  for (std::size_t i = fb::kIdFirst; i <= fb::kIdLast; ++i) {
+    EXPECT_TRUE(bits[i]);
+  }
+  EXPECT_FALSE(bits[fb::kRtr]);
+  EXPECT_FALSE(bits[fb::kFirstPostArbitration]);  // IDE dominant
+  // Empty payload: 19 header bits + 15 CRC + 10 tail.
+  EXPECT_EQ(bits.size(), 19u + 15u + 10u);
+}
+
+TEST(StandardFrame, RejectsOversizedFields) {
+  StandardDataFrame f;
+  f.id = 0x800;
+  EXPECT_THROW(canbus::build_wire_bits(f), std::invalid_argument);
+  f.id = 1;
+  f.payload.resize(9);
+  EXPECT_THROW(canbus::build_wire_bits(f), std::invalid_argument);
+}
+
+TEST(StandardFrame, WireRoundTripsRandomFrames) {
+  std::mt19937 gen(11);
+  for (int trial = 0; trial < 300; ++trial) {
+    StandardDataFrame f;
+    f.id = static_cast<std::uint16_t>(gen() % 0x800);
+    f.payload.resize(gen() % 9);
+    for (auto& b : f.payload) b = static_cast<std::uint8_t>(gen() % 256);
+    const auto parsed =
+        canbus::parse_standard_wire_bits(canbus::build_wire_bits(f));
+    ASSERT_TRUE(parsed.has_value()) << "trial " << trial;
+    EXPECT_EQ(*parsed, f);
+  }
+}
+
+TEST(StandardFrame, ParseRejectsCorruption) {
+  StandardDataFrame f;
+  f.id = 0x123;
+  f.payload = {0xAB, 0xCD};
+  auto wire = canbus::build_wire_bits(f);
+  wire[20] = !wire[20];
+  EXPECT_FALSE(canbus::parse_standard_wire_bits(wire).has_value());
+  wire = canbus::build_wire_bits(f);
+  wire.resize(wire.size() / 3);
+  EXPECT_FALSE(canbus::parse_standard_wire_bits(wire).has_value());
+}
+
+TEST(StandardIdMap, AssignsStableAliases) {
+  vprofile::StandardIdMap map;
+  const auto a = map.alias_of(0x100);
+  const auto b = map.alias_of(0x200);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(map.alias_of(0x100), a);  // stable
+  EXPECT_EQ(map.find(0x200), b);
+  EXPECT_FALSE(map.find(0x300).has_value());  // lookup never allocates
+  EXPECT_EQ(map.size(), 2u);
+}
+
+TEST(StandardIdMap, ExhaustsAt256Ids) {
+  vprofile::StandardIdMap map;
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(map.alias_of(static_cast<std::uint16_t>(i)).has_value());
+  }
+  EXPECT_FALSE(map.alias_of(0x300).has_value());
+  // Already-mapped ids still resolve.
+  EXPECT_TRUE(map.alias_of(0).has_value());
+}
+
+TEST(StandardIdMap, RejectsOversizedId) {
+  vprofile::StandardIdMap map;
+  EXPECT_THROW(map.alias_of(0x800), std::invalid_argument);
+}
+
+/// Full standard-frame pipeline: synthesize, extract, verify the decoded
+/// 11-bit identifier.
+class StandardExtraction : public ::testing::Test {
+ protected:
+  analog::EcuSignature signature(double dominant_v = 2.0) const {
+    analog::EcuSignature s;
+    s.dominant_v = dominant_v;
+    s.drive = {2.0e6, 0.7};
+    s.release = {1.0e6, 0.85};
+    s.noise_sigma_v = 0.003;
+    return s;
+  }
+
+  dsp::Trace capture(const StandardDataFrame& frame,
+                     const analog::EcuSignature& sig, stats::Rng& rng) const {
+    analog::SynthOptions opts;
+    opts.bitrate_bps = 250e3;
+    opts.sample_rate_hz = 20e6;
+    opts.max_bits = 60;
+    const auto wire = canbus::build_wire_bits(frame);
+    const auto volts = analog::synthesize_frame_voltage(
+        wire, sig, analog::Environment::reference(), opts, rng);
+    return adc_.quantize_trace(volts);
+  }
+
+  dsp::AdcModel adc_{20e6, 16};
+  vprofile::ExtractionConfig extraction_ =
+      vprofile::make_extraction_config(20e6, 250e3, adc_.quantize(1.25));
+};
+
+TEST_F(StandardExtraction, DecodesIdentifierFromTrace) {
+  stats::Rng rng(1);
+  StandardDataFrame f;
+  f.id = 0x5A5;
+  f.payload = {1, 2, 3};
+  const auto es = vprofile::extract_standard_edge_set(
+      capture(f, signature(), rng), extraction_);
+  ASSERT_TRUE(es.has_value());
+  EXPECT_EQ(es->can_id, 0x5A5);
+  EXPECT_EQ(es->samples.size(), extraction_.dimension());
+}
+
+TEST_F(StandardExtraction, SurvivesRandomIdentifiers) {
+  stats::Rng rng(2);
+  for (int trial = 0; trial < 200; ++trial) {
+    StandardDataFrame f;
+    f.id = static_cast<std::uint16_t>(rng.below(0x800));
+    f.payload.resize(rng.below(9));
+    for (auto& b : f.payload) {
+      b = static_cast<std::uint8_t>(rng.below(256));
+    }
+    const auto es = vprofile::extract_standard_edge_set(
+        capture(f, signature(), rng), extraction_);
+    ASSERT_TRUE(es.has_value()) << "trial " << trial << " id " << f.id;
+    EXPECT_EQ(es->can_id, f.id) << "trial " << trial;
+  }
+}
+
+TEST_F(StandardExtraction, ReportsErrorsLikeExtendedPath) {
+  vprofile::ExtractError err;
+  EXPECT_FALSE(vprofile::extract_standard_edge_set(dsp::Trace(500, 0.0),
+                                                   extraction_, &err));
+  EXPECT_EQ(err, vprofile::ExtractError::kNoSof);
+}
+
+TEST_F(StandardExtraction, EndToEndDetectionOnStandardFrames) {
+  // The future-work scenario: train and detect on a standard-frame bus
+  // using the IdMap bridge into the byte-keyed model.
+  stats::Rng rng(3);
+  vprofile::StandardIdMap id_map;
+
+  // Two senders, two IDs each.
+  const analog::EcuSignature sig_a = signature(2.0);
+  const analog::EcuSignature sig_b = signature(2.25);
+  const std::uint16_t ids_a[2] = {0x101, 0x102};
+  const std::uint16_t ids_b[2] = {0x301, 0x302};
+
+  std::vector<vprofile::EdgeSet> training;
+  vprofile::SaDatabase db;
+  auto add_training = [&](const analog::EcuSignature& sig,
+                          const std::uint16_t* ids, const char* name) {
+    for (int i = 0; i < 120; ++i) {
+      StandardDataFrame f;
+      f.id = ids[i % 2];
+      f.payload = {static_cast<std::uint8_t>(i)};
+      auto raw = vprofile::extract_standard_edge_set(capture(f, sig, rng),
+                                                     extraction_);
+      ASSERT_TRUE(raw.has_value());
+      auto es = id_map.to_edge_set(std::move(*raw));
+      ASSERT_TRUE(es.has_value());
+      db[es->sa] = name;
+      training.push_back(std::move(*es));
+    }
+  };
+  add_training(sig_a, ids_a, "sender A");
+  add_training(sig_b, ids_b, "sender B");
+
+  vprofile::TrainingConfig cfg;
+  cfg.metric = vprofile::DistanceMetric::kMahalanobis;
+  cfg.extraction = extraction_;
+  const auto outcome = vprofile::train_with_database(training, db, cfg);
+  ASSERT_TRUE(outcome.ok()) << outcome.error;
+
+  const vprofile::DetectionConfig dc{4.0};
+  // Legitimate message from sender A.
+  {
+    StandardDataFrame f;
+    f.id = ids_a[0];
+    f.payload = {42};
+    auto raw = vprofile::extract_standard_edge_set(capture(f, sig_a, rng),
+                                                   extraction_);
+    ASSERT_TRUE(raw.has_value());
+    auto es = id_map.to_edge_set(std::move(*raw));
+    ASSERT_TRUE(es.has_value());
+    EXPECT_EQ(vprofile::detect(*outcome.model, *es, dc).verdict,
+              vprofile::Verdict::kOk);
+  }
+  // Sender B hijacking one of A's identifiers.
+  {
+    StandardDataFrame f;
+    f.id = ids_a[1];
+    f.payload = {42};
+    auto raw = vprofile::extract_standard_edge_set(capture(f, sig_b, rng),
+                                                   extraction_);
+    ASSERT_TRUE(raw.has_value());
+    auto es = id_map.to_edge_set(std::move(*raw));
+    ASSERT_TRUE(es.has_value());
+    EXPECT_TRUE(vprofile::detect(*outcome.model, *es, dc).is_anomaly());
+  }
+  // An identifier never seen in training.
+  {
+    StandardDataFrame f;
+    f.id = 0x7AA;
+    f.payload = {42};
+    auto raw = vprofile::extract_standard_edge_set(capture(f, sig_a, rng),
+                                                   extraction_);
+    ASSERT_TRUE(raw.has_value());
+    // Detection-time lookup must not allocate a fresh alias.
+    EXPECT_FALSE(id_map.find(raw->can_id).has_value());
+  }
+}
+
+}  // namespace

@@ -1,0 +1,176 @@
+// Tests for the Viden-style attacker identifier and CAN remote frames.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "baseline/viden_ids.hpp"
+#include "canbus/remote_frame.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+
+namespace {
+
+using baseline::VidenIds;
+using canbus::RemoteFrame;
+
+// ------------------------- Remote frames ------------------------------
+
+TEST(RemoteFrameTest, LayoutHasRecessiveRtrAndNoData) {
+  RemoteFrame f;
+  f.id = canbus::J1939Id{3, 1000, 7};
+  f.dlc = 8;
+  const auto bits = canbus::build_unstuffed_bits(f);
+  namespace fb = canbus::frame_bits;
+  EXPECT_FALSE(bits[fb::kSof]);
+  EXPECT_TRUE(bits[fb::kRtr]);  // remote request
+  // Fixed length: 39 header + 15 CRC + 10 tail, no data bits.
+  EXPECT_EQ(bits.size(), 39u + 15u + 10u);
+}
+
+TEST(RemoteFrameTest, RoundTripsRandomFrames) {
+  std::mt19937 gen(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    RemoteFrame f;
+    f.id = canbus::J1939Id{static_cast<std::uint8_t>(gen() % 8),
+                           static_cast<std::uint32_t>(gen() % 0x40000),
+                           static_cast<std::uint8_t>(gen() % 256)};
+    f.dlc = static_cast<std::uint8_t>(gen() % 9);
+    const auto parsed =
+        canbus::parse_remote_wire_bits(canbus::build_wire_bits(f));
+    ASSERT_TRUE(parsed.has_value()) << "trial " << trial;
+    EXPECT_EQ(*parsed, f);
+  }
+}
+
+TEST(RemoteFrameTest, RejectsDataFrames) {
+  canbus::DataFrame data;
+  data.id = canbus::J1939Id{3, 1000, 7};
+  data.payload = {};
+  // A data frame with empty payload has the same length but dominant RTR.
+  EXPECT_FALSE(
+      canbus::parse_remote_wire_bits(canbus::build_wire_bits(data))
+          .has_value());
+}
+
+TEST(RemoteFrameTest, RejectsCorruptionAndOversizedDlc) {
+  RemoteFrame f;
+  f.id = canbus::J1939Id{3, 1000, 7};
+  f.dlc = 9;
+  EXPECT_THROW(canbus::build_wire_bits(f), std::invalid_argument);
+  f.dlc = 4;
+  auto wire = canbus::build_wire_bits(f);
+  wire[25] = !wire[25];
+  EXPECT_FALSE(canbus::parse_remote_wire_bits(wire).has_value());
+  wire = canbus::build_wire_bits(f);
+  wire.resize(20);
+  EXPECT_FALSE(canbus::parse_remote_wire_bits(wire).has_value());
+}
+
+// ------------------------- Viden --------------------------------------
+
+class VidenTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    vehicle_ = new sim::Vehicle(sim::vehicle_a(), 8800);
+    examples_ = new std::vector<baseline::TrainExample>();
+    for (const auto& cap :
+         vehicle_->capture(1200, analog::Environment::reference())) {
+      examples_->push_back({cap.codes, cap.frame.id.source_address});
+    }
+  }
+  static void TearDownTestSuite() {
+    delete vehicle_;
+    delete examples_;
+    vehicle_ = nullptr;
+  }
+
+  static VidenIds::Options options() {
+    VidenIds::Options o;
+    o.base.bit_threshold = sim::default_bit_threshold(vehicle_->config());
+    return o;
+  }
+
+  /// Attack messages: frames from `attacker` carrying a victim SA.
+  static std::vector<dsp::Trace> attack_messages(std::size_t attacker,
+                                                 std::uint8_t victim_sa,
+                                                 std::size_t count) {
+    std::vector<dsp::Trace> out;
+    canbus::DataFrame frame;
+    frame.id = vehicle_->config().ecus[attacker].messages[0].id;
+    frame.id.source_address = victim_sa;
+    frame.payload = {1, 2, 3, 4};
+    for (std::size_t i = 0; i < count; ++i) {
+      out.push_back(vehicle_
+                        ->synthesize_message(frame, attacker,
+                                             analog::Environment::reference())
+                        .codes);
+    }
+    return out;
+  }
+
+  static sim::Vehicle* vehicle_;
+  static std::vector<baseline::TrainExample>* examples_;
+};
+
+sim::Vehicle* VidenTest::vehicle_ = nullptr;
+std::vector<baseline::TrainExample>* VidenTest::examples_ = nullptr;
+
+TEST_F(VidenTest, TrainsProfilesForAllEcus) {
+  VidenIds ids(options());
+  std::string error;
+  ASSERT_TRUE(ids.train(*examples_, vehicle_->database(), &error)) << error;
+  EXPECT_EQ(ids.class_names().size(), 5u);
+  // Profile medians reflect the configured dominant levels' ordering:
+  // ECU 2 (2.28 V) above ECU 3 (1.78 V).
+  const auto p2 = ids.profile_of(2);
+  const auto p3 = ids.profile_of(3);
+  ASSERT_TRUE(p2 && p3);
+  EXPECT_GT(p2->first, p3->first);
+}
+
+TEST_F(VidenTest, IdentifiesAttackOrigin) {
+  // The Viden use case: an IDS flagged messages claiming ECU 3's SA;
+  // Viden's profile match must name the true origin.
+  VidenIds ids(options());
+  std::string error;
+  ASSERT_TRUE(ids.train(*examples_, vehicle_->database(), &error)) << error;
+  const std::uint8_t victim_sa =
+      vehicle_->config().ecus[3].messages[0].id.source_address;
+  for (std::size_t attacker : {std::size_t{0}, std::size_t{2}}) {
+    const auto id = ids.identify(attack_messages(attacker, victim_sa, 30));
+    ASSERT_TRUE(id.has_value());
+    EXPECT_EQ(ids.class_names()[id->ecu],
+              vehicle_->config().ecus[attacker].name)
+        << "attacker " << attacker;
+  }
+}
+
+TEST_F(VidenTest, IdentifiesLegitimateSenderAsItself) {
+  VidenIds ids(options());
+  std::string error;
+  ASSERT_TRUE(ids.train(*examples_, vehicle_->database(), &error)) << error;
+  const std::uint8_t own_sa =
+      vehicle_->config().ecus[1].messages[0].id.source_address;
+  const auto id = ids.identify(attack_messages(1, own_sa, 30));
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(ids.class_names()[id->ecu], vehicle_->config().ecus[1].name);
+}
+
+TEST_F(VidenTest, RejectsInsufficientTraining) {
+  VidenIds ids(options());
+  std::string error;
+  std::vector<baseline::TrainExample> few(examples_->begin(),
+                                          examples_->begin() + 10);
+  EXPECT_FALSE(ids.train(few, vehicle_->database(), &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(VidenTest, IdentifyNeedsUsableMessages) {
+  VidenIds ids(options());
+  std::string error;
+  ASSERT_TRUE(ids.train(*examples_, vehicle_->database(), &error)) << error;
+  EXPECT_FALSE(ids.identify({}).has_value());
+  EXPECT_FALSE(ids.identify({dsp::Trace(100, 0.0)}).has_value());
+}
+
+}  // namespace

@@ -1,0 +1,86 @@
+// vprofile_capture — records CAN voltage traces from a simulated vehicle
+// into a trace file, standing in for a digitizer capture session.
+//
+// Usage:
+//   vprofile_capture --vehicle a|b --count N --out FILE
+//                    [--seed S] [--temperature C] [--battery V]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "io/trace_store.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vprofile_capture --vehicle a|b --count N --out FILE\n"
+      "                        [--seed S] [--temperature C] [--battery V]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string vehicle_name = "a";
+  std::size_t count = 2000;
+  std::string out_path;
+  std::uint64_t seed = 1;
+  analog::Environment env = analog::Environment::reference();
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--vehicle") {
+      vehicle_name = next();
+    } else if (arg == "--count") {
+      count = static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--seed") {
+      seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--temperature") {
+      env.temperature_c = std::atof(next());
+    } else if (arg == "--battery") {
+      env.battery_v = std::atof(next());
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (out_path.empty() || count == 0 ||
+      (vehicle_name != "a" && vehicle_name != "b")) {
+    usage();
+    return 2;
+  }
+
+  const sim::VehicleConfig config =
+      (vehicle_name == "a") ? sim::vehicle_a() : sim::vehicle_b();
+  sim::Vehicle vehicle(config, seed);
+
+  io::TraceSet set;
+  set.sample_rate_hz = config.adc.sample_rate_hz();
+  set.resolution_bits = config.adc.resolution_bits();
+  for (sim::Capture& cap : vehicle.capture(count, env)) {
+    set.traces.push_back(std::move(cap.codes));
+  }
+  if (!io::save_traces_file(set, out_path)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("captured %zu messages from %s (%.0f MS/s, %d bit, "
+              "%.1f C, %.2f V) -> %s\n",
+              set.traces.size(), config.name.c_str(),
+              set.sample_rate_hz / 1e6, set.resolution_bits,
+              env.temperature_c, env.battery_v, out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,103 @@
+// vprofile_detect — classifies recorded traces against a trained model.
+//
+// Usage:
+//   vprofile_detect --model MODEL --traces FILE [--margin M] [--verbose]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/detector.hpp"
+#include "core/extractor.hpp"
+#include "io/model_store.hpp"
+#include "io/trace_store.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: vprofile_detect --model MODEL --traces FILE "
+               "[--margin M] [--verbose]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string model_path;
+  std::string traces_path;
+  double margin = 4.0;
+  bool verbose = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--model") {
+      model_path = next();
+    } else if (arg == "--traces") {
+      traces_path = next();
+    } else if (arg == "--margin") {
+      margin = std::atof(next());
+    } else if (arg == "--verbose") {
+      verbose = true;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (model_path.empty() || traces_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::string error;
+  const auto model = io::load_model_file(model_path, &error);
+  if (!model) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  const auto traces = io::load_traces_file(traces_path, &error);
+  if (!traces) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  const vprofile::DetectionConfig dc{margin};
+  std::size_t ok = 0;
+  std::size_t anomalies = 0;
+  std::size_t failures = 0;
+  std::size_t index = 0;
+  for (const dsp::Trace& trace : traces->traces) {
+    const auto es = vprofile::extract_edge_set(trace, model->extraction());
+    if (!es) {
+      ++failures;
+      ++index;
+      continue;
+    }
+    const auto d = vprofile::detect(*model, *es, dc);
+    if (d.is_anomaly()) {
+      ++anomalies;
+      if (verbose) {
+        std::printf("msg %6zu  sa=0x%02X  %-18s dist=%.2f", index, es->sa,
+                    to_string(d.verdict), d.min_distance);
+        if (d.predicted_cluster) {
+          std::printf("  origin=%s",
+                      model->clusters()[*d.predicted_cluster].name.c_str());
+        }
+        std::printf("\n");
+      }
+    } else {
+      ++ok;
+    }
+    ++index;
+  }
+
+  std::printf("%zu messages: %zu ok, %zu anomalies, %zu extraction "
+              "failures (margin %.2f)\n",
+              traces->traces.size(), ok, anomalies, failures, margin);
+  return anomalies > 0 ? 3 : 0;
+}

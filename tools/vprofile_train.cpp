@@ -1,0 +1,139 @@
+// vprofile_train — trains a vProfile model from a recorded trace file.
+//
+// No SA database is required: SAs are decoded from the traces themselves
+// and clustered by distance (the "unfortunate" path of Algorithm 2).
+//
+// Usage:
+//   vprofile_train --traces FILE --out MODEL
+//                  [--bitrate BPS] [--metric euclidean|mahalanobis]
+//                  [--threshold CODE] [--ridge R]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+#include "io/model_store.hpp"
+#include "io/trace_store.hpp"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: vprofile_train --traces FILE --out MODEL\n"
+               "                      [--bitrate BPS] [--metric "
+               "euclidean|mahalanobis]\n"
+               "                      [--threshold CODE] [--ridge R]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string traces_path;
+  std::string out_path;
+  double bitrate = 250e3;
+  double threshold = 0.0;  // 0 = estimate from the first trace
+  double ridge = 0.0;
+  vprofile::DistanceMetric metric = vprofile::DistanceMetric::kMahalanobis;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--traces") {
+      traces_path = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--bitrate") {
+      bitrate = std::atof(next());
+    } else if (arg == "--threshold") {
+      threshold = std::atof(next());
+    } else if (arg == "--ridge") {
+      ridge = std::atof(next());
+    } else if (arg == "--metric") {
+      const std::string m = next();
+      if (m == "euclidean") {
+        metric = vprofile::DistanceMetric::kEuclidean;
+      } else if (m == "mahalanobis") {
+        metric = vprofile::DistanceMetric::kMahalanobis;
+      } else {
+        usage();
+        return 2;
+      }
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (traces_path.empty() || out_path.empty()) {
+    usage();
+    return 2;
+  }
+
+  std::string error;
+  const auto traces = io::load_traces_file(traces_path, &error);
+  if (!traces) {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+  if (traces->traces.empty()) {
+    std::fprintf(stderr, "error: trace file is empty\n");
+    return 1;
+  }
+  if (threshold <= 0.0) {
+    threshold = vprofile::estimate_bit_threshold(traces->traces.front());
+    std::printf("estimated bit threshold: %.0f codes\n", threshold);
+  }
+
+  const vprofile::ExtractionConfig extraction =
+      vprofile::make_extraction_config(traces->sample_rate_hz, bitrate,
+                                       threshold);
+
+  std::vector<vprofile::EdgeSet> edge_sets;
+  std::size_t failures = 0;
+  for (const dsp::Trace& trace : traces->traces) {
+    if (auto es = vprofile::extract_edge_set(trace, extraction)) {
+      edge_sets.push_back(std::move(*es));
+    } else {
+      ++failures;
+    }
+  }
+  std::printf("extracted %zu edge sets (%zu failures)\n", edge_sets.size(),
+              failures);
+
+  vprofile::TrainingConfig cfg;
+  cfg.metric = metric;
+  cfg.extraction = extraction;
+  cfg.ridge = ridge;
+  const auto outcome = vprofile::train_by_distance(edge_sets, cfg);
+  if (!outcome.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", outcome.error.c_str());
+    return 1;
+  }
+  if (outcome.ridge_used > 0.0) {
+    std::printf("note: covariance needed ridge %.3g\n", outcome.ridge_used);
+  }
+
+  if (!io::save_model_file(*outcome.model, out_path)) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
+    return 1;
+  }
+  std::printf("trained %zu clusters (%s) -> %s\n",
+              outcome.model->clusters().size(), to_string(metric),
+              out_path.c_str());
+  for (const auto& cl : outcome.model->clusters()) {
+    std::printf("  %-10s sas=[", cl.name.c_str());
+    for (std::size_t i = 0; i < cl.sas.size(); ++i) {
+      std::printf("%s0x%02X", i ? " " : "", cl.sas[i]);
+    }
+    std::printf("]  n=%zu  max_dist=%.3f\n", cl.edge_set_count,
+                cl.max_distance);
+  }
+  return 0;
+}
