@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig2_5_4_2_profiles.
+# This may be replaced when dependencies are built.

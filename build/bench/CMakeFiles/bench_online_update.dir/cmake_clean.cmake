@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_update.dir/bench_online_update.cpp.o"
+  "CMakeFiles/bench_online_update.dir/bench_online_update.cpp.o.d"
+  "bench_online_update"
+  "bench_online_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

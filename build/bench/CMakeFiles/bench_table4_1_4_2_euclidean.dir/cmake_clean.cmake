@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_1_4_2_euclidean.dir/bench_table4_1_4_2_euclidean.cpp.o"
+  "CMakeFiles/bench_table4_1_4_2_euclidean.dir/bench_table4_1_4_2_euclidean.cpp.o.d"
+  "bench_table4_1_4_2_euclidean"
+  "bench_table4_1_4_2_euclidean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_1_4_2_euclidean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_3_4_4_mahalanobis.dir/bench_table4_3_4_4_mahalanobis.cpp.o"
+  "CMakeFiles/bench_table4_3_4_4_mahalanobis.dir/bench_table4_3_4_4_mahalanobis.cpp.o.d"
+  "bench_table4_3_4_4_mahalanobis"
+  "bench_table4_3_4_4_mahalanobis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_3_4_4_mahalanobis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

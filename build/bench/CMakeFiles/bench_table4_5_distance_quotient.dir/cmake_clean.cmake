@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_5_distance_quotient.dir/bench_table4_5_distance_quotient.cpp.o"
+  "CMakeFiles/bench_table4_5_distance_quotient.dir/bench_table4_5_distance_quotient.cpp.o.d"
+  "bench_table4_5_distance_quotient"
+  "bench_table4_5_distance_quotient.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_5_distance_quotient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

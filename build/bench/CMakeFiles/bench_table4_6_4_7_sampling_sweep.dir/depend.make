@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table4_6_4_7_sampling_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_8_temperature.dir/bench_table4_8_temperature.cpp.o"
+  "CMakeFiles/bench_table4_8_temperature.dir/bench_table4_8_temperature.cpp.o.d"
+  "bench_table4_8_temperature"
+  "bench_table4_8_temperature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_8_temperature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

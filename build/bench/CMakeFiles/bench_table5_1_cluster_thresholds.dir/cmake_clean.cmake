@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_1_cluster_thresholds.dir/bench_table5_1_cluster_thresholds.cpp.o"
+  "CMakeFiles/bench_table5_1_cluster_thresholds.dir/bench_table5_1_cluster_thresholds.cpp.o.d"
+  "bench_table5_1_cluster_thresholds"
+  "bench_table5_1_cluster_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_1_cluster_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_2_edge_sets.dir/bench_table5_2_edge_sets.cpp.o"
+  "CMakeFiles/bench_table5_2_edge_sets.dir/bench_table5_2_edge_sets.cpp.o.d"
+  "bench_table5_2_edge_sets"
+  "bench_table5_2_edge_sets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_2_edge_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

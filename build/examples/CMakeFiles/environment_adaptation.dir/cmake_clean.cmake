@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/environment_adaptation.dir/environment_adaptation.cpp.o"
+  "CMakeFiles/environment_adaptation.dir/environment_adaptation.cpp.o.d"
+  "environment_adaptation"
+  "environment_adaptation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/environment_adaptation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_ids.dir/hybrid_ids.cpp.o"
+  "CMakeFiles/hybrid_ids.dir/hybrid_ids.cpp.o.d"
+  "hybrid_ids"
+  "hybrid_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

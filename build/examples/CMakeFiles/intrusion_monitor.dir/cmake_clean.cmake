@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intrusion_monitor.dir/intrusion_monitor.cpp.o"
+  "CMakeFiles/intrusion_monitor.dir/intrusion_monitor.cpp.o.d"
+  "intrusion_monitor"
+  "intrusion_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intrusion_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/vp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/vp_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/vp_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/analog/CMakeFiles/vp_analog.dir/DependInfo.cmake"
+  "/root/repo/build/src/canbus/CMakeFiles/vp_canbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vp_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

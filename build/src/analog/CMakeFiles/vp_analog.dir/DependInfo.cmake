@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analog/environment.cpp" "src/analog/CMakeFiles/vp_analog.dir/environment.cpp.o" "gcc" "src/analog/CMakeFiles/vp_analog.dir/environment.cpp.o.d"
+  "/root/repo/src/analog/signature.cpp" "src/analog/CMakeFiles/vp_analog.dir/signature.cpp.o" "gcc" "src/analog/CMakeFiles/vp_analog.dir/signature.cpp.o.d"
+  "/root/repo/src/analog/synth.cpp" "src/analog/CMakeFiles/vp_analog.dir/synth.cpp.o" "gcc" "src/analog/CMakeFiles/vp_analog.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/canbus/CMakeFiles/vp_canbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_analog.dir/environment.cpp.o"
+  "CMakeFiles/vp_analog.dir/environment.cpp.o.d"
+  "CMakeFiles/vp_analog.dir/signature.cpp.o"
+  "CMakeFiles/vp_analog.dir/signature.cpp.o.d"
+  "CMakeFiles/vp_analog.dir/synth.cpp.o"
+  "CMakeFiles/vp_analog.dir/synth.cpp.o.d"
+  "libvp_analog.a"
+  "libvp_analog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/analog/CMakeFiles/vp_analog.dir/environment.cpp.o: \
+ /root/repo/src/analog/environment.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/analog/environment.hpp

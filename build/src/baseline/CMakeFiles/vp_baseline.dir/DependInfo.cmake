@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/delay_locator.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/delay_locator.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/delay_locator.cpp.o.d"
+  "/root/repo/src/baseline/features.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/features.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/features.cpp.o.d"
+  "/root/repo/src/baseline/fisher.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/fisher.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/fisher.cpp.o.d"
+  "/root/repo/src/baseline/logistic_ids.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/logistic_ids.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/logistic_ids.cpp.o.d"
+  "/root/repo/src/baseline/mse_ids.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/mse_ids.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/mse_ids.cpp.o.d"
+  "/root/repo/src/baseline/simple_ids.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/simple_ids.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/simple_ids.cpp.o.d"
+  "/root/repo/src/baseline/timing_ids.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/timing_ids.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/timing_ids.cpp.o.d"
+  "/root/repo/src/baseline/viden_ids.cpp" "src/baseline/CMakeFiles/vp_baseline.dir/viden_ids.cpp.o" "gcc" "src/baseline/CMakeFiles/vp_baseline.dir/viden_ids.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/vp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vp_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/canbus/CMakeFiles/vp_canbus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

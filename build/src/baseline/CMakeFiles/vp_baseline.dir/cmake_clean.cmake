@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_baseline.dir/delay_locator.cpp.o"
+  "CMakeFiles/vp_baseline.dir/delay_locator.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/features.cpp.o"
+  "CMakeFiles/vp_baseline.dir/features.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/fisher.cpp.o"
+  "CMakeFiles/vp_baseline.dir/fisher.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/logistic_ids.cpp.o"
+  "CMakeFiles/vp_baseline.dir/logistic_ids.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/mse_ids.cpp.o"
+  "CMakeFiles/vp_baseline.dir/mse_ids.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/simple_ids.cpp.o"
+  "CMakeFiles/vp_baseline.dir/simple_ids.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/timing_ids.cpp.o"
+  "CMakeFiles/vp_baseline.dir/timing_ids.cpp.o.d"
+  "CMakeFiles/vp_baseline.dir/viden_ids.cpp.o"
+  "CMakeFiles/vp_baseline.dir/viden_ids.cpp.o.d"
+  "libvp_baseline.a"
+  "libvp_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

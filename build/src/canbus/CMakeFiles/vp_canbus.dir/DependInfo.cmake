@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/canbus/arbitration.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/arbitration.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/arbitration.cpp.o.d"
+  "/root/repo/src/canbus/crc15.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/crc15.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/crc15.cpp.o.d"
+  "/root/repo/src/canbus/error_state.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/error_state.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/error_state.cpp.o.d"
+  "/root/repo/src/canbus/frame.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/frame.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/frame.cpp.o.d"
+  "/root/repo/src/canbus/j1939.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/j1939.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/j1939.cpp.o.d"
+  "/root/repo/src/canbus/remote_frame.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/remote_frame.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/remote_frame.cpp.o.d"
+  "/root/repo/src/canbus/scheduler.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/scheduler.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/scheduler.cpp.o.d"
+  "/root/repo/src/canbus/standard_frame.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/standard_frame.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/standard_frame.cpp.o.d"
+  "/root/repo/src/canbus/stuffing.cpp" "src/canbus/CMakeFiles/vp_canbus.dir/stuffing.cpp.o" "gcc" "src/canbus/CMakeFiles/vp_canbus.dir/stuffing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/vp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

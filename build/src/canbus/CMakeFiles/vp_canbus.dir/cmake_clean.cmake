@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_canbus.dir/arbitration.cpp.o"
+  "CMakeFiles/vp_canbus.dir/arbitration.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/crc15.cpp.o"
+  "CMakeFiles/vp_canbus.dir/crc15.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/error_state.cpp.o"
+  "CMakeFiles/vp_canbus.dir/error_state.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/frame.cpp.o"
+  "CMakeFiles/vp_canbus.dir/frame.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/j1939.cpp.o"
+  "CMakeFiles/vp_canbus.dir/j1939.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/remote_frame.cpp.o"
+  "CMakeFiles/vp_canbus.dir/remote_frame.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/scheduler.cpp.o"
+  "CMakeFiles/vp_canbus.dir/scheduler.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/standard_frame.cpp.o"
+  "CMakeFiles/vp_canbus.dir/standard_frame.cpp.o.d"
+  "CMakeFiles/vp_canbus.dir/stuffing.cpp.o"
+  "CMakeFiles/vp_canbus.dir/stuffing.cpp.o.d"
+  "libvp_canbus.a"
+  "libvp_canbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_canbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

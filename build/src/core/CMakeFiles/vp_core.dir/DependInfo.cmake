@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/vp_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/extractor.cpp" "src/core/CMakeFiles/vp_core.dir/extractor.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/extractor.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/vp_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/online_update.cpp" "src/core/CMakeFiles/vp_core.dir/online_update.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/online_update.cpp.o.d"
+  "/root/repo/src/core/standard_extractor.cpp" "src/core/CMakeFiles/vp_core.dir/standard_extractor.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/standard_extractor.cpp.o.d"
+  "/root/repo/src/core/trainer.cpp" "src/core/CMakeFiles/vp_core.dir/trainer.cpp.o" "gcc" "src/core/CMakeFiles/vp_core.dir/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/vp_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/vp_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/canbus/CMakeFiles/vp_canbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/vp_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

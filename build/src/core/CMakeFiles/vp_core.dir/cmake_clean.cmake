@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_core.dir/detector.cpp.o"
+  "CMakeFiles/vp_core.dir/detector.cpp.o.d"
+  "CMakeFiles/vp_core.dir/extractor.cpp.o"
+  "CMakeFiles/vp_core.dir/extractor.cpp.o.d"
+  "CMakeFiles/vp_core.dir/model.cpp.o"
+  "CMakeFiles/vp_core.dir/model.cpp.o.d"
+  "CMakeFiles/vp_core.dir/online_update.cpp.o"
+  "CMakeFiles/vp_core.dir/online_update.cpp.o.d"
+  "CMakeFiles/vp_core.dir/standard_extractor.cpp.o"
+  "CMakeFiles/vp_core.dir/standard_extractor.cpp.o.d"
+  "CMakeFiles/vp_core.dir/trainer.cpp.o"
+  "CMakeFiles/vp_core.dir/trainer.cpp.o.d"
+  "libvp_core.a"
+  "libvp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

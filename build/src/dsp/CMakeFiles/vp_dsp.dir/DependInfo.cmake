@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/adc.cpp" "src/dsp/CMakeFiles/vp_dsp.dir/adc.cpp.o" "gcc" "src/dsp/CMakeFiles/vp_dsp.dir/adc.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/vp_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/vp_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/vp_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/vp_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/trace.cpp" "src/dsp/CMakeFiles/vp_dsp.dir/trace.cpp.o" "gcc" "src/dsp/CMakeFiles/vp_dsp.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

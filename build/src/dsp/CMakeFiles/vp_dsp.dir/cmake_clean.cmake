@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_dsp.dir/adc.cpp.o"
+  "CMakeFiles/vp_dsp.dir/adc.cpp.o.d"
+  "CMakeFiles/vp_dsp.dir/fir.cpp.o"
+  "CMakeFiles/vp_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/vp_dsp.dir/resample.cpp.o"
+  "CMakeFiles/vp_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/vp_dsp.dir/trace.cpp.o"
+  "CMakeFiles/vp_dsp.dir/trace.cpp.o.d"
+  "libvp_dsp.a"
+  "libvp_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

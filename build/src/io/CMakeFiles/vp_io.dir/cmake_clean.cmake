@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_io.dir/csv.cpp.o"
+  "CMakeFiles/vp_io.dir/csv.cpp.o.d"
+  "CMakeFiles/vp_io.dir/model_store.cpp.o"
+  "CMakeFiles/vp_io.dir/model_store.cpp.o.d"
+  "CMakeFiles/vp_io.dir/trace_store.cpp.o"
+  "CMakeFiles/vp_io.dir/trace_store.cpp.o.d"
+  "libvp_io.a"
+  "libvp_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

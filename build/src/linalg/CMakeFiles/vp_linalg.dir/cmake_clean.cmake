@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/vp_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/vp_linalg.dir/covariance.cpp.o"
+  "CMakeFiles/vp_linalg.dir/covariance.cpp.o.d"
+  "CMakeFiles/vp_linalg.dir/eigen.cpp.o"
+  "CMakeFiles/vp_linalg.dir/eigen.cpp.o.d"
+  "CMakeFiles/vp_linalg.dir/mahalanobis.cpp.o"
+  "CMakeFiles/vp_linalg.dir/mahalanobis.cpp.o.d"
+  "CMakeFiles/vp_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/vp_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/vp_linalg.dir/vector_ops.cpp.o"
+  "CMakeFiles/vp_linalg.dir/vector_ops.cpp.o.d"
+  "libvp_linalg.a"
+  "libvp_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

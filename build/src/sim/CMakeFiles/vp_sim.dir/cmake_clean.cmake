@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_sim.dir/attack.cpp.o"
+  "CMakeFiles/vp_sim.dir/attack.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/experiment.cpp.o"
+  "CMakeFiles/vp_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/presets.cpp.o"
+  "CMakeFiles/vp_sim.dir/presets.cpp.o.d"
+  "CMakeFiles/vp_sim.dir/vehicle.cpp.o"
+  "CMakeFiles/vp_sim.dir/vehicle.cpp.o.d"
+  "libvp_sim.a"
+  "libvp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vp_stats.dir/confusion.cpp.o"
+  "CMakeFiles/vp_stats.dir/confusion.cpp.o.d"
+  "CMakeFiles/vp_stats.dir/interval.cpp.o"
+  "CMakeFiles/vp_stats.dir/interval.cpp.o.d"
+  "CMakeFiles/vp_stats.dir/summary.cpp.o"
+  "CMakeFiles/vp_stats.dir/summary.cpp.o.d"
+  "CMakeFiles/vp_stats.dir/welford.cpp.o"
+  "CMakeFiles/vp_stats.dir/welford.cpp.o.d"
+  "libvp_stats.a"
+  "libvp_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vp_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analog.dir/test_analog.cpp.o"
+  "CMakeFiles/test_analog.dir/test_analog.cpp.o.d"
+  "test_analog"
+  "test_analog.pdb"
+  "test_analog[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

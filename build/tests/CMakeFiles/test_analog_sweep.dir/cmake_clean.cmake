@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_analog_sweep.dir/test_analog_sweep.cpp.o"
+  "CMakeFiles/test_analog_sweep.dir/test_analog_sweep.cpp.o.d"
+  "test_analog_sweep"
+  "test_analog_sweep.pdb"
+  "test_analog_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_analog_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

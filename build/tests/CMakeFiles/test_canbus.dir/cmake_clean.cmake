@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_canbus.dir/test_canbus.cpp.o"
+  "CMakeFiles/test_canbus.dir/test_canbus.cpp.o.d"
+  "test_canbus"
+  "test_canbus.pdb"
+  "test_canbus[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_canbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_error_state.dir/test_error_state.cpp.o"
+  "CMakeFiles/test_error_state.dir/test_error_state.cpp.o.d"
+  "test_error_state"
+  "test_error_state.pdb"
+  "test_error_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_error_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_update.dir/test_online_update.cpp.o"
+  "CMakeFiles/test_online_update.dir/test_online_update.cpp.o.d"
+  "test_online_update"
+  "test_online_update.pdb"
+  "test_online_update[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

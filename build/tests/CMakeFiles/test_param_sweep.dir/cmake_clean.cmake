@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_param_sweep.dir/test_param_sweep.cpp.o"
+  "CMakeFiles/test_param_sweep.dir/test_param_sweep.cpp.o.d"
+  "test_param_sweep"
+  "test_param_sweep.pdb"
+  "test_param_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_param_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_standard_frames.dir/test_standard_frames.cpp.o"
+  "CMakeFiles/test_standard_frames.dir/test_standard_frames.cpp.o.d"
+  "test_standard_frames"
+  "test_standard_frames.pdb"
+  "test_standard_frames[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_standard_frames.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_timing_ids.dir/test_timing_ids.cpp.o"
+  "CMakeFiles/test_timing_ids.dir/test_timing_ids.cpp.o.d"
+  "test_timing_ids"
+  "test_timing_ids.pdb"
+  "test_timing_ids[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_timing_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

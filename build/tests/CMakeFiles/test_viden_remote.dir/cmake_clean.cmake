@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_viden_remote.dir/test_viden_remote.cpp.o"
+  "CMakeFiles/test_viden_remote.dir/test_viden_remote.cpp.o.d"
+  "test_viden_remote"
+  "test_viden_remote.pdb"
+  "test_viden_remote[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_viden_remote.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_canbus[1]_include.cmake")
+include("/root/repo/build/tests/test_dsp[1]_include.cmake")
+include("/root/repo/build/tests/test_analog[1]_include.cmake")
+include("/root/repo/build/tests/test_extractor[1]_include.cmake")
+include("/root/repo/build/tests/test_trainer[1]_include.cmake")
+include("/root/repo/build/tests/test_detector[1]_include.cmake")
+include("/root/repo/build/tests/test_online_update[1]_include.cmake")
+include("/root/repo/build/tests/test_baseline[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_io[1]_include.cmake")
+include("/root/repo/build/tests/test_standard_frames[1]_include.cmake")
+include("/root/repo/build/tests/test_error_state[1]_include.cmake")
+include("/root/repo/build/tests/test_timing_ids[1]_include.cmake")
+include("/root/repo/build/tests/test_param_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")
+include("/root/repo/build/tests/test_delay_locator[1]_include.cmake")
+include("/root/repo/build/tests/test_viden_remote[1]_include.cmake")
+include("/root/repo/build/tests/test_analog_sweep[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprofile_capture.dir/vprofile_capture.cpp.o"
+  "CMakeFiles/vprofile_capture.dir/vprofile_capture.cpp.o.d"
+  "vprofile_capture"
+  "vprofile_capture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprofile_capture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprofile_detect.dir/vprofile_detect.cpp.o"
+  "CMakeFiles/vprofile_detect.dir/vprofile_detect.cpp.o.d"
+  "vprofile_detect"
+  "vprofile_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprofile_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

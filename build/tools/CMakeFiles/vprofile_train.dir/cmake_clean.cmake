@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vprofile_train.dir/vprofile_train.cpp.o"
+  "CMakeFiles/vprofile_train.dir/vprofile_train.cpp.o.d"
+  "vprofile_train"
+  "vprofile_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vprofile_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
