@@ -1,0 +1,149 @@
+// bench_pipeline — sequential vs parallel streaming-detection throughput.
+//
+// Scores one pre-captured hijack stream (Vehicle A) three ways: the
+// single-threaded reference (pipeline::score_sequential), the pipeline at
+// 1 worker (queue + reorder overhead in isolation), and the pipeline at
+// 2/4/8 workers.  Verifies that every parallel verdict stream is
+// bit-identical to the sequential one before reporting throughput, and
+// also times the parallel trainer.  Counts scale with VPROFILE_BENCH_SCALE
+// like the other benches.  Note: speedup is bounded by the machine's core
+// count — on a single-core container every arm measures the same work.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/attack.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool streams_identical(const std::vector<pipeline::FrameResult>& a,
+                       const std::vector<pipeline::FrameResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].seq != b[i].seq || a[i].dropped != b[i].dropped ||
+        a[i].extract_error != b[i].extract_error || a[i].sa != b[i].sa ||
+        a[i].detection.has_value() != b[i].detection.has_value()) {
+      return false;
+    }
+    if (a[i].detection &&
+        (a[i].detection->verdict != b[i].detection->verdict ||
+         a[i].detection->min_distance != b[i].detection->min_distance)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t train_count = bench::scaled(2000);
+  const std::size_t stream_count = bench::scaled(6000);
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  bench::print_header("pipeline throughput: sequential vs parallel");
+  std::printf("hardware threads: %u   train %zu msgs, stream %zu msgs\n\n",
+              hw, train_count, stream_count);
+
+  const sim::VehicleConfig config = sim::vehicle_a();
+  sim::Vehicle vehicle(config, 2024);
+  const analog::Environment env = analog::Environment::reference();
+  const vprofile::ExtractionConfig extraction = sim::default_extraction(config);
+
+  // --- Training: single-threaded vs per-cluster parallel. ---
+  std::vector<vprofile::EdgeSet> edge_sets;
+  edge_sets.reserve(train_count);
+  for (const sim::Capture& cap : vehicle.capture(train_count, env)) {
+    if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
+      edge_sets.push_back(std::move(*es));
+    }
+  }
+  vprofile::TrainingConfig tc;
+  tc.extraction = extraction;
+  tc.num_threads = 1;
+  auto t0 = Clock::now();
+  vprofile::TrainOutcome trained =
+      vprofile::train_with_database(edge_sets, vehicle.database(), tc);
+  const double train_seq_s = seconds_since(t0);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", trained.error.c_str());
+    return 1;
+  }
+  tc.num_threads = 4;
+  t0 = Clock::now();
+  const vprofile::TrainOutcome trained4 =
+      vprofile::train_with_database(edge_sets, vehicle.database(), tc);
+  const double train_par_s = seconds_since(t0);
+  std::printf("train (%zu edge sets, %zu clusters):\n", edge_sets.size(),
+              trained.model->clusters().size());
+  std::printf("  1 thread   %7.3f s\n", train_seq_s);
+  std::printf("  4 threads  %7.3f s   speedup %.2fx\n\n", train_par_s,
+              train_par_s > 0.0 ? train_seq_s / train_par_s : 0.0);
+  if (!trained4.ok()) {
+    std::fprintf(stderr, "parallel training failed: %s\n",
+                 trained4.error.c_str());
+    return 1;
+  }
+  const vprofile::Model& model = *trained.model;
+
+  // --- Streaming detection. ---
+  std::vector<dsp::Trace> traces;
+  traces.reserve(stream_count);
+  for (sim::LabeledCapture& lc :
+       sim::make_hijack_stream(vehicle, stream_count, 0.2, env)) {
+    traces.push_back(std::move(lc.capture.codes));
+  }
+  const vprofile::DetectionConfig dc{0.5};
+
+  t0 = Clock::now();
+  const std::vector<pipeline::FrameResult> reference =
+      pipeline::score_sequential(model, traces, dc);
+  const double seq_s = seconds_since(t0);
+  const double seq_fps = static_cast<double>(traces.size()) / seq_s;
+  std::printf("detect (%zu msgs):\n", traces.size());
+  std::printf("  sequential  %7.3f s  %9.0f msg/s  (baseline)\n", seq_s,
+              seq_fps);
+
+  for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+    pipeline::PipelineConfig pc;
+    pc.num_workers = workers;
+    pc.queue_capacity = 512;
+    pc.detection = dc;
+    std::vector<pipeline::FrameResult> results;
+    results.reserve(traces.size());
+    t0 = Clock::now();
+    {
+      pipeline::DetectionPipeline pipe(
+          model, pc, [&](pipeline::FrameResult&& r) {
+            results.push_back(std::move(r));
+          });
+      for (const dsp::Trace& trace : traces) pipe.submit(trace);
+      pipe.finish();
+    }
+    const double par_s = seconds_since(t0);
+    const bool identical = streams_identical(reference, results);
+    std::printf("  %zu worker%s   %7.3f s  %9.0f msg/s  speedup %.2fx  "
+                "verdicts %s\n",
+                workers, workers == 1 ? " " : "s", par_s,
+                static_cast<double>(traces.size()) / par_s, seq_s / par_s,
+                identical ? "identical" : "MISMATCH");
+    if (!identical) return 1;
+  }
+
+  std::printf("\nnote: expect ~linear scaling up to the physical core "
+              "count; this host reports %u.\n", hw);
+  return 0;
+}

@@ -1,10 +1,12 @@
 #include "core/trainer.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <map>
 #include <numeric>
 #include <sstream>
+#include <thread>
 
 #include "linalg/cholesky.hpp"
 #include "linalg/covariance.hpp"
@@ -20,7 +22,82 @@ struct ClusterGroup {
   std::vector<const EdgeSet*> members;
 };
 
-/// Builds the per-cluster statistics and assembles the model.
+/// Per-cluster outcome; built independently so clusters can be processed
+/// on any thread.
+struct ClusterBuild {
+  std::optional<ClusterModel> cluster;
+  std::string error;
+  double ridge_used = 0.0;
+};
+
+/// Accumulates one cluster's statistics (covariance, factorization,
+/// inverse, max training distance).  Consumes the group.
+ClusterBuild build_cluster(ClusterGroup& g, const TrainingConfig& config) {
+  ClusterBuild build;
+  const std::size_t dim = config.extraction.dimension();
+  if (g.members.size() < config.min_cluster_size) {
+    std::ostringstream os;
+    os << "cluster '" << g.name << "' has only " << g.members.size()
+       << " edge sets (min " << config.min_cluster_size << ")";
+    build.error = os.str();
+    return build;
+  }
+  linalg::CovarianceAccumulator acc(dim);
+  for (const EdgeSet* e : g.members) {
+    if (e->samples.size() != dim) {
+      build.error = "edge set dimension mismatch";
+      return build;
+    }
+    acc.add(e->samples);
+  }
+
+  ClusterModel cm;
+  cm.name = std::move(g.name);
+  cm.sas = std::move(g.sas);
+  cm.mean = acc.mean();
+  cm.edge_set_count = acc.count();
+
+  if (config.metric == DistanceMetric::kMahalanobis) {
+    cm.covariance = acc.covariance();
+    std::optional<linalg::Cholesky> factor =
+        linalg::Cholesky::factorize(cm.covariance);
+    if (!factor && config.ridge > 0.0) {
+      auto ridged = linalg::factorize_with_ridge(cm.covariance, config.ridge);
+      if (ridged) {
+        build.ridge_used = ridged->ridge;
+        cm.covariance.add_ridge(ridged->ridge);
+        factor = std::move(ridged->factor);
+      }
+    }
+    if (!factor) {
+      build.error = "singular covariance matrix for cluster '" + cm.name + "'";
+      return build;
+    }
+    cm.inv_covariance = factor->inverse();
+  }
+
+  // Detection threshold: the largest training distance to the mean.
+  double max_dist = 0.0;
+  for (const EdgeSet* e : g.members) {
+    double d;
+    if (config.metric == DistanceMetric::kEuclidean) {
+      d = linalg::euclidean_distance(e->samples, cm.mean);
+    } else {
+      d = linalg::mahalanobis_distance_inv(e->samples, cm.mean,
+                                           cm.inv_covariance);
+    }
+    max_dist = std::max(max_dist, d);
+  }
+  cm.max_distance = max_dist;
+  build.cluster = std::move(cm);
+  return build;
+}
+
+/// Builds the per-cluster statistics and assembles the model.  Clusters
+/// are independent, so with config.num_threads > 1 they are processed by
+/// a small worker pool; results land in per-cluster slots and are
+/// aggregated in cluster order, making the outcome (model, first error,
+/// accumulated ridge) identical to the single-threaded path.
 TrainOutcome finalize(std::vector<ClusterGroup> groups,
                       const TrainingConfig& config) {
   TrainOutcome outcome;
@@ -28,68 +105,41 @@ TrainOutcome finalize(std::vector<ClusterGroup> groups,
     outcome.error = "no training data";
     return outcome;
   }
-  const std::size_t dim = config.extraction.dimension();
 
+  const std::size_t n = groups.size();
+  std::vector<ClusterBuild> builds(n);
+  const std::size_t num_threads =
+      std::min(std::max<std::size_t>(config.num_threads, 1), n);
+  if (num_threads <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      builds[i] = build_cluster(groups[i], config);
+    }
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto work = [&] {
+      for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
+        builds[i] = build_cluster(groups[i], config);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(num_threads - 1);
+    for (std::size_t t = 0; t + 1 < num_threads; ++t) pool.emplace_back(work);
+    work();
+    for (std::thread& t : pool) t.join();
+  }
+
+  // Aggregate in cluster order: the first failing cluster's error is
+  // reported, with the ridge accumulated over the clusters before it —
+  // exactly what a sequential pass over `groups` produces.
   std::vector<ClusterModel> clusters;
-  clusters.reserve(groups.size());
-  for (ClusterGroup& g : groups) {
-    if (g.members.size() < config.min_cluster_size) {
-      std::ostringstream os;
-      os << "cluster '" << g.name << "' has only " << g.members.size()
-         << " edge sets (min " << config.min_cluster_size << ")";
-      outcome.error = os.str();
+  clusters.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    outcome.ridge_used = std::max(outcome.ridge_used, builds[i].ridge_used);
+    if (!builds[i].error.empty()) {
+      outcome.error = builds[i].error;
       return outcome;
     }
-    linalg::CovarianceAccumulator acc(dim);
-    for (const EdgeSet* e : g.members) {
-      if (e->samples.size() != dim) {
-        outcome.error = "edge set dimension mismatch";
-        return outcome;
-      }
-      acc.add(e->samples);
-    }
-
-    ClusterModel cm;
-    cm.name = std::move(g.name);
-    cm.sas = std::move(g.sas);
-    cm.mean = acc.mean();
-    cm.edge_set_count = acc.count();
-
-    if (config.metric == DistanceMetric::kMahalanobis) {
-      cm.covariance = acc.covariance();
-      std::optional<linalg::Cholesky> factor =
-          linalg::Cholesky::factorize(cm.covariance);
-      if (!factor && config.ridge > 0.0) {
-        auto ridged =
-            linalg::factorize_with_ridge(cm.covariance, config.ridge);
-        if (ridged) {
-          outcome.ridge_used = std::max(outcome.ridge_used, ridged->ridge);
-          cm.covariance.add_ridge(ridged->ridge);
-          factor = std::move(ridged->factor);
-        }
-      }
-      if (!factor) {
-        outcome.error =
-            "singular covariance matrix for cluster '" + cm.name + "'";
-        return outcome;
-      }
-      cm.inv_covariance = factor->inverse();
-    }
-
-    // Detection threshold: the largest training distance to the mean.
-    double max_dist = 0.0;
-    for (const EdgeSet* e : g.members) {
-      double d;
-      if (config.metric == DistanceMetric::kEuclidean) {
-        d = linalg::euclidean_distance(e->samples, cm.mean);
-      } else {
-        d = linalg::mahalanobis_distance_inv(e->samples, cm.mean,
-                                             cm.inv_covariance);
-      }
-      max_dist = std::max(max_dist, d);
-    }
-    cm.max_distance = max_dist;
-    clusters.push_back(std::move(cm));
+    clusters.push_back(std::move(*builds[i].cluster));
   }
 
   outcome.model.emplace(config.metric, config.extraction, std::move(clusters));

@@ -1,0 +1,66 @@
+// Lightweight observability for the streaming pipeline.
+//
+// All counters are relaxed atomics: they are monitoring data, not
+// synchronization, and the hot path must not pay for ordering it does not
+// need.  snapshot() gives a coherent-enough view for printing; exact
+// cross-counter consistency is only guaranteed after finish().
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace pipeline {
+
+/// Plain-value view of the counters at one instant.
+struct CountersSnapshot {
+  std::uint64_t submitted = 0;   // frames handed to submit()
+  std::uint64_t completed = 0;   // frames a worker finished scoring
+  std::uint64_t dropped = 0;     // frames rejected by a full queue
+  std::uint64_t extract_ns = 0;  // total wall time in extract_edge_set
+  std::uint64_t detect_ns = 0;   // total wall time in detect()
+  std::size_t queue_high_watermark = 0;
+
+  double mean_extract_us() const {
+    return completed ? static_cast<double>(extract_ns) / completed / 1e3 : 0.0;
+  }
+  double mean_detect_us() const {
+    return completed ? static_cast<double>(detect_ns) / completed / 1e3 : 0.0;
+  }
+  /// Throughput over an externally timed interval.
+  double frames_per_second(double elapsed_s) const {
+    return elapsed_s > 0.0 ? static_cast<double>(completed) / elapsed_s : 0.0;
+  }
+};
+
+/// Shared mutable counters; one instance per pipeline.
+class Counters {
+ public:
+  void add_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
+  void add_dropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  void add_completed(std::uint64_t extract_ns, std::uint64_t detect_ns) {
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    extract_ns_.fetch_add(extract_ns, std::memory_order_relaxed);
+    detect_ns_.fetch_add(detect_ns, std::memory_order_relaxed);
+  }
+
+  CountersSnapshot snapshot(std::size_t queue_high_watermark = 0) const {
+    CountersSnapshot s;
+    s.submitted = submitted_.load(std::memory_order_relaxed);
+    s.completed = completed_.load(std::memory_order_relaxed);
+    s.dropped = dropped_.load(std::memory_order_relaxed);
+    s.extract_ns = extract_ns_.load(std::memory_order_relaxed);
+    s.detect_ns = detect_ns_.load(std::memory_order_relaxed);
+    s.queue_high_watermark = queue_high_watermark;
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> extract_ns_{0};
+  std::atomic<std::uint64_t> detect_ns_{0};
+};
+
+}  // namespace pipeline

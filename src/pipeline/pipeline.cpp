@@ -1,0 +1,135 @@
+#include "pipeline/pipeline.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+namespace pipeline {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+/// The one scoring routine both the workers and the sequential reference
+/// run — sharing it is what makes pipeline-vs-sequential equivalence a
+/// property of the code rather than a hope.
+FrameResult score_frame(const vprofile::Model& model, const dsp::Trace& trace,
+                        const vprofile::DetectionConfig& dc,
+                        std::uint64_t* extract_ns, std::uint64_t* detect_ns) {
+  FrameResult result;
+  const auto t0 = Clock::now();
+  vprofile::ExtractError err = vprofile::ExtractError::kNone;
+  const auto edge_set =
+      vprofile::extract_edge_set(trace, model.extraction(), &err);
+  const auto t1 = Clock::now();
+  *extract_ns = ns_between(t0, t1);
+  if (!edge_set) {
+    result.extract_error = err;
+    *detect_ns = 0;
+    return result;
+  }
+  result.sa = edge_set->sa;
+  result.detection = vprofile::detect(model, *edge_set, dc);
+  *detect_ns = ns_between(t1, Clock::now());
+  return result;
+}
+
+}  // namespace
+
+DetectionPipeline::DetectionPipeline(const vprofile::Model& model,
+                                     PipelineConfig config, ResultSink sink)
+    : model_(model),
+      config_(config),
+      queue_(config.queue_capacity),
+      collector_(std::move(sink)) {
+  if (config_.num_workers == 0) {
+    throw std::invalid_argument("DetectionPipeline: need at least one worker");
+  }
+  workers_.reserve(config_.num_workers);
+  for (std::size_t i = 0; i < config_.num_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+DetectionPipeline::~DetectionPipeline() { finish(); }
+
+std::optional<std::uint64_t> DetectionPipeline::submit(dsp::Trace trace) {
+  // One lock covers seq assignment *and* the enqueue/drop decision, so the
+  // collector always sees a dense sequence space: every assigned seq is
+  // either in the queue or already emitted as dropped.  Backpressure in
+  // blocking mode stalls all producers here, which is the intent.
+  std::lock_guard<std::mutex> lock(submit_mu_);
+  if (finished_) return std::nullopt;
+  const std::uint64_t seq = next_seq_;
+  Job job{seq, std::move(trace)};
+  bool accepted;
+  if (config_.block_when_full) {
+    accepted = queue_.push(std::move(job));
+  } else {
+    accepted = queue_.try_push(std::move(job));
+  }
+  ++next_seq_;
+  counters_.add_submitted();
+  if (accepted) return seq;
+
+  counters_.add_dropped();
+  FrameResult dropped;
+  dropped.seq = seq;
+  dropped.dropped = true;
+  collector_.submit(seq, std::move(dropped));
+  return std::nullopt;
+}
+
+void DetectionPipeline::finish() {
+  {
+    std::lock_guard<std::mutex> lock(submit_mu_);
+    finished_ = true;
+  }
+  queue_.close();
+  // Serialize joining so concurrent finish() calls are safe: the second
+  // caller blocks here until the first has joined everything, then sees
+  // every worker unjoinable.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+CountersSnapshot DetectionPipeline::counters() const {
+  return counters_.snapshot(queue_.high_watermark());
+}
+
+void DetectionPipeline::worker_loop() {
+  while (auto job = queue_.pop()) {
+    std::uint64_t extract_ns = 0;
+    std::uint64_t detect_ns = 0;
+    FrameResult result =
+        score_frame(model_, job->trace, config_.detection, &extract_ns,
+                    &detect_ns);
+    result.seq = job->seq;
+    counters_.add_completed(extract_ns, detect_ns);
+    collector_.submit(job->seq, std::move(result));
+  }
+}
+
+std::vector<FrameResult> score_sequential(
+    const vprofile::Model& model, const std::vector<dsp::Trace>& traces,
+    const vprofile::DetectionConfig& dc) {
+  std::vector<FrameResult> results;
+  results.reserve(traces.size());
+  std::uint64_t seq = 0;
+  for (const dsp::Trace& trace : traces) {
+    std::uint64_t extract_ns = 0;
+    std::uint64_t detect_ns = 0;
+    FrameResult r = score_frame(model, trace, dc, &extract_ns, &detect_ns);
+    r.seq = seq++;
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+}  // namespace pipeline

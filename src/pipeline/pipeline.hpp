@@ -1,0 +1,132 @@
+// Streaming capture -> extract -> detect pipeline.
+//
+// The batch path (sim::Experiment) scores recorded captures one at a time;
+// a deployed vProfile monitor has to keep up with a live bus.  This
+// pipeline runs Algorithm 1 + Algorithm 3 on a worker pool behind a
+// bounded queue and re-orders verdicts back into capture order:
+//
+//   submit(trace)                    worker pool                sink
+//   ------------- > RingQueue > extract_edge_set + detect > OrderedCollector
+//    (seq assigned)  (bounded,        (parallel)              (capture order)
+//                    backpressure)
+//
+// Guarantees:
+//  * Every submitted frame produces exactly one FrameResult at the sink,
+//    in submission order, even when workers finish out of order and even
+//    for frames dropped by a full queue in non-blocking mode.
+//  * Scoring is bit-identical to calling extract_edge_set() + detect()
+//    sequentially: workers share the (immutable) model and config and
+//    nothing about a frame's result depends on scheduling.
+//  * finish() drains: it stops intake, waits for every accepted frame to
+//    be scored and emitted, then joins the workers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/extractor.hpp"
+#include "core/model.hpp"
+#include "dsp/trace.hpp"
+#include "pipeline/counters.hpp"
+#include "pipeline/ordered_collector.hpp"
+#include "pipeline/ring_queue.hpp"
+
+namespace pipeline {
+
+/// Pipeline tuning knobs.
+struct PipelineConfig {
+  /// Worker threads running extraction + detection.
+  std::size_t num_workers = 1;
+  /// Ring capacity between submit() and the workers.
+  std::size_t queue_capacity = 256;
+  /// true: submit() blocks while the queue is full (lossless, offline
+  /// scoring).  false: submit() drops the frame and records it (live
+  /// monitor that must never stall the tap).
+  bool block_when_full = true;
+  vprofile::DetectionConfig detection;
+};
+
+/// One frame's outcome, emitted in capture order.
+struct FrameResult {
+  std::uint64_t seq = 0;
+  /// Frame rejected by a full queue (non-blocking mode); nothing else set.
+  bool dropped = false;
+  /// kNone iff extraction succeeded and `detection` is set.
+  vprofile::ExtractError extract_error = vprofile::ExtractError::kNone;
+  /// SA decoded from the trace; only valid when ok().
+  std::uint8_t sa = 0;
+  std::optional<vprofile::Detection> detection;
+
+  bool ok() const {
+    return !dropped && extract_error == vprofile::ExtractError::kNone;
+  }
+};
+
+/// Worker-pool pipeline over one trained model.  The model must outlive
+/// the pipeline and is never mutated through it.
+class DetectionPipeline {
+ public:
+  using ResultSink = std::function<void(FrameResult&&)>;
+
+  /// Starts the workers.  The sink is called in strict capture order from
+  /// worker threads (serialized by the collector); keep it cheap.  Throws
+  /// std::invalid_argument for zero workers.
+  DetectionPipeline(const vprofile::Model& model, PipelineConfig config,
+                    ResultSink sink);
+
+  /// Drains and joins (finish()) if the caller did not.
+  ~DetectionPipeline();
+
+  DetectionPipeline(const DetectionPipeline&) = delete;
+  DetectionPipeline& operator=(const DetectionPipeline&) = delete;
+
+  /// Enqueues one message-aligned trace; thread-safe.  Returns the frame's
+  /// sequence number, or std::nullopt when the frame was not accepted —
+  /// dropped by a full queue in non-blocking mode (still emitted to the
+  /// sink as a dropped FrameResult, in order) or refused after finish()
+  /// (not emitted: it was never part of the stream).
+  std::optional<std::uint64_t> submit(dsp::Trace trace);
+
+  /// Stops intake, waits until every accepted frame has been scored and
+  /// emitted, joins the workers.  Idempotent.
+  void finish();
+
+  /// Observability.  Stable after finish(); a live approximation before.
+  CountersSnapshot counters() const;
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  struct Job {
+    std::uint64_t seq = 0;
+    dsp::Trace trace;
+  };
+
+  void worker_loop();
+
+  const vprofile::Model& model_;
+  PipelineConfig config_;
+  Counters counters_;
+  RingQueue<Job> queue_;
+  OrderedCollector<FrameResult> collector_;
+  std::vector<std::thread> workers_;
+  std::mutex submit_mu_;  // serializes seq assignment with enqueue/drop
+  std::mutex join_mu_;    // serializes worker joining across finish() calls
+  std::uint64_t next_seq_ = 0;
+  bool finished_ = false;
+};
+
+/// Reference single-threaded scoring of a whole batch — the equivalence
+/// oracle for the pipeline (and the "sequential" arm of bench_pipeline).
+/// Produces exactly the FrameResult stream a 1..N-worker pipeline emits.
+std::vector<FrameResult> score_sequential(const vprofile::Model& model,
+                                          const std::vector<dsp::Trace>& traces,
+                                          const vprofile::DetectionConfig& dc);
+
+}  // namespace pipeline

@@ -1,0 +1,289 @@
+// Deterministic-equivalence tests for the streaming pipeline: for several
+// seeds and both vehicle presets, the parallel pipeline must emit exactly
+// the FrameResult stream the sequential reference produces — same order,
+// same verdicts, bit-identical distances — including the extraction error
+// paths (kNoSof / kTruncated / kStuffViolation).  Plus determinism of the
+// multi-threaded trainer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <optional>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+#include "dsp/trace.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/attack.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+
+namespace {
+
+using pipeline::DetectionPipeline;
+using pipeline::FrameResult;
+using pipeline::PipelineConfig;
+using vprofile::ExtractError;
+
+struct Fixture {
+  std::optional<sim::Vehicle> vehicle;
+  std::optional<vprofile::Model> model;
+  std::vector<dsp::Trace> traces;
+};
+
+/// Trains a small model and builds a mixed stream: hijack traffic with a
+/// corrupted trace of each failure mode spliced in at fixed positions.
+Fixture make_fixture(const sim::VehicleConfig& config, std::uint64_t seed,
+                     std::size_t train_count, std::size_t stream_count) {
+  Fixture f;
+  f.vehicle.emplace(config, seed);
+  const analog::Environment env = analog::Environment::reference();
+  const vprofile::ExtractionConfig extraction = sim::default_extraction(config);
+
+  std::vector<vprofile::EdgeSet> edge_sets;
+  for (const sim::Capture& cap : f.vehicle->capture(train_count, env)) {
+    auto es = vprofile::extract_edge_set(cap.codes, extraction);
+    if (es) edge_sets.push_back(std::move(*es));
+  }
+  vprofile::TrainingConfig tc;
+  tc.extraction = extraction;
+  vprofile::TrainOutcome out =
+      vprofile::train_with_database(edge_sets, f.vehicle->database(), tc);
+  EXPECT_TRUE(out.ok()) << out.error;
+  if (!out.ok()) return f;
+  f.model = std::move(*out.model);
+
+  for (sim::LabeledCapture& lc :
+       sim::make_hijack_stream(*f.vehicle, stream_count, 0.2, env)) {
+    f.traces.push_back(std::move(lc.capture.codes));
+  }
+
+  // Corrupt three traces, one per failure mode.
+  const std::size_t bw = extraction.bit_width_samples;
+  const double threshold = extraction.bit_threshold;
+  // kNoSof: never crosses the bit threshold.
+  f.traces[1].assign(f.traces[1].size(), 0.0);
+  // kTruncated: ends mid-arbitration.
+  {
+    dsp::Trace& t = f.traces[3];
+    const auto sof = dsp::find_sof(t, threshold);
+    EXPECT_TRUE(sof.has_value());
+    t.resize(*sof + 5 * bw);
+  }
+  // kStuffViolation: six-plus consecutive dominant bits early in the frame.
+  {
+    dsp::Trace& t = f.traces[5];
+    const auto sof = dsp::find_sof(t, threshold);
+    EXPECT_TRUE(sof.has_value());
+    const double dominant = *std::max_element(t.begin(), t.end());
+    const std::size_t first = *sof + 2 * bw;
+    const std::size_t last = std::min(t.size(), first + 9 * bw);
+    std::fill(t.begin() + first, t.begin() + last, dominant);
+  }
+  return f;
+}
+
+/// Runs the pipeline over the traces and returns the sink's stream.
+std::vector<FrameResult> run_pipeline(const vprofile::Model& model,
+                                      const std::vector<dsp::Trace>& traces,
+                                      const vprofile::DetectionConfig& dc,
+                                      std::size_t workers,
+                                      std::size_t queue_capacity = 64) {
+  PipelineConfig pc;
+  pc.num_workers = workers;
+  pc.queue_capacity = queue_capacity;
+  pc.detection = dc;
+  std::vector<FrameResult> results;
+  results.reserve(traces.size());
+  DetectionPipeline pipe(model, pc, [&](FrameResult&& r) {
+    results.push_back(std::move(r));
+  });
+  for (const dsp::Trace& t : traces) {
+    EXPECT_TRUE(pipe.submit(t).has_value());
+  }
+  pipe.finish();
+  return results;
+}
+
+void expect_identical(const std::vector<FrameResult>& a,
+                      const std::vector<FrameResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(a[i].seq, b[i].seq);
+    EXPECT_EQ(a[i].dropped, b[i].dropped);
+    EXPECT_EQ(a[i].extract_error, b[i].extract_error);
+    EXPECT_EQ(a[i].sa, b[i].sa);
+    ASSERT_EQ(a[i].detection.has_value(), b[i].detection.has_value());
+    if (a[i].detection) {
+      EXPECT_EQ(a[i].detection->verdict, b[i].detection->verdict);
+      EXPECT_EQ(a[i].detection->expected_cluster,
+                b[i].detection->expected_cluster);
+      EXPECT_EQ(a[i].detection->predicted_cluster,
+                b[i].detection->predicted_cluster);
+      // Bit-identical, not approximately equal: the pipeline runs the very
+      // same scoring code on the very same inputs.
+      EXPECT_EQ(a[i].detection->min_distance, b[i].detection->min_distance);
+    }
+  }
+}
+
+TEST(PipelineEquivalence, MatchesSequentialAcrossSeedsAndVehicles) {
+  struct Case {
+    sim::VehicleConfig config;
+    std::uint64_t seed;
+    std::size_t train;
+    std::size_t stream;
+  };
+  const Case cases[] = {
+      {sim::vehicle_a(), 11, 900, 160},
+      {sim::vehicle_a(), 12, 900, 160},
+      {sim::vehicle_b(), 13, 1400, 120},
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.config.name + " seed " + std::to_string(c.seed));
+    Fixture f = make_fixture(c.config, c.seed, c.train, c.stream);
+    ASSERT_TRUE(f.model.has_value());
+    const vprofile::DetectionConfig dc{0.5};
+    const auto sequential =
+        pipeline::score_sequential(*f.model, f.traces, dc);
+    const auto parallel = run_pipeline(*f.model, f.traces, dc, 4);
+    expect_identical(sequential, parallel);
+    // Sequence numbers are dense and in capture order.
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      EXPECT_EQ(parallel[i].seq, i);
+    }
+  }
+}
+
+TEST(PipelineEquivalence, ExtractErrorPathsSurviveThePipeline) {
+  Fixture f = make_fixture(sim::vehicle_a(), 21, 900, 60);
+  ASSERT_TRUE(f.model.has_value());
+  const auto results =
+      run_pipeline(*f.model, f.traces, vprofile::DetectionConfig{}, 3);
+  ASSERT_EQ(results.size(), f.traces.size());
+  EXPECT_EQ(results[1].extract_error, ExtractError::kNoSof);
+  EXPECT_EQ(results[3].extract_error, ExtractError::kTruncated);
+  EXPECT_EQ(results[5].extract_error, ExtractError::kStuffViolation);
+  for (const std::size_t i : {1, 3, 5}) {
+    EXPECT_FALSE(results[i].ok());
+    EXPECT_FALSE(results[i].detection.has_value());
+  }
+  // Everything else scored normally.
+  std::size_t scored = 0;
+  for (const FrameResult& r : results) scored += r.ok() ? 1 : 0;
+  EXPECT_EQ(scored, results.size() - 3);
+}
+
+TEST(PipelineEquivalence, WorkerCountDoesNotChangeTheStream) {
+  Fixture f = make_fixture(sim::vehicle_a(), 31, 900, 100);
+  ASSERT_TRUE(f.model.has_value());
+  const vprofile::DetectionConfig dc{1.0};
+  const auto reference = run_pipeline(*f.model, f.traces, dc, 1);
+  for (const std::size_t workers : {2, 3, 8}) {
+    SCOPED_TRACE(workers);
+    expect_identical(reference,
+                     run_pipeline(*f.model, f.traces, dc, workers,
+                                  /*queue_capacity=*/8));
+  }
+}
+
+TEST(PipelineEquivalence, CountersAccountForEveryFrame) {
+  Fixture f = make_fixture(sim::vehicle_a(), 41, 900, 80);
+  ASSERT_TRUE(f.model.has_value());
+  PipelineConfig pc;
+  pc.num_workers = 2;
+  pc.queue_capacity = 16;
+  std::size_t emitted = 0;
+  DetectionPipeline pipe(*f.model, pc, [&](FrameResult&&) { ++emitted; });
+  for (const dsp::Trace& t : f.traces) pipe.submit(t);
+  pipe.finish();
+  const pipeline::CountersSnapshot c = pipe.counters();
+  EXPECT_EQ(c.submitted, f.traces.size());
+  EXPECT_EQ(c.completed, f.traces.size());
+  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(emitted, f.traces.size());
+  EXPECT_GE(c.queue_high_watermark, 1u);
+  EXPECT_LE(c.queue_high_watermark, pc.queue_capacity);
+  EXPECT_GT(c.extract_ns, 0u);
+}
+
+TEST(PipelineEquivalence, SubmitAfterFinishIsRefused) {
+  Fixture f = make_fixture(sim::vehicle_a(), 51, 900, 10);
+  ASSERT_TRUE(f.model.has_value());
+  std::size_t emitted = 0;
+  DetectionPipeline pipe(*f.model, PipelineConfig{},
+                         [&](FrameResult&&) { ++emitted; });
+  for (const dsp::Trace& t : f.traces) pipe.submit(t);
+  pipe.finish();
+  EXPECT_FALSE(pipe.submit(f.traces.front()).has_value());
+  EXPECT_EQ(emitted, f.traces.size());
+  EXPECT_EQ(pipe.counters().submitted, f.traces.size());
+}
+
+TEST(ParallelTrainer, ThreadCountDoesNotChangeTheModel) {
+  sim::Vehicle vehicle(sim::vehicle_a(), 61);
+  const analog::Environment env = analog::Environment::reference();
+  const vprofile::ExtractionConfig extraction =
+      sim::default_extraction(vehicle.config());
+  std::vector<vprofile::EdgeSet> edge_sets;
+  for (const sim::Capture& cap : vehicle.capture(900, env)) {
+    auto es = vprofile::extract_edge_set(cap.codes, extraction);
+    if (es) edge_sets.push_back(std::move(*es));
+  }
+
+  vprofile::TrainingConfig tc;
+  tc.extraction = extraction;
+  tc.num_threads = 1;
+  const auto seq = vprofile::train_with_database(edge_sets,
+                                                 vehicle.database(), tc);
+  ASSERT_TRUE(seq.ok()) << seq.error;
+  for (const std::size_t threads : {2, 4, 7}) {
+    SCOPED_TRACE(threads);
+    tc.num_threads = threads;
+    const auto par =
+        vprofile::train_with_database(edge_sets, vehicle.database(), tc);
+    ASSERT_TRUE(par.ok()) << par.error;
+    EXPECT_EQ(par.ridge_used, seq.ridge_used);
+    const auto& a = seq.model->clusters();
+    const auto& b = par.model->clusters();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      SCOPED_TRACE(i);
+      EXPECT_EQ(a[i].name, b[i].name);
+      EXPECT_EQ(a[i].sas, b[i].sas);
+      EXPECT_EQ(a[i].mean, b[i].mean);  // bit-identical
+      EXPECT_EQ(a[i].max_distance, b[i].max_distance);
+      EXPECT_EQ(a[i].edge_set_count, b[i].edge_set_count);
+      EXPECT_EQ(a[i].inv_covariance.data(), b[i].inv_covariance.data());
+    }
+  }
+}
+
+TEST(ParallelTrainer, ErrorsAreDeterministicAcrossThreadCounts) {
+  sim::Vehicle vehicle(sim::vehicle_a(), 71);
+  const vprofile::ExtractionConfig extraction =
+      sim::default_extraction(vehicle.config());
+  std::vector<vprofile::EdgeSet> edge_sets;
+  for (const sim::Capture& cap :
+       vehicle.capture(120, analog::Environment::reference())) {
+    auto es = vprofile::extract_edge_set(cap.codes, extraction);
+    if (es) edge_sets.push_back(std::move(*es));
+  }
+  vprofile::TrainingConfig tc;
+  tc.extraction = extraction;
+  // Unsatisfiable: every cluster fails; the *first* cluster's complaint
+  // must be reported regardless of which worker hits an error first.
+  tc.min_cluster_size = 100000;
+  tc.num_threads = 1;
+  const auto seq = vprofile::train_with_database(edge_sets,
+                                                 vehicle.database(), tc);
+  ASSERT_FALSE(seq.ok());
+  tc.num_threads = 6;
+  const auto par = vprofile::train_with_database(edge_sets,
+                                                 vehicle.database(), tc);
+  ASSERT_FALSE(par.ok());
+  EXPECT_EQ(seq.error, par.error);
+}
+
+}  // namespace

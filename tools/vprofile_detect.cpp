@@ -16,7 +16,10 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: vprofile_detect --model MODEL --traces FILE "
-               "[--margin M] [--verbose]\n");
+               "[--margin M] [--verbose]\n"
+               "  --margin  extra distance beyond each cluster's maximum\n"
+               "            training distance before flagging; defaults to\n"
+               "            0.0, the library's DetectionConfig default\n");
 }
 
 }  // namespace
@@ -24,7 +27,9 @@ void usage() {
 int main(int argc, char** argv) {
   std::string model_path;
   std::string traces_path;
-  double margin = 4.0;
+  // Same default as DetectionConfig{}: the trained threshold alone.  The
+  // tool used to widen it to 4.0 silently, diverging from the library.
+  double margin = vprofile::DetectionConfig{}.margin;
   bool verbose = false;
 
   for (int i = 1; i < argc; ++i) {
