@@ -4,9 +4,17 @@
 // waveform is nearest to differs from the cluster its SA claims, or (c) the
 // nearest distance exceeds the cluster's maximum training distance plus a
 // configurable margin.
+//
+// A fourth outcome, kDegraded, covers captures the analog front end
+// visibly mangled (rail-saturated or dead samples, non-finite values,
+// wrong dimensionality): classifying such an edge set would be a guess, so
+// the detector reports reduced confidence instead of a confident verdict.
+// Quality gating is disabled by default — clean-capture behavior is
+// bit-identical to the pre-gating detector unless a config opts in.
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <optional>
 
 #include "core/edge_set.hpp"
@@ -20,7 +28,10 @@ enum class Verdict {
   kUnknownSa,          // SA absent from the model's LUT
   kClusterMismatch,    // waveform nearest to a different ECU than claimed
   kDistanceExceeded,   // too far from every trained waveform
+  kDegraded,           // capture quality too poor for a confident verdict
 };
+
+inline constexpr std::size_t kNumVerdicts = 5;
 
 const char* to_string(Verdict verdict);
 
@@ -31,6 +42,21 @@ struct DetectionConfig {
   /// positives and a margin that is too large can cause additional false
   /// negatives" (Section 3.2.3).
   double margin = 0.0;
+
+  /// Input-quality gating (graceful degradation under analog faults).
+  /// Samples >= saturation_code or <= dead_code count as unreliable (ADC
+  /// rail hit / dropped sample); when more than `degraded_fraction` of an
+  /// edge set is unreliable — or any sample is non-finite, or the
+  /// dimensionality does not match the model — the verdict is kDegraded.
+  /// The defaults disable the code-level checks entirely.
+  double saturation_code = std::numeric_limits<double>::infinity();
+  double dead_code = -std::numeric_limits<double>::infinity();
+  double degraded_fraction = 0.25;
+  /// Runs of >= this many consecutive identical samples also count as
+  /// unreliable — a clipped rail or a dropout flat-lines the waveform at
+  /// *some* level, while healthy captures always carry noise.  0 disables
+  /// the check (the default).
+  std::size_t flat_run_min = 0;
 };
 
 /// Full detection result, including attribution.
@@ -42,8 +68,19 @@ struct Detection {
   /// this identifies the attack's origin (Section 3.2.3).
   std::optional<std::size_t> predicted_cluster;
   double min_distance = 0.0;
+  /// Confidence in the verdict, in [0, 1].  Hard anomalies (unknown SA,
+  /// cluster mismatch) are 1; distance verdicts scale with how far the
+  /// message sits from the threshold; degraded verdicts report the
+  /// fraction of samples that were still reliable.
+  double confidence = 1.0;
+  /// Samples outside the configured reliability window (quality gating).
+  std::size_t unreliable_samples = 0;
 
+  /// kDegraded counts as anomalous: a capture the detector cannot vouch
+  /// for must never silently pass (fail-safe).  Use is_degraded() to
+  /// separate "confidently flagged" from "could not classify".
   bool is_anomaly() const { return verdict != Verdict::kOk; }
+  bool is_degraded() const { return verdict == Verdict::kDegraded; }
 };
 
 /// Classifies one edge set against a trained model.

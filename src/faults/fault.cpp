@@ -1,0 +1,226 @@
+#include "faults/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace faults {
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kClipping: return "clipping";
+    case FaultKind::kDropout: return "dropout";
+    case FaultKind::kDcShift: return "dc-shift";
+    case FaultKind::kEmiBurst: return "emi-burst";
+    case FaultKind::kClockDrift: return "clock-drift";
+    case FaultKind::kTruncation: return "truncation";
+  }
+  return "unknown";
+}
+
+bool FaultProfile::empty() const {
+  const auto active = [](const auto& f) { return f && f->probability > 0.0; };
+  return !(active(clipping) || active(dropout) || active(dc_shift) ||
+           active(emi_burst) || active(clock_drift) || active(truncation));
+}
+
+FaultProfile clean_profile() { return FaultProfile{}; }
+
+FaultProfile saturated_tap() {
+  FaultProfile p;
+  p.name = "saturated-tap";
+  p.clipping = ClippingFault{0.8, 0.7, false};
+  return p;
+}
+
+FaultProfile flaky_connector() {
+  FaultProfile p;
+  p.name = "flaky-connector";
+  p.dropout = DropoutFault{0.5, 8, 96};
+  p.dc_shift = DcShiftFault{0.5, -1500.0, 1500.0};
+  return p;
+}
+
+FaultProfile emi_storm() {
+  FaultProfile p;
+  p.name = "emi-storm";
+  p.emi_burst = EmiBurstFault{0.7, 4000.0, 32, 400};
+  return p;
+}
+
+FaultProfile drifting_clock() {
+  FaultProfile p;
+  p.name = "drifting-clock";
+  p.clock_drift = ClockDriftFault{1.0, 20000.0};
+  return p;
+}
+
+FaultProfile truncating_tap() {
+  FaultProfile p;
+  p.name = "truncating-tap";
+  p.truncation = TruncationFault{0.4, 0.3};
+  return p;
+}
+
+FaultProfile harsh_environment() {
+  FaultProfile p;
+  p.name = "harsh";
+  p.clipping = ClippingFault{0.3, 0.75, false};
+  p.dropout = DropoutFault{0.25, 8, 64};
+  p.dc_shift = DcShiftFault{0.3, -1000.0, 1000.0};
+  p.emi_burst = EmiBurstFault{0.3, 2500.0, 16, 200};
+  p.clock_drift = ClockDriftFault{0.3, 10000.0};
+  p.truncation = TruncationFault{0.15, 0.4};
+  return p;
+}
+
+std::vector<FaultProfile> canned_profiles() {
+  return {clean_profile(),   saturated_tap(),  flaky_connector(), emi_storm(),
+          drifting_clock(),  truncating_tap(), harsh_environment()};
+}
+
+std::optional<FaultProfile> profile_by_name(const std::string& name) {
+  for (FaultProfile& p : canned_profiles()) {
+    if (p.name == name) return std::move(p);
+  }
+  return std::nullopt;
+}
+
+std::uint64_t FaultStats::applied_total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t a : applied) total += a;
+  return total;
+}
+
+namespace {
+
+double clamp_code(double code, double max_code) {
+  return std::clamp(code, 0.0, max_code);
+}
+
+/// Random window [start, start+len) inside a trace; len clamped to size.
+std::pair<std::size_t, std::size_t> draw_window(std::size_t size,
+                                                std::size_t min_len,
+                                                std::size_t max_len,
+                                                stats::Rng& rng) {
+  const std::size_t lo = std::max<std::size_t>(1, std::min(min_len, size));
+  const std::size_t hi = std::max(lo, std::min(max_len, size));
+  const std::size_t len =
+      lo + static_cast<std::size_t>(rng.below(hi - lo + 1));
+  const std::size_t start =
+      static_cast<std::size_t>(rng.below(size - len + 1));
+  return {start, len};
+}
+
+}  // namespace
+
+dsp::Trace apply_clipping(const dsp::Trace& trace, const ClippingFault& f,
+                          double max_code) {
+  const double high = f.level_fraction * max_code;
+  const double low = f.symmetric ? (1.0 - f.level_fraction) * max_code : 0.0;
+  dsp::Trace out = trace;
+  for (double& c : out) c = std::clamp(c, low, high);
+  return out;
+}
+
+dsp::Trace apply_dropout(const dsp::Trace& trace, const DropoutFault& f,
+                         stats::Rng& rng) {
+  if (trace.empty()) return trace;
+  dsp::Trace out = trace;
+  const auto [start, len] = draw_window(out.size(), f.min_len, f.max_len, rng);
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(start),
+            out.begin() + static_cast<std::ptrdiff_t>(start + len), 0.0);
+  return out;
+}
+
+dsp::Trace apply_dc_shift(const dsp::Trace& trace, const DcShiftFault& f,
+                          double max_code, stats::Rng& rng) {
+  const double shift = rng.uniform(f.min_shift, f.max_shift);
+  dsp::Trace out = trace;
+  for (double& c : out) c = clamp_code(c + shift, max_code);
+  return out;
+}
+
+dsp::Trace apply_emi_burst(const dsp::Trace& trace, const EmiBurstFault& f,
+                           double max_code, stats::Rng& rng) {
+  if (trace.empty()) return trace;
+  dsp::Trace out = trace;
+  const auto [start, len] = draw_window(out.size(), f.min_len, f.max_len, rng);
+  for (std::size_t i = start; i < start + len; ++i) {
+    out[i] = clamp_code(out[i] + rng.gaussian(0.0, f.sigma), max_code);
+  }
+  return out;
+}
+
+dsp::Trace apply_clock_drift(const dsp::Trace& trace, const ClockDriftFault& f,
+                             stats::Rng& rng) {
+  if (trace.size() < 2) return trace;
+  // Effective sampling ratio: > 1 when the tap clock runs slow (reads the
+  // message stretched), < 1 when fast.
+  const double drift = rng.uniform(-f.max_drift_ppm, f.max_drift_ppm) * 1e-6;
+  const double ratio = 1.0 + drift;
+  const std::size_t out_len = std::max<std::size_t>(
+      2, static_cast<std::size_t>(
+             std::floor(static_cast<double>(trace.size() - 1) / ratio)) +
+             1);
+  dsp::Trace out(out_len);
+  for (std::size_t i = 0; i < out_len; ++i) {
+    const double pos = static_cast<double>(i) * ratio;
+    const std::size_t lo =
+        std::min(static_cast<std::size_t>(pos), trace.size() - 1);
+    const std::size_t hi = std::min(lo + 1, trace.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = trace[lo] + (trace[hi] - trace[lo]) * frac;
+  }
+  return out;
+}
+
+dsp::Trace apply_truncation(const dsp::Trace& trace, const TruncationFault& f,
+                            stats::Rng& rng) {
+  if (trace.empty()) return trace;
+  const double keep = rng.uniform(std::clamp(f.min_keep, 0.0, 1.0), 1.0);
+  const std::size_t len = std::max<std::size_t>(
+      1, static_cast<std::size_t>(keep * static_cast<double>(trace.size())));
+  return dsp::Trace(trace.begin(),
+                    trace.begin() + static_cast<std::ptrdiff_t>(
+                                        std::min(len, trace.size())));
+}
+
+FaultInjector::FaultInjector(FaultProfile profile, double max_code,
+                             std::uint64_t seed)
+    : profile_(std::move(profile)), max_code_(max_code), rng_(seed) {}
+
+dsp::Trace FaultInjector::apply(const dsp::Trace& trace) {
+  ++stats_.total_traces;
+  dsp::Trace out = trace;
+  bool any = false;
+  const auto fire = [&](const auto& fault, FaultKind kind, auto&& transform) {
+    // The Bernoulli draw happens for every configured fault on every
+    // trace, so the random stream (and thus the whole corrupted capture
+    // sequence) is a pure function of profile + seed.
+    if (!fault || fault->probability <= 0.0) return;
+    if (!rng_.bernoulli(fault->probability)) return;
+    out = transform(*fault);
+    ++stats_.applied[static_cast<std::size_t>(kind)];
+    any = true;
+  };
+  fire(profile_.clipping, FaultKind::kClipping, [&](const ClippingFault& f) {
+    return apply_clipping(out, f, max_code_);
+  });
+  fire(profile_.dropout, FaultKind::kDropout, [&](const DropoutFault& f) {
+    return apply_dropout(out, f, rng_);
+  });
+  fire(profile_.dc_shift, FaultKind::kDcShift, [&](const DcShiftFault& f) {
+    return apply_dc_shift(out, f, max_code_, rng_);
+  });
+  fire(profile_.emi_burst, FaultKind::kEmiBurst, [&](const EmiBurstFault& f) {
+    return apply_emi_burst(out, f, max_code_, rng_);
+  });
+  fire(profile_.clock_drift, FaultKind::kClockDrift,
+       [&](const ClockDriftFault& f) { return apply_clock_drift(out, f, rng_); });
+  fire(profile_.truncation, FaultKind::kTruncation,
+       [&](const TruncationFault& f) { return apply_truncation(out, f, rng_); });
+  if (any) ++stats_.faulted_traces;
+  return out;
+}
+
+}  // namespace faults

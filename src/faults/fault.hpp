@@ -1,0 +1,173 @@
+// Analog fault injection for captured voltage traces.
+//
+// A deployed voltage tap lives in a hostile place: connectors corrode,
+// grounds drift, ignition coils spray EMI, ADC front ends clip and drop
+// samples, and an adversary can corrupt the signal on purpose (Sagong et
+// al., "Mitigating Vulnerabilities of Voltage-based Intrusion Detection
+// Systems in CAN", 2019).  This layer models the analog failure modes as
+// composable transforms over dsp::Trace so every capture stream — clean,
+// hijack, foreign, masquerade — can be replayed through any fault
+// profile.  All randomness comes from one seeded Rng, so a profile + seed
+// fully determines the corrupted stream.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsp/trace.hpp"
+#include "stats/rng.hpp"
+
+namespace faults {
+
+/// The analog failure modes the injector can apply.
+enum class FaultKind {
+  kClipping,    // front-end saturates: codes clamp at a reduced rail
+  kDropout,     // sample run lost (loose connector / DMA underrun), reads 0
+  kDcShift,     // ground/offset shift of the whole trace
+  kEmiBurst,    // additive burst noise (ignition / motor EMI)
+  kClockDrift,  // sampling clock runs fast/slow, stretching the trace
+  kTruncation,  // capture window ends before the message does
+};
+
+inline constexpr std::size_t kNumFaultKinds = 6;
+
+const char* to_string(FaultKind kind);
+
+/// Per-kind parameters.  Every fault fires independently per trace with
+/// its own probability; a probability of 0 disables it.
+
+/// Clamp codes above `level_fraction` of full scale (and below
+/// `(1 - level_fraction)` of full scale when `symmetric`).
+struct ClippingFault {
+  double probability = 0.0;
+  double level_fraction = 0.8;
+  bool symmetric = false;
+};
+
+/// Zero out a run of `min_len`..`max_len` samples at a random position.
+struct DropoutFault {
+  double probability = 0.0;
+  std::size_t min_len = 8;
+  std::size_t max_len = 64;
+};
+
+/// Add a constant offset drawn uniformly from [min_shift, max_shift]
+/// (ADC codes); the result is clamped to the ADC range like a real
+/// front end would.
+struct DcShiftFault {
+  double probability = 0.0;
+  double min_shift = -2000.0;
+  double max_shift = 2000.0;
+};
+
+/// Add Gaussian noise of `sigma` codes over a run of `min_len`..`max_len`
+/// samples at a random position, clamped to the ADC range.
+struct EmiBurstFault {
+  double probability = 0.0;
+  double sigma = 3000.0;
+  std::size_t min_len = 16;
+  std::size_t max_len = 200;
+};
+
+/// Resample the trace as if the sampling clock ran off-nominal by up to
+/// `max_drift_ppm` parts per million (sign drawn at random).
+struct ClockDriftFault {
+  double probability = 0.0;
+  double max_drift_ppm = 20000.0;
+};
+
+/// Keep only the first `min_keep`..1.0 fraction of the trace (uniform).
+struct TruncationFault {
+  double probability = 0.0;
+  double min_keep = 0.25;
+};
+
+/// A named, composable set of faults.  Faults are applied in the fixed
+/// order of the FaultKind enum so a profile + seed is reproducible.
+struct FaultProfile {
+  std::string name = "clean";
+  std::optional<ClippingFault> clipping;
+  std::optional<DropoutFault> dropout;
+  std::optional<DcShiftFault> dc_shift;
+  std::optional<EmiBurstFault> emi_burst;
+  std::optional<ClockDriftFault> clock_drift;
+  std::optional<TruncationFault> truncation;
+
+  /// True when no fault can ever fire.
+  bool empty() const;
+};
+
+/// Canned profiles for the scenario matrix, the monitor tool and benches.
+FaultProfile clean_profile();
+/// Front end saturating at 70% full scale on most frames.
+FaultProfile saturated_tap();
+/// Loose connector: frequent dropouts plus a wandering ground offset.
+FaultProfile flaky_connector();
+/// Heavy ignition EMI bursts.
+FaultProfile emi_storm();
+/// Sampling clock off by up to 2% (drifting crystal).
+FaultProfile drifting_clock();
+/// Capture windows that frequently end mid-message.
+FaultProfile truncating_tap();
+/// Everything at once, at moderate rates — the worst-case soak profile.
+FaultProfile harsh_environment();
+
+/// All canned profiles above, for grids and CLI lookups.
+std::vector<FaultProfile> canned_profiles();
+/// Profile by name, or std::nullopt for an unknown name.
+std::optional<FaultProfile> profile_by_name(const std::string& name);
+
+/// How often each fault actually fired.
+struct FaultStats {
+  std::array<std::uint64_t, kNumFaultKinds> applied{};
+  std::uint64_t faulted_traces = 0;  // traces hit by at least one fault
+  std::uint64_t total_traces = 0;
+
+  std::uint64_t applied_total() const;
+};
+
+/// Applies a profile to traces, one at a time, deterministically.
+///
+/// `max_code` is the ADC full-scale code (results clamp to [0, max_code]
+/// where the physical front end would).  Two injectors with equal
+/// (profile, max_code, seed) produce identical outputs for identical
+/// input sequences.
+class FaultInjector {
+ public:
+  FaultInjector(FaultProfile profile, double max_code, std::uint64_t seed);
+
+  /// Returns the corrupted trace and updates the per-fault counters.
+  dsp::Trace apply(const dsp::Trace& trace);
+
+  const FaultProfile& profile() const { return profile_; }
+  const FaultStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = FaultStats{}; }
+
+ private:
+  FaultProfile profile_;
+  double max_code_;
+  stats::Rng rng_;
+  FaultStats stats_;
+};
+
+/// The individual transforms, exposed for tests and custom pipelines.
+/// Each draws its parameters from `rng` and never throws on any input
+/// (including empty traces, which pass through unchanged).
+dsp::Trace apply_clipping(const dsp::Trace& trace, const ClippingFault& f,
+                          double max_code);
+dsp::Trace apply_dropout(const dsp::Trace& trace, const DropoutFault& f,
+                         stats::Rng& rng);
+dsp::Trace apply_dc_shift(const dsp::Trace& trace, const DcShiftFault& f,
+                          double max_code, stats::Rng& rng);
+dsp::Trace apply_emi_burst(const dsp::Trace& trace, const EmiBurstFault& f,
+                           double max_code, stats::Rng& rng);
+dsp::Trace apply_clock_drift(const dsp::Trace& trace, const ClockDriftFault& f,
+                             stats::Rng& rng);
+dsp::Trace apply_truncation(const dsp::Trace& trace, const TruncationFault& f,
+                            stats::Rng& rng);
+
+}  // namespace faults

@@ -56,6 +56,20 @@ bool fail(std::string* error, const std::string& message) {
   return false;
 }
 
+bool all_finite(const linalg::Vector& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+bool all_finite(const linalg::Matrix& m) {
+  for (double x : m.data()) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 bool save_model(const vprofile::Model& model, std::ostream& out) {
@@ -132,6 +146,10 @@ std::optional<vprofile::Model> load_model(std::istream& in,
     fail(error, "malformed extraction config");
     return std::nullopt;
   }
+  if (!std::isfinite(ex.bit_threshold)) {
+    fail(error, "non-finite extraction threshold");
+    return std::nullopt;
+  }
 
   std::size_t num_clusters = 0;
   if (!(in >> num_clusters) || num_clusters == 0) {
@@ -176,9 +194,22 @@ std::optional<vprofile::Model> load_model(std::istream& in,
       fail(error, "malformed cluster statistics");
       return std::nullopt;
     }
+    // operator>> rejects "nan"/"inf" tokens on this path, but a file
+    // edited or generated elsewhere could still smuggle non-finite values
+    // through (e.g. out-of-range literals); detection must never load a
+    // model whose distances would all come out NaN.
+    if (!all_finite(cl.mean) || !all_finite(cl.covariance) ||
+        !all_finite(cl.inv_covariance)) {
+      fail(error, "non-finite cluster statistics");
+      return std::nullopt;
+    }
     std::string threshold_token;
     if (!(in >> cl.max_distance >> cl.edge_set_count >> threshold_token)) {
       fail(error, "malformed cluster scalars");
+      return std::nullopt;
+    }
+    if (!std::isfinite(cl.max_distance) || cl.max_distance < 0.0) {
+      fail(error, "invalid cluster max distance");
       return std::nullopt;
     }
     if (threshold_token == "global") {
@@ -187,6 +218,10 @@ std::optional<vprofile::Model> load_model(std::istream& in,
       try {
         cl.extraction_threshold = std::stod(threshold_token);
       } catch (const std::exception&) {
+        fail(error, "malformed extraction threshold");
+        return std::nullopt;
+      }
+      if (!std::isfinite(cl.extraction_threshold)) {
         fail(error, "malformed extraction threshold");
         return std::nullopt;
       }

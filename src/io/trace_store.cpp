@@ -1,5 +1,6 @@
 #include "io/trace_store.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -10,6 +11,18 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x56505452;  // "VPTR"
 constexpr std::uint32_t kVersion = 1;
+
+constexpr std::uint32_t byte_swap(std::uint32_t v) {
+  return ((v & 0xff000000u) >> 24) | ((v & 0x00ff0000u) >> 8) |
+         ((v & 0x0000ff00u) << 8) | ((v & 0x000000ffu) << 24);
+}
+
+// Upper bounds for header-declared sizes.  A truncated or corrupted
+// header can otherwise declare a multi-terabyte allocation and take the
+// process down with bad_alloc before the sample reads have a chance to
+// fail cleanly.
+constexpr std::uint64_t kMaxTraceLen = 1ull << 28;     // 2 Gi of doubles
+constexpr std::uint64_t kMaxTraceCount = 1ull << 28;
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -51,7 +64,17 @@ bool save_traces_file(const TraceSet& set, const std::string& path) {
 std::optional<TraceSet> load_traces(std::istream& in, std::string* error) {
   std::uint32_t magic = 0;
   std::uint32_t version = 0;
-  if (!read_pod(in, magic) || magic != kMagic) {
+  if (!read_pod(in, magic)) {
+    fail(error, "not a vprofile trace file");
+    return std::nullopt;
+  }
+  if (magic == byte_swap(kMagic)) {
+    // The file itself is valid but was written on (or for) a machine with
+    // the opposite byte order; every multi-byte field would read garbled.
+    fail(error, "trace file endianness mismatch");
+    return std::nullopt;
+  }
+  if (magic != kMagic) {
     fail(error, "not a vprofile trace file");
     return std::nullopt;
   }
@@ -67,6 +90,18 @@ std::optional<TraceSet> load_traces(std::istream& in, std::string* error) {
     fail(error, "truncated trace header");
     return std::nullopt;
   }
+  if (!std::isfinite(set.sample_rate_hz) || set.sample_rate_hz <= 0.0) {
+    fail(error, "invalid sample rate");
+    return std::nullopt;
+  }
+  if (bits <= 0 || bits > 32) {
+    fail(error, "invalid resolution");
+    return std::nullopt;
+  }
+  if (count > kMaxTraceCount) {
+    fail(error, "implausible trace count");
+    return std::nullopt;
+  }
   set.resolution_bits = bits;
   set.traces.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
@@ -75,12 +110,22 @@ std::optional<TraceSet> load_traces(std::istream& in, std::string* error) {
       fail(error, "truncated trace length");
       return std::nullopt;
     }
+    if (len > kMaxTraceLen) {
+      fail(error, "implausible trace length");
+      return std::nullopt;
+    }
     dsp::Trace t(len);
     in.read(reinterpret_cast<char*>(t.data()),
             static_cast<std::streamsize>(len * sizeof(double)));
     if (!in) {
       fail(error, "truncated trace samples");
       return std::nullopt;
+    }
+    for (double s : t) {
+      if (!std::isfinite(s)) {
+        fail(error, "non-finite trace sample");
+        return std::nullopt;
+      }
     }
     set.traces.push_back(std::move(t));
   }

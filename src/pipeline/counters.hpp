@@ -6,11 +6,19 @@
 // cross-counter consistency is only guaranteed after finish().
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <optional>
+
+#include "core/detector.hpp"
+#include "core/extractor.hpp"
 
 namespace pipeline {
+
+/// Extraction failure kinds tracked separately (kNone excluded).
+inline constexpr std::size_t kNumExtractErrors = 4;
 
 /// Plain-value view of the counters at one instant.
 struct CountersSnapshot {
@@ -20,6 +28,28 @@ struct CountersSnapshot {
   std::uint64_t extract_ns = 0;  // total wall time in extract_edge_set
   std::uint64_t detect_ns = 0;   // total wall time in detect()
   std::size_t queue_high_watermark = 0;
+
+  /// Per-outcome telemetry: how each completed frame ended.  Indexed by
+  /// the ExtractError / Verdict enum values; extract_errors[kNone] stays 0
+  /// (successful extractions are counted under verdicts instead).
+  std::array<std::uint64_t, kNumExtractErrors> extract_errors{};
+  std::array<std::uint64_t, vprofile::kNumVerdicts> verdicts{};
+
+  std::uint64_t extract_failures() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t e : extract_errors) total += e;
+    return total;
+  }
+  std::uint64_t verdict(vprofile::Verdict v) const {
+    return verdicts[static_cast<std::size_t>(v)];
+  }
+  /// Frames the detector refused to classify confidently.
+  std::uint64_t degraded() const {
+    return verdict(vprofile::Verdict::kDegraded);
+  }
+  std::uint64_t anomalies() const {
+    return completed - extract_failures() - verdict(vprofile::Verdict::kOk);
+  }
 
   double mean_extract_us() const {
     return completed ? static_cast<double>(extract_ns) / completed / 1e3 : 0.0;
@@ -43,6 +73,18 @@ class Counters {
     extract_ns_.fetch_add(extract_ns, std::memory_order_relaxed);
     detect_ns_.fetch_add(detect_ns, std::memory_order_relaxed);
   }
+  /// Records how a completed frame ended: an extraction failure kind, or
+  /// the detection verdict.
+  void add_outcome(vprofile::ExtractError err,
+                   const std::optional<vprofile::Detection>& detection) {
+    if (err != vprofile::ExtractError::kNone) {
+      extract_errors_[static_cast<std::size_t>(err)].fetch_add(
+          1, std::memory_order_relaxed);
+    } else if (detection) {
+      verdicts_[static_cast<std::size_t>(detection->verdict)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+  }
 
   CountersSnapshot snapshot(std::size_t queue_high_watermark = 0) const {
     CountersSnapshot s;
@@ -52,6 +94,12 @@ class Counters {
     s.extract_ns = extract_ns_.load(std::memory_order_relaxed);
     s.detect_ns = detect_ns_.load(std::memory_order_relaxed);
     s.queue_high_watermark = queue_high_watermark;
+    for (std::size_t i = 0; i < s.extract_errors.size(); ++i) {
+      s.extract_errors[i] = extract_errors_[i].load(std::memory_order_relaxed);
+    }
+    for (std::size_t i = 0; i < s.verdicts.size(); ++i) {
+      s.verdicts[i] = verdicts_[i].load(std::memory_order_relaxed);
+    }
     return s;
   }
 
@@ -61,6 +109,8 @@ class Counters {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> extract_ns_{0};
   std::atomic<std::uint64_t> detect_ns_{0};
+  std::array<std::atomic<std::uint64_t>, kNumExtractErrors> extract_errors_{};
+  std::array<std::atomic<std::uint64_t>, vprofile::kNumVerdicts> verdicts_{};
 };
 
 }  // namespace pipeline

@@ -112,6 +112,7 @@ void DetectionPipeline::worker_loop() {
                     &detect_ns);
     result.seq = job->seq;
     counters_.add_completed(extract_ns, detect_ns);
+    counters_.add_outcome(result.extract_error, result.detection);
     collector_.submit(job->seq, std::move(result));
   }
 }

@@ -65,6 +65,9 @@ struct FrameResult {
   bool ok() const {
     return !dropped && extract_error == vprofile::ExtractError::kNone;
   }
+  /// Extraction succeeded but the detector refused a confident verdict
+  /// (quality gating; see Verdict::kDegraded).
+  bool degraded() const { return ok() && detection->is_degraded(); }
 };
 
 /// Worker-pool pipeline over one trained model.  The model must outlive

@@ -1,5 +1,6 @@
 #include "sim/attack.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 namespace sim {
@@ -75,6 +76,133 @@ std::vector<LabeledCapture> make_foreign_stream(
     }
     Capture cap = vehicle.synthesize_message(frame, tx.node, env, tx.start_s);
     out.push_back(LabeledCapture{std::move(cap), is_attack});
+  }
+  return out;
+}
+
+namespace {
+
+double lerp(double a, double b, double alpha) { return a + (b - a) * alpha; }
+
+analog::EdgeDynamics blend_dynamics(const analog::EdgeDynamics& a,
+                                    const analog::EdgeDynamics& b,
+                                    double alpha) {
+  analog::EdgeDynamics out;
+  out.natural_freq_hz = lerp(a.natural_freq_hz, b.natural_freq_hz, alpha);
+  out.damping = lerp(a.damping, b.damping, alpha);
+  return out;
+}
+
+}  // namespace
+
+analog::EcuSignature blend_signatures(const analog::EcuSignature& from,
+                                      const analog::EcuSignature& to,
+                                      double alpha) {
+  analog::EcuSignature out;
+  out.dominant_v = lerp(from.dominant_v, to.dominant_v, alpha);
+  out.recessive_v = lerp(from.recessive_v, to.recessive_v, alpha);
+  out.drive = blend_dynamics(from.drive, to.drive, alpha);
+  out.release = blend_dynamics(from.release, to.release, alpha);
+  out.noise_sigma_v = lerp(from.noise_sigma_v, to.noise_sigma_v, alpha);
+  out.edge_jitter_s = lerp(from.edge_jitter_s, to.edge_jitter_s, alpha);
+  out.dominant_temp_coeff_v_per_c =
+      lerp(from.dominant_temp_coeff_v_per_c, to.dominant_temp_coeff_v_per_c,
+           alpha);
+  out.freq_temp_coeff_per_c =
+      lerp(from.freq_temp_coeff_per_c, to.freq_temp_coeff_per_c, alpha);
+  out.dominant_vbat_coeff =
+      lerp(from.dominant_vbat_coeff, to.dominant_vbat_coeff, alpha);
+  out.temperature_coupling =
+      lerp(from.temperature_coupling, to.temperature_coupling, alpha);
+  return out;
+}
+
+std::vector<LabeledCapture> make_masquerade_stream(
+    Vehicle& vehicle, std::size_t attacker, std::size_t victim,
+    std::size_t count, double overdrive, const analog::Environment& env) {
+  const auto& ecus = vehicle.config().ecus;
+  if (attacker >= ecus.size() || victim >= ecus.size()) {
+    throw std::invalid_argument(
+        "make_masquerade_stream: ECU index out of range");
+  }
+  if (attacker == victim) {
+    throw std::invalid_argument(
+        "make_masquerade_stream: attacker must differ from victim");
+  }
+
+  // Two drivers on the bus at once: the differential levels superimpose
+  // and the effective edge dynamics shift toward the stronger driver.
+  // Uncorrelated noise sources add in quadrature.
+  const analog::EcuSignature& vic = ecus[victim].signature;
+  const analog::EcuSignature& atk = ecus[attacker].signature;
+  analog::EcuSignature corrupted = vic;
+  corrupted.dominant_v += overdrive * atk.dominant_v;
+  corrupted.recessive_v += overdrive * atk.recessive_v;
+  corrupted.drive = blend_dynamics(vic.drive, atk.drive, 0.5 * overdrive);
+  corrupted.release = blend_dynamics(vic.release, atk.release, 0.5 * overdrive);
+  corrupted.noise_sigma_v =
+      std::hypot(vic.noise_sigma_v, overdrive * atk.noise_sigma_v);
+
+  std::vector<LabeledCapture> out;
+  out.reserve(count);
+  for (const canbus::Transmission& tx : vehicle.schedule(count)) {
+    const bool corrupt = tx.node == victim;
+    Capture cap =
+        corrupt
+            ? vehicle.synthesize_foreign(tx.frame, corrupted, env, tx.start_s)
+            : vehicle.synthesize_message(tx.frame, tx.node, env, tx.start_s);
+    if (corrupt) cap.true_ecu = victim;
+    out.push_back(LabeledCapture{std::move(cap), corrupt});
+  }
+  return out;
+}
+
+std::vector<LabeledCapture> make_imitation_sweep_stream(
+    Vehicle& vehicle, std::size_t imitator, std::size_t target,
+    std::size_t count, const analog::Environment& env) {
+  const auto& ecus = vehicle.config().ecus;
+  if (imitator >= ecus.size() || target >= ecus.size()) {
+    throw std::invalid_argument(
+        "make_imitation_sweep_stream: ECU index out of range");
+  }
+  if (imitator == target) {
+    throw std::invalid_argument(
+        "make_imitation_sweep_stream: imitator must differ from target");
+  }
+  const auto target_sas = ecus[target].source_addresses();
+
+  const std::vector<canbus::Transmission> schedule = vehicle.schedule(count);
+  std::size_t attack_slots = 0;
+  for (const canbus::Transmission& tx : schedule) {
+    if (tx.node == imitator) ++attack_slots;
+  }
+
+  std::vector<LabeledCapture> out;
+  out.reserve(schedule.size());
+  std::size_t attack_index = 0;
+  for (const canbus::Transmission& tx : schedule) {
+    if (tx.node != imitator) {
+      Capture cap =
+          vehicle.synthesize_message(tx.frame, tx.node, env, tx.start_s);
+      out.push_back(LabeledCapture{std::move(cap), false});
+      continue;
+    }
+    // Sweep the imitation factor over the attacker's transmissions: the
+    // first attempt is the device's native signature, the last a perfect
+    // parameter-space duplicate of the target.
+    const double alpha =
+        attack_slots > 1 ? static_cast<double>(attack_index) /
+                               static_cast<double>(attack_slots - 1)
+                         : 1.0;
+    ++attack_index;
+    const analog::EcuSignature sig = blend_signatures(
+        ecus[imitator].signature, ecus[target].signature, alpha);
+    canbus::DataFrame frame = tx.frame;
+    frame.id.source_address =
+        target_sas[vehicle.rng().below(target_sas.size())];
+    Capture cap = vehicle.synthesize_foreign(frame, sig, env, tx.start_s);
+    cap.true_ecu = imitator;
+    out.push_back(LabeledCapture{std::move(cap), true});
   }
   return out;
 }

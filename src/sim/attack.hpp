@@ -7,6 +7,20 @@
 //  * Foreign device: a device absent from the training data transmits
 //    frames carrying a trained ECU's SA.  The paper uses the most-similar
 //    ECU pair and has one imitate the other.
+//
+// Plus the adversarial models of Sagong et al. ("Mitigating
+// Vulnerabilities of Voltage-based Intrusion Detection Systems in CAN",
+// 2019), where the attacker actively manipulates the analog signal
+// rather than merely replaying frames:
+//
+//  * Voltage-corruption masquerade: the attacker transmits concurrently
+//    with the victim (overcurrent), superimposing its own driver onto the
+//    victim's frames so the bus voltage no longer matches the victim's
+//    fingerprint.
+//  * Duplicate-signature imitation sweep: a foreign device tunes its
+//    transceiver progressively closer to the target's signature across
+//    the stream, searching for the point where the IDS stops seeing a
+//    difference.
 #pragma once
 
 #include <cstdint>
@@ -46,5 +60,36 @@ std::vector<LabeledCapture> make_foreign_stream(
 std::vector<LabeledCapture> make_normal_stream(Vehicle& vehicle,
                                                std::size_t count,
                                                const analog::Environment& env);
+
+/// Parameter-space interpolation between two transmitter signatures:
+/// alpha = 0 returns `from`, alpha = 1 returns `to`.  Used by the
+/// adversarial attack models below and exposed for tests.
+analog::EcuSignature blend_signatures(const analog::EcuSignature& from,
+                                      const analog::EcuSignature& to,
+                                      double alpha);
+
+/// Sagong-style voltage-corruption masquerade: whenever the `victim` ECU
+/// transmits, the `attacker` ECU drives the bus at the same time, so the
+/// victim's frames are captured with a corrupted waveform — the victim's
+/// signature with the attacker's driver superimposed at `overdrive`
+/// strength (0 = untouched, 1 = full second driver: dominant levels add
+/// and the edge dynamics blend).  Corrupted frames are labelled attacks;
+/// all other traffic is normal.  Throws std::invalid_argument when
+/// attacker == victim or either index is out of range.
+std::vector<LabeledCapture> make_masquerade_stream(
+    Vehicle& vehicle, std::size_t attacker, std::size_t victim,
+    std::size_t count, double overdrive, const analog::Environment& env);
+
+/// Duplicate-signature imitation sweep: like make_foreign_stream, but the
+/// foreign device's signature starts at the `imitator`'s own and is swept
+/// linearly toward the `target`'s over the course of the stream (the
+/// n-th attack transmission uses alpha = n / (attacks - 1)).  Early
+/// frames are easy to flag, late frames approach a perfect duplicate —
+/// the per-position detection outcome traces the detector's imitation
+/// tolerance.  Throws std::invalid_argument on the same conditions as
+/// make_foreign_stream.
+std::vector<LabeledCapture> make_imitation_sweep_stream(
+    Vehicle& vehicle, std::size_t imitator, std::size_t target,
+    std::size_t count, const analog::Environment& env);
 
 }  // namespace sim

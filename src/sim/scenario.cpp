@@ -1,0 +1,227 @@
+#include "sim/scenario.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "core/extractor.hpp"
+#include "core/trainer.hpp"
+#include "pipeline/pipeline.hpp"
+#include "sim/experiment.hpp"
+#include "sim/presets.hpp"
+
+namespace sim {
+namespace {
+
+/// FNV-1a over raw bytes; the only property needed is determinism across
+/// runs and platforms, not cryptographic strength.
+std::uint64_t fnv1a(std::uint64_t hash, const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::uint64_t fnv1a_init() { return 0xcbf29ce484222325ULL; }
+
+std::uint64_t hash_u64(std::uint64_t hash, std::uint64_t value) {
+  return fnv1a(hash, &value, sizeof(value));
+}
+
+/// Derives a stream seed from the runner seed and a purpose string, so
+/// every scenario (and every stage within it) draws from an independent,
+/// order-independent random stream.
+std::uint64_t derive_seed(std::uint64_t seed, const std::string& purpose) {
+  std::uint64_t h = hash_u64(fnv1a_init(), seed);
+  h = fnv1a(h, purpose.data(), purpose.size());
+  // Avoid the degenerate all-zero mt19937 seed.
+  return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+}
+
+}  // namespace
+
+const char* to_string(AttackKind kind) {
+  switch (kind) {
+    case AttackKind::kNone: return "none";
+    case AttackKind::kHijack: return "hijack";
+    case AttackKind::kForeign: return "foreign";
+    case AttackKind::kMasquerade: return "masquerade";
+    case AttackKind::kImitationSweep: return "imitation-sweep";
+  }
+  return "unknown";
+}
+
+std::string Scenario::name() const {
+  return preset + "/" + vprofile::to_string(metric) + "/" +
+         to_string(attack) + "/" + faults.name + "/" + env_name;
+}
+
+std::uint64_t ScenarioMetrics::fingerprint() const {
+  std::uint64_t h = fnv1a_init();
+  h = hash_u64(h, confusion.true_positives());
+  h = hash_u64(h, confusion.true_negatives());
+  h = hash_u64(h, confusion.false_positives());
+  h = hash_u64(h, confusion.false_negatives());
+  h = hash_u64(h, extraction_failures);
+  h = hash_u64(h, degraded);
+  for (std::uint64_t a : fault_stats.applied) h = hash_u64(h, a);
+  h = hash_u64(h, fault_stats.faulted_traces);
+  h = hash_u64(h, fault_stats.total_traces);
+  for (std::uint64_t e : pipeline_counters.extract_errors) h = hash_u64(h, e);
+  for (std::uint64_t v : pipeline_counters.verdicts) h = hash_u64(h, v);
+  return h;
+}
+
+VehicleConfig scenario_vehicle(const Scenario& scenario) {
+  if (scenario.preset == "a") return vehicle_a();
+  if (scenario.preset == "b") return vehicle_b();
+  throw std::invalid_argument("scenario_vehicle: unknown preset '" +
+                              scenario.preset + "'");
+}
+
+vprofile::DetectionConfig scenario_detection_config(
+    const VehicleConfig& config, double margin) {
+  vprofile::DetectionConfig dc;
+  dc.margin = margin;
+  // Rails just inside the digitizer limits: clean captures peak around
+  // 90% of full scale (see bench_fig2_5_4_2_profiles), so 98% only trips
+  // on genuine saturation; codes at/below zero only appear when samples
+  // were dropped or the offset collapsed.
+  dc.saturation_code = 0.98 * static_cast<double>(config.adc.max_code());
+  dc.dead_code = 0.5;
+  dc.degraded_fraction = 0.25;
+  dc.flat_run_min = 6;
+  return dc;
+}
+
+ScenarioRunner::ScenarioRunner(std::uint64_t seed) : seed_(seed) {}
+
+const ScenarioRunner::CachedModel& ScenarioRunner::model_for(
+    const Scenario& scenario) {
+  const std::string key = scenario.preset + "/" +
+                          vprofile::to_string(scenario.metric) + "/" +
+                          scenario.env_name + "/" +
+                          std::to_string(scenario.train_count);
+  auto it = model_cache_.find(key);
+  if (it != model_cache_.end()) return it->second;
+
+  CachedModel cached;
+  const VehicleConfig config = scenario_vehicle(scenario);
+  Vehicle vehicle(config, derive_seed(seed_, "train/" + key));
+  const vprofile::ExtractionConfig extraction = default_extraction(config);
+
+  std::vector<vprofile::EdgeSet> edge_sets;
+  edge_sets.reserve(scenario.train_count);
+  for (const Capture& cap :
+       vehicle.capture(scenario.train_count, scenario.env)) {
+    if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
+      edge_sets.push_back(std::move(*es));
+    }
+  }
+  vprofile::TrainingConfig tc;
+  tc.metric = scenario.metric;
+  tc.extraction = extraction;
+  vprofile::TrainOutcome outcome =
+      vprofile::train_with_database(edge_sets, vehicle.database(), tc);
+  if (outcome.ok()) {
+    cached.model =
+        std::make_shared<const vprofile::Model>(std::move(*outcome.model));
+  } else {
+    cached.error = outcome.error;
+  }
+  return model_cache_.emplace(key, std::move(cached)).first->second;
+}
+
+ScenarioResult ScenarioRunner::run(const Scenario& scenario) {
+  ScenarioResult result;
+  const CachedModel& cached = model_for(scenario);
+  if (!cached.model) {
+    result.error = cached.error;
+    return result;
+  }
+  const vprofile::Model& model = *cached.model;
+
+  const VehicleConfig config = scenario_vehicle(scenario);
+  Vehicle vehicle(config, derive_seed(seed_, "stream/" + scenario.name()));
+
+  std::vector<LabeledCapture> stream;
+  switch (scenario.attack) {
+    case AttackKind::kNone:
+      stream = make_normal_stream(vehicle, scenario.test_count, scenario.env);
+      break;
+    case AttackKind::kHijack:
+      stream = make_hijack_stream(vehicle, scenario.test_count,
+                                  scenario.attack_prob, scenario.env);
+      break;
+    case AttackKind::kForeign: {
+      const auto [imitator, target] = Experiment::most_similar_pair(model);
+      stream = make_foreign_stream(vehicle, imitator, target,
+                                   scenario.test_count, scenario.env);
+      break;
+    }
+    case AttackKind::kMasquerade: {
+      const auto [attacker, victim] = Experiment::most_similar_pair(model);
+      stream = make_masquerade_stream(vehicle, attacker, victim,
+                                      scenario.test_count, scenario.overdrive,
+                                      scenario.env);
+      break;
+    }
+    case AttackKind::kImitationSweep: {
+      const auto [imitator, target] = Experiment::most_similar_pair(model);
+      stream = make_imitation_sweep_stream(vehicle, imitator, target,
+                                           scenario.test_count, scenario.env);
+      break;
+    }
+  }
+
+  // The fault layer corrupts what the tap records, never what the bus
+  // carried: labels stay attached to the original transmissions.
+  faults::FaultInjector injector(
+      scenario.faults, static_cast<double>(config.adc.max_code()),
+      derive_seed(seed_, "faults/" + scenario.name()));
+  for (LabeledCapture& lc : stream) {
+    lc.capture.codes = injector.apply(lc.capture.codes);
+  }
+
+  // Score through the real streaming pipeline (one worker keeps results
+  // in capture order and bit-identical to sequential scoring) so the
+  // scenario grid regression-covers pipeline code, not just detect().
+  pipeline::PipelineConfig pc;
+  pc.num_workers = 1;
+  pc.queue_capacity = 256;
+  pc.block_when_full = true;
+  if (scenario.quality_gating) {
+    pc.detection = scenario_detection_config(config, scenario.margin);
+  } else {
+    pc.detection.margin = scenario.margin;
+  }
+
+  std::vector<pipeline::FrameResult> frames;
+  frames.reserve(stream.size());
+  {
+    pipeline::DetectionPipeline pipe(
+        model, pc,
+        [&](pipeline::FrameResult&& r) { frames.push_back(std::move(r)); });
+    for (const LabeledCapture& lc : stream) pipe.submit(lc.capture.codes);
+    pipe.finish();
+    result.metrics.pipeline_counters = pipe.counters();
+  }
+
+  for (const pipeline::FrameResult& r : frames) {
+    if (!r.ok()) {
+      ++result.metrics.extraction_failures;
+      continue;
+    }
+    if (r.detection->is_degraded()) {
+      ++result.metrics.degraded;
+      continue;
+    }
+    result.metrics.confusion.add(stream[r.seq].is_attack,
+                                 r.detection->is_anomaly());
+  }
+  result.metrics.fault_stats = injector.stats();
+  return result;
+}
+
+}  // namespace sim

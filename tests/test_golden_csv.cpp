@@ -1,0 +1,225 @@
+// Golden-file regression for the committed figure CSVs.
+//
+// The three fig*.csv files at the repo root are the paper-figure data the
+// benches exported when they were last run.  These tests regenerate each
+// series in-process — same seeds, same math as the bench — and diff the
+// result against the committed copy with a numeric tolerance.  A drift in
+// the simulator, the extractor, or the statistics layer that silently
+// changes the paper figures now fails CI instead of being discovered the
+// next time someone replots.
+//
+// Tolerances: fig2_5 / fig4_4 are written by CsvWriter at full double
+// precision, so the parse-back tolerance is pure round-trip slack.
+// fig3_1 goes through std::to_string (6 fractional digits), which caps
+// the committed file's own precision at 5e-7.
+#include <cmath>
+#include <cstddef>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analog/environment.hpp"
+#include "canbus/frame.hpp"
+#include "core/extractor.hpp"
+#include "dsp/resample.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+#include "stats/welford.hpp"
+
+namespace {
+
+struct Csv {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+Csv read_csv(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << "missing golden file: " << path;
+  Csv csv;
+  std::string line;
+  bool first = true;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    std::stringstream ss(line);
+    std::string field;
+    while (std::getline(ss, field, ',')) fields.push_back(field);
+    if (first) {
+      csv.header = std::move(fields);
+      first = false;
+    } else {
+      csv.rows.push_back(std::move(fields));
+    }
+  }
+  return csv;
+}
+
+std::string golden_path(const std::string& name) {
+  return std::string(VPROFILE_SOURCE_DIR) + "/" + name;
+}
+
+void expect_near_golden(double regenerated, const std::string& committed,
+                        double abs_tol, const std::string& where) {
+  const double golden = std::stod(committed);
+  const double tol = abs_tol + 1e-9 * std::abs(golden);
+  EXPECT_NEAR(regenerated, golden, tol) << where;
+}
+
+// Full-precision CsvWriter round-trip slack only.
+constexpr double kFullPrecisionTol = 1e-6;
+// std::to_string keeps 6 fractional digits.
+constexpr double kToStringTol = 5e-7 + 1e-6;
+
+TEST(GoldenCsv, Fig2_5ProfilesMatchCommitted) {
+  // Mirror of bench_fig2_5_4_2_profiles.cpp (seed 2500, 200 traces/ECU).
+  sim::Vehicle vehicle(sim::vehicle_a(), 2500);
+  const auto extraction = sim::default_extraction(vehicle.config());
+  const std::size_t num_ecus = vehicle.config().ecus.size();
+  const std::size_t dim = extraction.dimension();
+
+  std::vector<stats::VectorWelford> profiles(num_ecus,
+                                             stats::VectorWelford(dim));
+  std::size_t captured = 0;
+  while (true) {
+    bool done = true;
+    for (const auto& p : profiles) done &= (p.count() >= 200);
+    if (done) break;
+    for (const auto& cap :
+         vehicle.capture(500, analog::Environment::reference())) {
+      const auto es = vprofile::extract_edge_set(cap.codes, extraction);
+      if (!es) continue;
+      profiles[cap.true_ecu].add(es->samples);
+      ++captured;
+    }
+    ASSERT_LE(captured, 20000u) << "simulator starved an ECU of captures";
+  }
+
+  const Csv golden = read_csv(golden_path("fig2_5_profiles.csv"));
+  ASSERT_EQ(golden.header.size(), 1 + 2 * num_ecus);
+  ASSERT_EQ(golden.rows.size(), dim);
+  for (std::size_t i = 0; i < dim; ++i) {
+    const auto& row = golden.rows[i];
+    ASSERT_EQ(row.size(), 1 + 2 * num_ecus);
+    const std::string where = "row " + std::to_string(i);
+    expect_near_golden(static_cast<double>(i), row[0], kFullPrecisionTol,
+                       where);
+    for (std::size_t e = 0; e < num_ecus; ++e) {
+      expect_near_golden(profiles[e].mean()[i], row[1 + 2 * e],
+                         kFullPrecisionTol,
+                         where + " ecu " + std::to_string(e) + " mean");
+      expect_near_golden(profiles[e].stddev()[i], row[2 + 2 * e],
+                         kFullPrecisionTol,
+                         where + " ecu " + std::to_string(e) + " stddev");
+    }
+  }
+}
+
+TEST(GoldenCsv, Fig4_4StddevMatchesCommitted) {
+  // Mirror of bench_fig4_4_stddev.cpp (seed 4400, 4000 captures, ECU 0).
+  sim::Vehicle vehicle(sim::vehicle_a(), 4400);
+  const auto extraction = sim::default_extraction(vehicle.config());
+  const std::size_t dim = extraction.dimension();
+
+  stats::VectorWelford acc(dim);
+  for (const auto& cap :
+       vehicle.capture(4000, analog::Environment::reference())) {
+    if (cap.true_ecu != 0) continue;
+    if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
+      acc.add(es->samples);
+    }
+  }
+
+  const Csv golden = read_csv(golden_path("fig4_4_stddev.csv"));
+  ASSERT_EQ(golden.header,
+            (std::vector<std::string>{"index", "mean", "stddev"}));
+  ASSERT_EQ(golden.rows.size(), dim);
+  const auto mean = acc.mean();
+  const auto sd = acc.stddev();
+  for (std::size_t i = 0; i < dim; ++i) {
+    const auto& row = golden.rows[i];
+    ASSERT_EQ(row.size(), 3u);
+    const std::string where = "row " + std::to_string(i);
+    expect_near_golden(mean[i], row[1], kFullPrecisionTol, where + " mean");
+    expect_near_golden(sd[i], row[2], kFullPrecisionTol, where + " stddev");
+  }
+}
+
+// The paper's lateral rescaling, as in bench_fig3_1_sampling_effects.cpp.
+std::vector<double> stretch(const std::vector<double>& xs, std::size_t n) {
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double pos = static_cast<double>(i) *
+                       static_cast<double>(xs.size() - 1) /
+                       static_cast<double>(n - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    out[i] = xs[lo] + (xs[hi] - xs[lo]) * frac;
+  }
+  return out;
+}
+
+TEST(GoldenCsv, Fig3_1EdgeSetsMatchCommitted) {
+  // Mirror of bench_fig3_1_sampling_effects.cpp (seed 3100).
+  sim::Vehicle vehicle(sim::vehicle_a(), 3100);
+  canbus::DataFrame frame;
+  frame.id = vehicle.config().ecus[0].messages[0].id;
+  frame.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+  const auto cap = vehicle.synthesize_message(
+      frame, 0, analog::Environment::reference());
+
+  const auto base_cfg = sim::default_extraction(vehicle.config());
+  const auto reference = vprofile::extract_edge_set(cap.codes, base_cfg);
+  ASSERT_TRUE(reference.has_value());
+  const std::size_t n = reference->samples.size();
+
+  // Regenerate every (variant, sample) -> code series the bench dumps, in
+  // the bench's dump order.
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+  series.emplace_back("20MSps_16bit", reference->samples);
+  for (const auto& [factor, name] :
+       std::vector<std::pair<std::size_t, const char*>>{
+           {2, "10 MS/s"}, {4, "5 MS/s"}, {8, "2.5 MS/s"},
+           {16, "1.25 MS/s"}}) {
+    const auto down = dsp::downsample(cap.codes, factor);
+    const auto cfg = vprofile::make_extraction_config(
+        20e6 / static_cast<double>(factor), 250e3, base_cfg.bit_threshold);
+    const auto es = vprofile::extract_edge_set(down, cfg);
+    if (!es) continue;
+    series.emplace_back(name, stretch(es->samples, n));
+  }
+  for (int bits : {14, 12, 10, 8, 6, 4}) {
+    const auto reduced = dsp::requantize_codes(cap.codes, 16, bits);
+    const auto es = vprofile::extract_edge_set(reduced, base_cfg);
+    if (!es) continue;
+    series.emplace_back(std::to_string(bits) + "bit", es->samples);
+  }
+
+  const Csv golden = read_csv(golden_path("fig3_1_edge_sets.csv"));
+  ASSERT_EQ(golden.header,
+            (std::vector<std::string>{"variant", "sample", "code"}));
+  std::size_t row_idx = 0;
+  for (const auto& [name, values] : series) {
+    for (std::size_t i = 0; i < values.size(); ++i, ++row_idx) {
+      ASSERT_LT(row_idx, golden.rows.size())
+          << "committed file is shorter than the regenerated series";
+      const auto& row = golden.rows[row_idx];
+      ASSERT_EQ(row.size(), 3u);
+      const std::string where =
+          name + " sample " + std::to_string(i) + " (row " +
+          std::to_string(row_idx) + ")";
+      EXPECT_EQ(row[0], name) << where;
+      EXPECT_EQ(row[1], std::to_string(i)) << where;
+      expect_near_golden(values[i], row[2], kToStringTol, where);
+    }
+  }
+  EXPECT_EQ(row_idx, golden.rows.size())
+      << "committed file has extra rows the bench no longer produces";
+}
+
+}  // namespace

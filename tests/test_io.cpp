@@ -1,3 +1,6 @@
+#include <algorithm>
+#include <cstring>
+#include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -161,11 +164,95 @@ TEST(TraceStore, RoundTrip) {
   EXPECT_EQ(loaded->traces[2], set.traces[2]);
 }
 
+TEST(ModelStore, RejectsNonFiniteClusterStatistics) {
+  // A model whose statistics were NaN-poisoned upstream: saving succeeds
+  // (text "nan"/"inf" tokens), but loading must refuse — detection with
+  // such a model would emit NaN distances for every frame.
+  for (const bool poison_mean : {true, false}) {
+    auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+    auto clusters = model.clusters();
+    if (poison_mean) {
+      clusters[0].mean[0] = std::numeric_limits<double>::quiet_NaN();
+    } else {
+      clusters[0].inv_covariance.data()[0] =
+          std::numeric_limits<double>::infinity();
+    }
+    const vprofile::Model poisoned(model.metric(), model.extraction(),
+                                   std::move(clusters));
+    std::stringstream ss;
+    ASSERT_TRUE(io::save_model(poisoned, ss));
+    std::string error;
+    EXPECT_FALSE(io::load_model(ss, &error).has_value());
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ModelStore, RejectsNonFiniteMaxDistance) {
+  auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  auto clusters = model.clusters();
+  clusters[0].max_distance = std::numeric_limits<double>::infinity();
+  const vprofile::Model poisoned(model.metric(), model.extraction(),
+                                 std::move(clusters));
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(poisoned, ss));
+  std::string error;
+  EXPECT_FALSE(io::load_model(ss, &error).has_value());
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(ModelStore, TruncationAtEveryByteFailsCleanly) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  const std::string full = ss.str();
+  // Sweep truncation points through the whole file; every prefix must
+  // either load (only the complete file) or fail with a set error.
+  for (std::size_t len = 0; len < full.size();
+       len += std::max<std::size_t>(1, full.size() / 97)) {
+    std::stringstream truncated(full.substr(0, len));
+    std::string error = "unset";
+    const auto loaded = io::load_model(truncated, &error);
+    EXPECT_FALSE(loaded.has_value()) << "prefix length " << len;
+    EXPECT_NE(error, "unset") << "prefix length " << len;
+    EXPECT_FALSE(error.empty()) << "prefix length " << len;
+  }
+}
+
+TEST(ModelStore, RoundTripPreservesExactBits) {
+  // setprecision(17) guarantees double -> text -> double identity; the
+  // round-trip must therefore be bit-exact, not merely close.
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream first;
+  ASSERT_TRUE(io::save_model(model, first));
+  const auto loaded = io::load_model(first);
+  ASSERT_TRUE(loaded.has_value());
+  std::stringstream second;
+  ASSERT_TRUE(io::save_model(*loaded, second));
+  EXPECT_EQ(first.str(), second.str());
+}
+
 TEST(TraceStore, RejectsWrongMagic) {
   std::stringstream ss("XXXXGARBAGE");
   std::string error;
   EXPECT_FALSE(io::load_traces(ss, &error).has_value());
   EXPECT_NE(error.find("not a vprofile trace file"), std::string::npos);
+}
+
+TEST(TraceStore, RejectsByteSwappedMagicAsEndiannessMismatch) {
+  io::TraceSet set;
+  set.sample_rate_hz = 1e6;
+  set.resolution_bits = 16;
+  set.traces = {{1.0, 2.0}};
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_traces(set, ss));
+  std::string bytes = ss.str();
+  // Reverse the 4 magic bytes, as written by an opposite-endian machine.
+  std::swap(bytes[0], bytes[3]);
+  std::swap(bytes[1], bytes[2]);
+  std::stringstream swapped(bytes);
+  std::string error;
+  EXPECT_FALSE(io::load_traces(swapped, &error).has_value());
+  EXPECT_NE(error.find("endianness"), std::string::npos);
 }
 
 TEST(TraceStore, RejectsTruncatedSamples) {
@@ -178,6 +265,103 @@ TEST(TraceStore, RejectsTruncatedSamples) {
   const std::string full = ss.str();
   std::stringstream truncated(full.substr(0, full.size() - 8));
   EXPECT_FALSE(io::load_traces(truncated).has_value());
+}
+
+TEST(TraceStore, TruncationAtEveryByteFailsCleanly) {
+  io::TraceSet set;
+  set.sample_rate_hz = 20e6;
+  set.resolution_bits = 16;
+  set.traces = {{1.5, 2.5, 3.5}, {}, {42.0, 43.0}};
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_traces(set, ss));
+  const std::string full = ss.str();
+  for (std::size_t len = 0; len < full.size(); ++len) {
+    std::stringstream truncated(full.substr(0, len));
+    std::string error = "unset";
+    const auto loaded = io::load_traces(truncated, &error);
+    EXPECT_FALSE(loaded.has_value()) << "prefix length " << len;
+    EXPECT_NE(error, "unset") << "prefix length " << len;
+  }
+}
+
+TEST(TraceStore, RejectsNonFiniteSamples) {
+  io::TraceSet set;
+  set.sample_rate_hz = 1e6;
+  set.resolution_bits = 12;
+  set.traces = {{1.0, std::numeric_limits<double>::quiet_NaN(), 3.0}};
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_traces(set, ss));
+  std::string error;
+  EXPECT_FALSE(io::load_traces(ss, &error).has_value());
+  EXPECT_NE(error.find("non-finite"), std::string::npos);
+}
+
+TEST(TraceStore, RejectsNonFiniteSampleRate) {
+  io::TraceSet set;
+  set.sample_rate_hz = std::numeric_limits<double>::infinity();
+  set.resolution_bits = 12;
+  set.traces = {{1.0}};
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_traces(set, ss));
+  std::string error;
+  EXPECT_FALSE(io::load_traces(ss, &error).has_value());
+  EXPECT_NE(error.find("sample rate"), std::string::npos);
+}
+
+TEST(TraceStore, RejectsInvalidResolution) {
+  for (int bits : {0, -4, 48}) {
+    io::TraceSet set;
+    set.sample_rate_hz = 1e6;
+    set.resolution_bits = bits;
+    set.traces = {{1.0}};
+    std::stringstream ss;
+    ASSERT_TRUE(io::save_traces(set, ss));
+    std::string error;
+    EXPECT_FALSE(io::load_traces(ss, &error).has_value()) << bits;
+    EXPECT_NE(error.find("resolution"), std::string::npos) << bits;
+  }
+}
+
+TEST(TraceStore, RejectsImplausibleDeclaredLength) {
+  // Hand-build a header that declares a multi-terabyte trace; the loader
+  // must reject it from the header alone rather than attempt the
+  // allocation.
+  std::stringstream ss;
+  const std::uint32_t magic = 0x56505452;
+  const std::uint32_t version = 1;
+  const double rate = 1e6;
+  const std::int32_t bits = 16;
+  const std::uint64_t count = 1;
+  const std::uint64_t huge_len = 1ull << 40;
+  ss.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  ss.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  ss.write(reinterpret_cast<const char*>(&rate), sizeof(rate));
+  ss.write(reinterpret_cast<const char*>(&bits), sizeof(bits));
+  ss.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  ss.write(reinterpret_cast<const char*>(&huge_len), sizeof(huge_len));
+  std::string error;
+  EXPECT_FALSE(io::load_traces(ss, &error).has_value());
+  EXPECT_NE(error.find("implausible"), std::string::npos);
+}
+
+TEST(TraceStore, RoundTripPreservesExactBits) {
+  // Binary doubles round-trip untouched: exercise awkward bit patterns
+  // (denormals, negative zero, code values with long fractions).
+  io::TraceSet set;
+  set.sample_rate_hz = 20e6;
+  set.resolution_bits = 16;
+  set.traces = {{5e-324, -0.0, 1.0 / 3.0, 65535.000000001, 0.1}};
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_traces(set, ss));
+  const auto loaded = io::load_traces(ss);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->traces.size(), 1u);
+  for (std::size_t i = 0; i < set.traces[0].size(); ++i) {
+    EXPECT_EQ(std::memcmp(&loaded->traces[0][i], &set.traces[0][i],
+                          sizeof(double)),
+              0)
+        << "sample " << i;
+  }
 }
 
 TEST(TraceStore, FileHelpersWork) {

@@ -2,6 +2,8 @@
 // glitches, dropouts, clipping, DC shifts, partial messages.  The
 // extractor must never crash, and must either fail cleanly or produce an
 // edge set the detector can still reason about.
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "analog/synth.hpp"
@@ -19,10 +21,10 @@ namespace {
 class Robustness : public ::testing::Test {
  protected:
   static void SetUpTestSuite() {
-    vehicle_ = new sim::Vehicle(sim::vehicle_a(), 31415);
-    extraction_ = new vprofile::ExtractionConfig(
+    vehicle_ = std::make_unique<sim::Vehicle>(sim::vehicle_a(), 31415);
+    extraction_ = std::make_unique<vprofile::ExtractionConfig>(
         sim::default_extraction(vehicle_->config()));
-    captures_ = new std::vector<sim::Capture>(
+    captures_ = std::make_unique<std::vector<sim::Capture>>(
         vehicle_->capture(600, analog::Environment::reference()));
 
     std::vector<vprofile::EdgeSet> training;
@@ -38,27 +40,26 @@ class Robustness : public ::testing::Test {
     auto outcome = vprofile::train_with_database(
         training, vehicle_->database(), cfg);
     ASSERT_TRUE(outcome.ok()) << outcome.error;
-    model_ = new vprofile::Model(std::move(*outcome.model));
+    model_ = std::make_unique<vprofile::Model>(std::move(*outcome.model));
   }
 
   static void TearDownTestSuite() {
-    delete vehicle_;
-    delete extraction_;
-    delete captures_;
-    delete model_;
-    vehicle_ = nullptr;
+    vehicle_.reset();
+    extraction_.reset();
+    captures_.reset();
+    model_.reset();
   }
 
-  static sim::Vehicle* vehicle_;
-  static vprofile::ExtractionConfig* extraction_;
-  static std::vector<sim::Capture>* captures_;
-  static vprofile::Model* model_;
+  static std::unique_ptr<sim::Vehicle> vehicle_;
+  static std::unique_ptr<vprofile::ExtractionConfig> extraction_;
+  static std::unique_ptr<std::vector<sim::Capture>> captures_;
+  static std::unique_ptr<vprofile::Model> model_;
 };
 
-sim::Vehicle* Robustness::vehicle_ = nullptr;
-vprofile::ExtractionConfig* Robustness::extraction_ = nullptr;
-std::vector<sim::Capture>* Robustness::captures_ = nullptr;
-vprofile::Model* Robustness::model_ = nullptr;
+std::unique_ptr<sim::Vehicle> Robustness::vehicle_;
+std::unique_ptr<vprofile::ExtractionConfig> Robustness::extraction_;
+std::unique_ptr<std::vector<sim::Capture>> Robustness::captures_;
+std::unique_ptr<vprofile::Model> Robustness::model_;
 
 TEST_F(Robustness, SingleSampleGlitchesNeverCrash) {
   stats::Rng rng(1);

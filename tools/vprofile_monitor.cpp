@@ -5,11 +5,14 @@
 // Usage:
 //   vprofile_monitor --vehicle a|b [--seed S] [--train N] [--count M]
 //                    [--workers W] [--queue CAP] [--margin M]
-//                    [--hijack P] [--no-block] [--verbose]
+//                    [--hijack P] [--fault PROFILE] [--no-gate]
+//                    [--no-block] [--verbose]
 //
 // --margin defaults to 0.0, matching DetectionConfig{} (the trained
-// per-cluster maximum distance alone); --no-block switches submit() from
-// backpressure to drop-and-count, the mode a real bus tap needs.
+// per-cluster maximum distance alone); --fault replays the stream through
+// a named analog fault profile (see faults::canned_profiles());
+// --no-block switches submit() from backpressure to drop-and-count, the
+// mode a real bus tap needs.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -19,9 +22,11 @@
 #include "core/detector.hpp"
 #include "core/extractor.hpp"
 #include "core/trainer.hpp"
+#include "faults/fault.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/attack.hpp"
 #include "sim/presets.hpp"
+#include "sim/scenario.hpp"
 #include "sim/vehicle.hpp"
 #include "stats/confusion.hpp"
 
@@ -32,9 +37,16 @@ void usage() {
       stderr,
       "usage: vprofile_monitor --vehicle a|b [--seed S] [--train N]\n"
       "                        [--count M] [--workers W] [--queue CAP]\n"
-      "                        [--margin M] [--hijack P] [--no-block]\n"
-      "                        [--verbose]\n"
+      "                        [--margin M] [--hijack P] [--fault PROFILE]\n"
+      "                        [--no-gate] [--no-block] [--verbose]\n"
       "  --margin defaults to 0.0 (same as the library's DetectionConfig)\n"
+      "  --fault corrupts captures with a named analog fault profile:\n");
+  for (const faults::FaultProfile& p : faults::canned_profiles()) {
+    std::fprintf(stderr, "      %s\n", p.name.c_str());
+  }
+  std::fprintf(
+      stderr,
+      "  --no-gate disables input-quality gating (no degraded verdicts)\n"
       "  --no-block drops frames when the queue is full instead of\n"
       "  stalling the capture (live-tap mode)\n");
 }
@@ -50,6 +62,8 @@ int main(int argc, char** argv) {
   std::size_t queue_capacity = 256;
   double margin = vprofile::DetectionConfig{}.margin;
   double hijack_prob = 0.1;
+  faults::FaultProfile fault_profile = faults::clean_profile();
+  bool quality_gate = true;
   bool block_when_full = true;
   bool verbose = false;
 
@@ -80,6 +94,17 @@ int main(int argc, char** argv) {
       margin = std::atof(next());
     } else if (arg == "--hijack") {
       hijack_prob = std::atof(next());
+    } else if (arg == "--fault") {
+      const std::string name = next();
+      const auto profile = faults::profile_by_name(name);
+      if (!profile) {
+        std::fprintf(stderr, "unknown fault profile '%s'\n", name.c_str());
+        usage();
+        return 2;
+      }
+      fault_profile = *profile;
+    } else if (arg == "--no-gate") {
+      quality_gate = false;
     } else if (arg == "--no-block") {
       block_when_full = false;
     } else if (arg == "--verbose") {
@@ -131,10 +156,15 @@ int main(int argc, char** argv) {
   pc.num_workers = workers;
   pc.queue_capacity = queue_capacity;
   pc.block_when_full = block_when_full;
-  pc.detection.margin = margin;
+  if (quality_gate) {
+    pc.detection = sim::scenario_detection_config(config, margin);
+  } else {
+    pc.detection.margin = margin;
+  }
 
   stats::BinaryConfusion confusion;
   std::size_t extraction_failures = 0;
+  std::size_t degraded = 0;
   const vprofile::Model& model = *trained.model;
   // The sink runs in capture order, so indexing the labels by seq is safe.
   pipeline::DetectionPipeline pipe(
@@ -145,6 +175,19 @@ int main(int argc, char** argv) {
           return;
         }
         const bool actual = stream[r.seq].is_attack;
+        if (r.detection->is_degraded()) {
+          // The capture was too mangled to classify; a deployed monitor
+          // escalates these on a separate channel instead of guessing.
+          ++degraded;
+          if (verbose) {
+            std::printf("msg %6llu  sa=0x%02X  %-18s confidence=%.2f%s\n",
+                        static_cast<unsigned long long>(r.seq), r.sa,
+                        to_string(r.detection->verdict),
+                        r.detection->confidence,
+                        actual ? "  [ATTACK FRAME]" : "");
+          }
+          return;
+        }
         const bool flagged = r.detection->is_anomaly();
         confusion.add(actual, flagged);
         if (verbose && flagged) {
@@ -160,9 +203,15 @@ int main(int argc, char** argv) {
         }
       });
 
+  faults::FaultInjector injector(fault_profile, config.adc.max_code(),
+                                 seed ^ 0xfa0175eedull);
   const auto t0 = std::chrono::steady_clock::now();
   for (const sim::LabeledCapture& lc : stream) {
-    pipe.submit(lc.capture.codes);
+    if (fault_profile.empty()) {
+      pipe.submit(lc.capture.codes);
+    } else {
+      pipe.submit(injector.apply(lc.capture.codes));
+    }
   }
   pipe.finish();
   const double elapsed_s =
@@ -177,11 +226,41 @@ int main(int argc, char** argv) {
   std::printf("\npipeline: %zu workers, queue %zu (%s)\n", workers,
               queue_capacity, block_when_full ? "backpressure" : "drop");
   std::printf("  frames      %llu submitted, %llu scored, %llu dropped, "
-              "%zu extraction failures\n",
+              "%zu extraction failures, %zu degraded\n",
               static_cast<unsigned long long>(c.submitted),
               static_cast<unsigned long long>(c.completed),
               static_cast<unsigned long long>(c.dropped),
-              extraction_failures);
+              extraction_failures, degraded);
+  std::printf("  verdicts   ");
+  for (std::size_t v = 0; v < vprofile::kNumVerdicts; ++v) {
+    std::printf(" %s=%llu",
+                vprofile::to_string(static_cast<vprofile::Verdict>(v)),
+                static_cast<unsigned long long>(c.verdicts[v]));
+  }
+  std::printf("\n");
+  if (c.extract_failures() > 0) {
+    std::printf("  extract err");
+    for (std::size_t e = 0; e < pipeline::kNumExtractErrors; ++e) {
+      if (c.extract_errors[e] == 0) continue;
+      std::printf(" %s=%llu",
+                  vprofile::to_string(static_cast<vprofile::ExtractError>(e)),
+                  static_cast<unsigned long long>(c.extract_errors[e]));
+    }
+    std::printf("\n");
+  }
+  if (!fault_profile.empty()) {
+    const faults::FaultStats& fs = injector.stats();
+    std::printf("  faults      profile '%s': %llu/%llu traces hit;",
+                fault_profile.name.c_str(),
+                static_cast<unsigned long long>(fs.faulted_traces),
+                static_cast<unsigned long long>(fs.total_traces));
+    for (std::size_t k = 0; k < faults::kNumFaultKinds; ++k) {
+      std::printf(" %s=%llu",
+                  faults::to_string(static_cast<faults::FaultKind>(k)),
+                  static_cast<unsigned long long>(fs.applied[k]));
+    }
+    std::printf("\n");
+  }
   std::printf("  throughput  %.0f frames/s (%.2f s wall)\n",
               c.frames_per_second(elapsed_s), elapsed_s);
   std::printf("  latency     extract %.1f us/frame, detect %.1f us/frame\n",
