@@ -50,7 +50,7 @@ Scores score_baseline(const baseline::SenderIds& ids,
 int main() {
   bench::print_header("Baseline comparison — Vehicle A, identical traffic");
 
-  sim::Vehicle vehicle(sim::vehicle_a(), 6100);
+  sim::Vehicle vehicle(sim::vehicle_a(), bench::bench_seed("baselines"));
   const auto db = vehicle.database();
   const auto extraction = sim::default_extraction(vehicle.config());
 
@@ -150,7 +150,7 @@ int main() {
   {
     baseline::MseIds::Options opts;
     opts.base = base_cfg;
-    opts.sample_rate_hz = vehicle.config().adc.sample_rate_hz();
+    opts.sample_rate_hz = vehicle.config().adc.sample_rate().value();
     baseline::MseIds ids(opts);
     std::string error;
     if (ids.train(examples, db, &error)) {

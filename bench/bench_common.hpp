@@ -8,11 +8,23 @@
 
 #include <cstddef>
 #include <string>
+#include <string_view>
 
+#include "core/units.hpp"
 #include "sim/experiment.hpp"
 #include "stats/confusion.hpp"
 
 namespace bench {
+
+/// Returns the fixed base seed for one bench, looked up by name.
+///
+/// Every bench draws its RNG stream from this single catalog instead of
+/// scattering seed literals: the values are load-bearing (the printed
+/// tables and figures are reproducible only while they stay put), and
+/// keeping them in one audited place is what lets the determinism lint
+/// rule hold over bench/. Aborts on an unknown name — a typo here must
+/// not silently reseed a bench.
+units::Seed64 bench_seed(std::string_view bench_name);
 
 /// Scale factor from VPROFILE_BENCH_SCALE (default 1.0, clamped to
 /// [0.05, 1000]).
@@ -36,7 +48,7 @@ void print_result(const std::string& label, const sim::ExperimentResult& r,
 /// vehicle with one metric and prints the three confusion matrices in the
 /// layout of Tables 4.1-4.4.
 void run_three_tests(const std::string& table_name,
-                     const sim::VehicleConfig& config, std::uint64_t seed,
+                     const sim::VehicleConfig& config, units::Seed64 seed,
                      vprofile::DistanceMetric metric,
                      const std::string& paper_fp,
                      const std::string& paper_hijack,

@@ -39,7 +39,7 @@ int main() {
               "fault", "tp", "tn", "fp", "fn", "recall", "fpr", "degr",
               "xfail");
 
-  sim::ScenarioRunner runner(0xbe7cafe);
+  sim::ScenarioRunner runner(bench::bench_seed("fault_matrix"));
   for (sim::AttackKind attack : attacks) {
     for (const faults::FaultProfile& profile : profiles) {
       sim::Scenario s;
@@ -57,7 +57,10 @@ int main() {
       const double negatives = static_cast<double>(
           m.confusion.true_negatives() + m.confusion.false_positives());
       const double fpr =
-          negatives > 0.0 ? m.confusion.false_positives() / negatives : 0.0;
+          negatives > 0.0
+              ? static_cast<double>(m.confusion.false_positives()) /
+                    negatives
+              : 0.0;
       std::printf(
           "%-16s %-12s %5llu %5llu %5llu %5llu  %6.3f %6.3f  %5zu %5zu\n",
           attack_label(attack), profile.name.c_str(),

@@ -22,7 +22,8 @@ int main() {
   bench::print_header("Figs 2.5 / 4.2 / 4.5 — ECU voltage profiles, "
                       "Vehicle A (200 traces per ECU)");
 
-  sim::Vehicle vehicle(sim::vehicle_a(), 2500);
+  sim::Vehicle vehicle(sim::vehicle_a(),
+                       bench::bench_seed("fig2_5_4_2_profiles"));
   const auto extraction = sim::default_extraction(vehicle.config());
   const std::size_t num_ecus = vehicle.config().ecus.size();
   const std::size_t dim = extraction.dimension();

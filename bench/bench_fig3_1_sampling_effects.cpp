@@ -50,7 +50,8 @@ int main() {
                       "one edge set");
 
   // One clean capture from Vehicle A's ECU 0 at the full 20 MS/s, 16 bit.
-  sim::Vehicle vehicle(sim::vehicle_a(), 3100);
+  sim::Vehicle vehicle(sim::vehicle_a(),
+                       bench::bench_seed("fig3_1_sampling_effects"));
   canbus::DataFrame frame;
   frame.id = vehicle.config().ecus[0].messages[0].id;
   frame.payload = {1, 2, 3, 4, 5, 6, 7, 8};
@@ -84,7 +85,8 @@ int main() {
            {2, "10 MS/s"}, {4, "5 MS/s"}, {8, "2.5 MS/s"}, {16, "1.25 MS/s"}}) {
     const auto down = dsp::downsample(cap.codes, factor);
     const auto cfg = vprofile::make_extraction_config(
-        20e6 / static_cast<double>(factor), 250e3, base_cfg.bit_threshold);
+        units::SampleRateHz{20e6 / static_cast<double>(factor)},
+        units::BitRateBps{250e3}, base_cfg.bit_threshold);
     const auto es = vprofile::extract_edge_set(down, cfg);
     if (!es) {
       std::printf("  %-10s extraction failed (edge lost)\n", name);

@@ -21,7 +21,7 @@ int main() {
   bench::print_header("Fig 4.4 — per-sample-index standard deviation, "
                       "Vehicle A ECU 0");
 
-  sim::Vehicle vehicle(sim::vehicle_a(), 4400);
+  sim::Vehicle vehicle(sim::vehicle_a(), bench::bench_seed("fig4_4_stddev"));
   const auto extraction = sim::default_extraction(vehicle.config());
   const std::size_t dim = extraction.dimension();
 
@@ -64,8 +64,8 @@ int main() {
       ++steady_n;
     }
   }
-  edge_sd /= std::max<std::size_t>(1, edge_n);
-  steady_sd /= std::max<std::size_t>(1, steady_n);
+  edge_sd /= static_cast<double>(std::max<std::size_t>(1, edge_n));
+  steady_sd /= static_cast<double>(std::max<std::size_t>(1, steady_n));
   std::printf("\nmean stddev near edges: %.1f codes; in steady regions: "
               "%.1f codes (ratio %.1fx)\n",
               edge_sd, steady_sd, edge_sd / steady_sd);

@@ -43,13 +43,13 @@ int main() {
   bench::print_header(
       "Multi-fingerprint coverage: voltage vs timing vs position vs fused");
 
-  sim::Vehicle vehicle(sim::vehicle_a(), 7700);
+  sim::Vehicle vehicle(sim::vehicle_a(), bench::bench_seed("fusion"));
   const auto extraction = sim::default_extraction(vehicle.config());
   const analog::Environment env = analog::Environment::reference();
   const auto synth_opts = [&] {
     analog::SynthOptions o;
-    o.bitrate_bps = vehicle.config().bitrate_bps;
-    o.sample_rate_hz = vehicle.config().adc.sample_rate_hz();
+    o.bitrate = units::BitRateBps{vehicle.config().bitrate.value()};
+    o.sample_rate = vehicle.config().adc.sample_rate();
     o.max_bits = vehicle.config().synth_max_bits;
     return o;
   }();
@@ -57,7 +57,9 @@ int main() {
   // Harness geometry: ECU n sits at 1 + 2n metres; the OBD port at 9.8 m.
   analog::TwoTapBus bus;
   bus.length_m = 10.0;
-  auto position_of = [](std::size_t ecu) { return 1.0 + 2.0 * ecu; };
+  auto position_of = [](std::size_t ecu) {
+    return 1.0 + 2.0 * static_cast<double>(ecu);
+  };
   constexpr double kObdPosition = 9.8;
 
   // Watched stream for timing/position: ECU 2's 50 ms brake message.
@@ -106,7 +108,7 @@ int main() {
 
   baseline::ClockSkewIds timing({});
   baseline::DelayLocatorIds::Options dl_opts;
-  dl_opts.sample_rate_hz = vehicle.config().adc.sample_rate_hz();
+  dl_opts.sample_rate_hz = vehicle.config().adc.sample_rate().value();
   baseline::DelayLocatorIds position(dl_opts);
   {
     std::string error;
@@ -156,7 +158,8 @@ int main() {
       p += pm;
       f += (vm || tm || pm);
     }
-    r = {double(v) / n, double(t) / n, double(p) / n, double(f) / n};
+    r = {double(v) / double(n), double(t) / double(n),
+         double(p) / double(n), double(f) / double(n)};
     print_row("S1 cross-SA hijack", r, "voltage + position see it");
   }
 
@@ -186,7 +189,8 @@ int main() {
       f += (vm || tm || pm);
     }
     print_row("S2 own-SA flood",
-              {double(v) / n, double(t) / n, double(p) / n, double(f) / n},
+              {double(v) / double(n), double(t) / double(n),
+         double(p) / double(n), double(f) / double(n)},
               "only timing sees it");
   }
 
@@ -199,7 +203,7 @@ int main() {
     std::size_t p = 0;
     std::size_t f = 0;
     analog::EcuSignature foreign = vehicle.config().ecus[kWatchedEcu].signature;
-    foreign.dominant_v -= 0.04;
+    foreign.dominant -= units::Volts{0.04};
     foreign.drive.natural_freq_hz *= 0.94;
     canbus::DataFrame frame;
     frame.id = vehicle.config().ecus[kWatchedEcu].messages[0].id;
@@ -218,7 +222,8 @@ int main() {
       f += (vm || tm || pm);
     }
     print_row("S3 foreign device at OBD",
-              {double(v) / n, double(t) / n, double(p) / n, double(f) / n},
+              {double(v) / double(n), double(t) / double(n),
+         double(p) / double(n), double(f) / double(n)},
               "voltage + position see it");
   }
 
@@ -248,7 +253,8 @@ int main() {
       f += (vm || tm || pm);
     }
     print_row("S4 clean traffic (false alarms)",
-              {double(v) / n, double(t) / n, double(p) / n, double(f) / n},
+              {double(v) / double(n), double(t) / double(n),
+         double(p) / double(n), double(f) / double(n)},
               "everything should stay quiet");
   }
 

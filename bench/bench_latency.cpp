@@ -8,6 +8,7 @@
 // full detection, online update, and training.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.hpp"
 #include "core/detector.hpp"
 #include "core/extractor.hpp"
 #include "core/online_update.hpp"
@@ -20,7 +21,7 @@ namespace {
 
 /// Lazily built shared state so every benchmark reuses one capture set.
 struct Shared {
-  sim::Vehicle vehicle{sim::vehicle_a(), 777};
+  sim::Vehicle vehicle{sim::vehicle_a(), bench::bench_seed("latency")};
   vprofile::ExtractionConfig extraction =
       sim::default_extraction(vehicle.config());
   std::vector<sim::Capture> captures;

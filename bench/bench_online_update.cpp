@@ -51,10 +51,11 @@ int main() {
   bench::print_header("Online model update ablation — drifting "
                       "temperature, Vehicle A");
 
-  sim::Experiment exp(sim::vehicle_a(), 6400);
+  sim::Experiment exp(sim::vehicle_a(), bench::bench_seed("online_update"));
   sim::ExperimentParams params =
       bench::default_params(vprofile::DistanceMetric::kMahalanobis);
-  params.env = analog::Environment{0.0, kBatteryV};
+  params.env =
+      analog::Environment{units::Celsius{0.0}, units::Volts{kBatteryV}};
   params.train_count = bench::scaled(2500);
 
   auto trained = exp.train(params);
@@ -82,7 +83,9 @@ int main() {
     // Capture this phase once; all three strategies see the same data.
     std::vector<vprofile::EdgeSet> sets;
     for (const auto& cap : exp.vehicle().capture(
-             bench::scaled(2500), analog::Environment{temp, kBatteryV})) {
+             bench::scaled(2500),
+             analog::Environment{units::Celsius{temp},
+                                 units::Volts{kBatteryV}})) {
       if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
         sets.push_back(std::move(*es));
       }
@@ -102,13 +105,17 @@ int main() {
     std::printf("%-8.1f | %10.2f %10.4f%% | %10.2f %10.4f%% | %10.2f "
                 "%10.4f%%\n",
                 temp, s_stale.mean_excess,
-                100.0 * s_stale.fps / std::max<std::uint64_t>(1, s_stale.total),
+                100.0 * static_cast<double>(s_stale.fps) /
+                        static_cast<double>(
+                            std::max<std::uint64_t>(1, s_stale.total)),
                 s_adaptive.mean_excess,
-                100.0 * s_adaptive.fps /
-                    std::max<std::uint64_t>(1, s_adaptive.total),
+                100.0 * static_cast<double>(s_adaptive.fps) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1, s_adaptive.total)),
                 s_retrain.mean_excess,
-                100.0 * s_retrain.fps /
-                    std::max<std::uint64_t>(1, s_retrain.total));
+                100.0 * static_cast<double>(s_retrain.fps) /
+                    static_cast<double>(
+                        std::max<std::uint64_t>(1, s_retrain.total)));
 
     // Feed the phase into the online updater (trusted data, as §5.3
     // assumes).

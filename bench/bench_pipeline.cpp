@@ -59,7 +59,7 @@ int main() {
               hw, train_count, stream_count);
 
   const sim::VehicleConfig config = sim::vehicle_a();
-  sim::Vehicle vehicle(config, 2024);
+  sim::Vehicle vehicle(config, bench::bench_seed("pipeline"));
   const analog::Environment env = analog::Environment::reference();
   const vprofile::ExtractionConfig extraction = sim::default_extraction(config);
 

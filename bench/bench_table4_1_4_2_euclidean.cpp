@@ -11,14 +11,14 @@
 
 int main() {
   bench::run_three_tests(
-      "Table 4.1", sim::vehicle_a(), 4100,
+      "Table 4.1", sim::vehicle_a(), bench::bench_seed("table4_1"),
       vprofile::DistanceMetric::kEuclidean,
       "accuracy 0.99994 (50 FP / 841,241 msgs)",
       "F-score 0.99989",
       "F-score 0.00065 (foreign device slips inside the Euclidean radius)");
 
   bench::run_three_tests(
-      "Table 4.2", sim::vehicle_b(), 4200,
+      "Table 4.2", sim::vehicle_b(), bench::bench_seed("table4_2"),
       vprofile::DistanceMetric::kEuclidean,
       "accuracy 0.88606",
       "F-score 0.80637",

@@ -9,14 +9,14 @@
 
 int main() {
   bench::run_three_tests(
-      "Table 4.3", sim::vehicle_a(), 4300,
+      "Table 4.3", sim::vehicle_a(), bench::bench_seed("table4_3"),
       vprofile::DistanceMetric::kMahalanobis,
       "accuracy 1.00000 (2 FP / 841,241 msgs)",
       "F-score 0.99999",
       "F-score 1.00000");
 
   bench::run_three_tests(
-      "Table 4.4", sim::vehicle_b(), 4400,
+      "Table 4.4", sim::vehicle_b(), bench::bench_seed("table4_4"),
       vprofile::DistanceMetric::kMahalanobis,
       "accuracy 1.00000",
       "F-score 0.99999",

@@ -17,7 +17,8 @@ int main() {
   bench::print_header(
       "Table 4.5 — distance quotients between the most-similar pair");
 
-  sim::Experiment exp(sim::vehicle_a(), 4500);
+  sim::Experiment exp(sim::vehicle_a(),
+                      bench::bench_seed("table4_5_distance_quotient"));
   sim::ExperimentParams params =
       bench::default_params(vprofile::DistanceMetric::kMahalanobis);
 
@@ -27,7 +28,8 @@ int main() {
     std::printf("training failed: %s\n", mahal.error.c_str());
     return 1;
   }
-  sim::Experiment exp_e(sim::vehicle_a(), 4500);
+  sim::Experiment exp_e(
+      sim::vehicle_a(), bench::bench_seed("table4_5_distance_quotient"));
   params.metric = vprofile::DistanceMetric::kEuclidean;
   auto euclid = exp_e.train(params);
   if (!euclid.ok()) {

@@ -27,10 +27,13 @@ constexpr double kBatteryV = 13.60;
 int main() {
   bench::print_header("Table 4.8 / Fig 4.6 — temperature variance, Vehicle A");
 
-  sim::Experiment exp(sim::vehicle_a(), 4800);
+  sim::Experiment exp(sim::vehicle_a(),
+                      bench::bench_seed("table4_8_temperature"));
   sim::ExperimentParams params =
       bench::default_params(vprofile::DistanceMetric::kMahalanobis);
-  params.env = analog::Environment{-2.5, kBatteryV};  // the -5..0 C band
+  // The -5..0 C band.
+  params.env =
+      analog::Environment{units::Celsius{-2.5}, units::Volts{kBatteryV}};
 
   auto trained = exp.train(params);
   if (!trained.ok()) {
@@ -49,7 +52,8 @@ int main() {
   const auto mean_distances = [&](double temp) {
     std::vector<std::vector<double>> dists(num_ecus);
     const auto caps = exp.vehicle().capture(
-        bench::scaled(3000), analog::Environment{temp, kBatteryV});
+        bench::scaled(3000),
+        analog::Environment{units::Celsius{temp}, units::Volts{kBatteryV}});
     for (const auto& cap : caps) {
       const auto es =
           vprofile::extract_edge_set(cap.codes, model.extraction());
@@ -110,11 +114,14 @@ int main() {
 
   // The paper's fix: fold hot data into the training set.
   {
-    sim::Experiment retrain(sim::vehicle_a(), 4800);
+    sim::Experiment retrain(sim::vehicle_a(),
+                            bench::bench_seed("table4_8_temperature"));
     std::vector<vprofile::EdgeSet> sets;
     for (double temp : {-2.5, 22.5}) {
       for (const auto& cap : retrain.vehicle().capture(
-               bench::scaled(2000), analog::Environment{temp, kBatteryV})) {
+               bench::scaled(2000),
+               analog::Environment{units::Celsius{temp},
+                                   units::Volts{kBatteryV}})) {
         if (auto es =
                 vprofile::extract_edge_set(cap.codes, model.extraction())) {
           sets.push_back(std::move(*es));
@@ -129,7 +136,9 @@ int main() {
     if (wide.ok()) {
       stats::BinaryConfusion fixed;
       const auto caps = retrain.vehicle().capture(
-          bench::scaled(4000), analog::Environment{22.5, kBatteryV});
+          bench::scaled(4000),
+          analog::Environment{units::Celsius{22.5},
+                              units::Volts{kBatteryV}});
       for (const auto& cap : caps) {
         const auto es =
             vprofile::extract_edge_set(cap.codes, wide.model->extraction());

@@ -34,10 +34,12 @@ int main() {
   bench::print_header(
       "Table 4.9 / Figs 4.7, 4.8 — high-power vehicle functions, Vehicle A");
 
-  sim::Experiment exp(sim::vehicle_a(), 4900);
+  sim::Experiment exp(sim::vehicle_a(),
+                      bench::bench_seed("table4_9_voltage"));
   sim::ExperimentParams params =
       bench::default_params(vprofile::DistanceMetric::kMahalanobis);
-  params.env = analog::accessory_mode(kAmbientC);  // quiet accessory mode
+  // Quiet accessory mode.
+  params.env = analog::accessory_mode(units::Celsius{kAmbientC});
 
   auto trained = exp.train(params);
   if (!trained.ok()) {
@@ -52,11 +54,16 @@ int main() {
   // Table 4.9 likewise scores the high-power accessory functions, with
   // the 13.60 V alternator level noted separately).
   const std::vector<Event> events = {
-      {"lights", analog::accessory_under_load(0.03, kAmbientC)},
-      {"A/C", analog::accessory_under_load(0.05, kAmbientC)},
-      {"lights+A/C", analog::accessory_under_load(0.07, kAmbientC)},
+      {"lights", analog::accessory_under_load(units::Volts{0.03},
+                                              units::Celsius{kAmbientC})},
+      {"A/C", analog::accessory_under_load(units::Volts{0.05},
+                                           units::Celsius{kAmbientC})},
+      {"lights+A/C",
+       analog::accessory_under_load(units::Volts{0.07},
+                                    units::Celsius{kAmbientC})},
   };
-  const Event engine{"engine start", analog::engine_running(kAmbientC)};
+  const Event engine{"engine start",
+                     analog::engine_running(units::Celsius{kAmbientC})};
 
   auto distances_under = [&](const analog::Environment& env) {
     std::vector<double> dists;
@@ -103,7 +110,7 @@ int main() {
       fps += flagged;
     }
     std::printf("%-14s %14.2f %+11.1f%%+-%4.1f %12llu\n", ev.name,
-                ev.env.battery_v, delta, half,
+                ev.env.battery.value(), delta, half,
                 static_cast<unsigned long long>(fps));
   }
 
@@ -113,7 +120,7 @@ int main() {
     const auto dists = distances_under(engine.env);
     const auto ci = stats::mean_confidence_interval(dists, 0.99);
     std::printf("%-14s %14.2f %+11.1f%%+-%4.1f %12s\n", engine.name,
-                engine.env.battery_v,
+                engine.env.battery.value(),
                 (ci.mean - base_ci.mean) / base_ci.mean * 100.0,
                 ci.half_width / base_ci.mean * 100.0, "(not scored)");
   }
@@ -131,7 +138,8 @@ int main() {
   for (int trial = 2; trial <= 5; ++trial) {
     const double temp = kAmbientC + 2.5 * (trial - 1);  // slow bus warming
     const auto dists =
-        distances_under(analog::Environment{temp, 12.61});
+        distances_under(
+            analog::Environment{units::Celsius{temp}, units::Volts{12.61}});
     const auto ci = stats::mean_confidence_interval(dists, 0.99);
     const double delta = (ci.mean - base_ci.mean) / base_ci.mean * 100.0;
     std::printf("  trial %d: %+6.1f%% +- %4.1f%%\n", trial, delta,

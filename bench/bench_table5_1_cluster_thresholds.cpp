@@ -22,7 +22,8 @@ int main() {
   bench::print_header(
       "Table 5.1 — fixed vs per-cluster extraction thresholds, Vehicle A");
 
-  sim::Vehicle vehicle(sim::vehicle_a(), 5100);
+  sim::Vehicle vehicle(sim::vehicle_a(),
+                       bench::bench_seed("table5_1_cluster_thresholds"));
   const auto base = sim::default_extraction(vehicle.config());
   const std::size_t num_ecus = vehicle.config().ecus.size();
   const auto caps =

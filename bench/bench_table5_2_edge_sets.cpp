@@ -20,7 +20,7 @@ int main() {
 
   sim::VehicleConfig config = sim::vehicle_a();
   config.synth_max_bits = 110;  // deeper synthesis for the later edge sets
-  sim::Vehicle vehicle(config, 5200);
+  sim::Vehicle vehicle(config, bench::bench_seed("table5_2_edge_sets"));
   const std::size_t num_ecus = config.ecus.size();
   const auto caps =
       vehicle.capture(bench::scaled(4000), analog::Environment::reference());

@@ -22,7 +22,9 @@ int main() {
   // Train at -2.5 C (a cold morning, engine idling).
   std::vector<vprofile::EdgeSet> training;
   for (const auto& cap :
-       vehicle.capture(2500, analog::Environment{-2.5, kBatteryV})) {
+       vehicle.capture(2500,
+                       analog::Environment{units::Celsius{-2.5},
+                                           units::Volts{kBatteryV}})) {
     if (auto es = vprofile::extract_edge_set(cap.codes, extraction)) {
       training.push_back(std::move(*es));
     }
@@ -53,7 +55,9 @@ int main() {
 
   for (double temp = 2.5; temp <= 32.5; temp += 5.0) {
     const auto caps =
-        vehicle.capture(1200, analog::Environment{temp, kBatteryV});
+        vehicle.capture(1200,
+                        analog::Environment{units::Celsius{temp},
+                                            units::Volts{kBatteryV}});
     double frozen_sum = 0.0;
     double adaptive_sum = 0.0;
     std::size_t frozen_alarms = 0;
@@ -76,7 +80,8 @@ int main() {
       updater.update(*es);  // trusted traffic keeps the model current
     }
     std::printf("%8.1f | %12.2f %11zu | %12.2f %11zu\n", temp,
-                frozen_sum / n, frozen_alarms, adaptive_sum / n,
+                frozen_sum / static_cast<double>(n), frozen_alarms,
+                adaptive_sum / static_cast<double>(n),
                 adaptive_alarms);
   }
 

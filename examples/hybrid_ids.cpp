@@ -103,7 +103,7 @@ int main() {
     std::printf("attack 2: foreign device imitates SA 0x0B at the correct "
                 "period\n");
     analog::EcuSignature foreign = vehicle.config().ecus[2].signature;
-    foreign.dominant_v -= 0.05;
+    foreign.dominant -= units::Volts{0.05};
     foreign.drive.natural_freq_hz *= 0.93;
 
     std::size_t voltage_alarms = 0;

@@ -75,7 +75,8 @@ int main() {
 
   // 3c. Foreign device imitating ECU 4.
   analog::EcuSignature foreign = vehicle.config().ecus[4].signature;
-  foreign.dominant_v += 0.03;  // a real attacker can't match this exactly
+  // A real attacker can't match this exactly.
+  foreign.dominant += units::Volts{0.03};
   canbus::DataFrame imitation = legit;
   imitation.id.source_address =
       vehicle.config().ecus[4].messages[0].id.source_address;

@@ -13,7 +13,7 @@ int main() {
   std::printf("%-10s %6s %12s %12s %12s %14s\n", "rate", "bits", "FP acc",
               "hijack F", "dim", "rel. cost");
 
-  const double native_rate = sim::vehicle_a().adc.sample_rate_hz();
+  const double native_rate = sim::vehicle_a().adc.sample_rate().value();
   for (const auto& [factor, rate_name] :
        std::initializer_list<std::pair<std::size_t, const char*>>{
            {1, "20 MS/s"}, {2, "10 MS/s"}, {4, "5 MS/s"}, {8, "2.5 MS/s"}}) {

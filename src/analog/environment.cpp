@@ -2,17 +2,17 @@
 
 namespace analog {
 
-Environment accessory_mode(double temperature_c) {
-  return Environment{temperature_c, 12.61};
+Environment accessory_mode(units::Celsius temperature) {
+  return Environment{temperature, units::Volts{12.61}};
 }
 
-Environment engine_running(double temperature_c) {
-  return Environment{temperature_c, 13.60};
+Environment engine_running(units::Celsius temperature) {
+  return Environment{temperature, units::Volts{13.60}};
 }
 
-Environment accessory_under_load(double sag_v, double temperature_c) {
-  Environment env = accessory_mode(temperature_c);
-  env.battery_v -= sag_v;
+Environment accessory_under_load(units::Volts sag, units::Celsius temperature) {
+  Environment env = accessory_mode(temperature);
+  env.battery -= sag;
   return env;
 }
 

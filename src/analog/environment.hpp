@@ -5,30 +5,37 @@
 // the waveform synthesizer.  Each ECU couples to ambient temperature with
 // its own factor (the paper theorizes that "the temperature of some ECUs
 // did not rise much throughout the experiments").
+//
+// Both quantities are unit-safe strong types (core/units.hpp): a
+// temperature can never be assigned into a voltage slot or vice versa.
 #pragma once
+
+#include "core/units.hpp"
 
 namespace analog {
 
 /// Environment at the moment a frame is transmitted.
 struct Environment {
-  /// Ambient / engine-bay temperature in degrees Celsius.
-  double temperature_c = 20.0;
-  /// Battery (supply) voltage in volts.  Idling with the alternator
-  /// running sits near 13.6 V; accessory mode near 12.6 V.
-  double battery_v = 12.6;
+  /// Ambient / engine-bay temperature.
+  units::Celsius temperature{20.0};
+  /// Battery (supply) voltage.  Idling with the alternator running sits
+  /// near 13.6 V; accessory mode near 12.6 V.
+  units::Volts battery{12.6};
 
   static Environment reference() { return Environment{}; }
 };
 
 /// Reference conditions the signature parameters are specified at.
-inline constexpr double kReferenceTemperatureC = 20.0;
-inline constexpr double kReferenceBatteryV = 12.6;
+inline constexpr units::Celsius kReferenceTemperature{20.0};
+inline constexpr units::Volts kReferenceBattery{12.6};
 
 /// Battery voltage presets mirroring the paper's measurements (§4.4.2).
-Environment accessory_mode(double temperature_c = 28.4);
-Environment engine_running(double temperature_c = 20.0);
+Environment accessory_mode(units::Celsius temperature = units::Celsius{28.4});
+Environment engine_running(units::Celsius temperature = units::Celsius{20.0});
 /// Accessory mode under a heavy electrical load (lights + A/C): the
-/// battery sags by `sag_v` from the accessory-mode level.
-Environment accessory_under_load(double sag_v, double temperature_c = 28.4);
+/// battery sags by `sag` from the accessory-mode level.
+Environment accessory_under_load(units::Volts sag,
+                                 units::Celsius temperature = units::Celsius{
+                                     28.4});
 
 }  // namespace analog

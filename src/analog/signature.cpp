@@ -9,12 +9,12 @@ EcuSignature EcuSignature::under(const Environment& env) const {
   // The ECU's own temperature follows the ambient excursion scaled by its
   // mounting-dependent coupling.
   const double dt =
-      temperature_coupling * (env.temperature_c - kReferenceTemperatureC);
-  const double dv = env.battery_v - kReferenceBatteryV;
+      temperature_coupling * (env.temperature - kReferenceTemperature).value();
+  const double dv = (env.battery - kReferenceBattery).value();
 
   EcuSignature eff = *this;
-  eff.dominant_v +=
-      dominant_temp_coeff_v_per_c * dt + dominant_vbat_coeff * dv;
+  eff.dominant +=
+      units::Volts{dominant_temp_coeff_v_per_c * dt + dominant_vbat_coeff * dv};
   const double freq_scale = std::max(0.2, 1.0 + freq_temp_coeff_per_c * dt);
   eff.drive.natural_freq_hz *= freq_scale;
   eff.release.natural_freq_hz *= freq_scale;
@@ -23,8 +23,8 @@ EcuSignature EcuSignature::under(const Environment& env) const {
 
 double EcuSignature::parameter_distance(const EcuSignature& other) const {
   // Normalized parameter deltas; weights are arbitrary but consistent.
-  const double dl = (dominant_v - other.dominant_v) / 0.1;
-  const double dr = (recessive_v - other.recessive_v) / 0.02;
+  const double dl = (dominant - other.dominant).value() / 0.1;
+  const double dr = (recessive - other.recessive).value() / 0.02;
   const double df = (drive.natural_freq_hz - other.drive.natural_freq_hz) /
                     (0.2 * drive.natural_freq_hz);
   const double dz = (drive.damping - other.drive.damping) / 0.1;
@@ -46,8 +46,10 @@ EcuSignature perturb_signature(const EcuSignature& nominal,
                                const SignatureSpread& spread,
                                stats::Rng& rng) {
   EcuSignature s = nominal;
-  s.dominant_v += rng.uniform(-spread.dominant_v, spread.dominant_v);
-  s.recessive_v += rng.uniform(-spread.recessive_v, spread.recessive_v);
+  s.dominant += units::Volts{
+      rng.uniform(-spread.dominant.value(), spread.dominant.value())};
+  s.recessive += units::Volts{
+      rng.uniform(-spread.recessive.value(), spread.recessive.value())};
   s.drive.natural_freq_hz *=
       1.0 + rng.uniform(-spread.freq_frac, spread.freq_frac);
   s.drive.natural_freq_hz = std::max(1.0e5, s.drive.natural_freq_hz);
@@ -60,8 +62,8 @@ EcuSignature perturb_signature(const EcuSignature& nominal,
   s.release.damping =
       clamp_damping(s.release.damping + rng.uniform(-spread.damping,
                                                     spread.damping));
-  s.noise_sigma_v *= 1.0 + rng.uniform(-spread.noise_frac, spread.noise_frac);
-  s.noise_sigma_v = std::max(1.0e-4, s.noise_sigma_v);
+  s.noise_sigma *= 1.0 + rng.uniform(-spread.noise_frac, spread.noise_frac);
+  s.noise_sigma = std::max(units::Volts{1.0e-4}, s.noise_sigma);
   s.dominant_temp_coeff_v_per_c *=
       1.0 + rng.uniform(-spread.temp_coeff_frac, spread.temp_coeff_frac);
   s.dominant_vbat_coeff *=

@@ -8,11 +8,17 @@
 // (recessive) the termination network pulls it back with a different
 // response.  Underdamped dynamics produce the overshoot and ringing seen
 // in the paper's Fig 2.5.
+//
+// Voltage levels and the transceiver's timing jitter are unit-safe strong
+// types (core/units.hpp); the environmental coefficients stay raw doubles
+// because they are mixed-dimension slopes (volts per degree, relative
+// fraction per degree) the type system has no single unit for.
 #pragma once
 
 #include <cstdint>
 
 #include "analog/environment.hpp"
+#include "core/units.hpp"
 #include "stats/rng.hpp"
 
 namespace analog {
@@ -26,15 +32,15 @@ struct EdgeDynamics {
 /// Full electrical signature of one ECU's transmitter.
 struct EcuSignature {
   /// Differential dominant level (CAN_H - CAN_L) at reference conditions.
-  double dominant_v = 2.0;
+  units::Volts dominant{2.0};
   /// Differential recessive level; ideally 0 V, small per-node offset.
-  double recessive_v = 0.0;
+  units::Volts recessive{0.0};
   EdgeDynamics drive;    // recessive -> dominant transitions
   EdgeDynamics release;  // dominant -> recessive transitions
-  /// Gaussian measurement/bus noise at the sampling point (volts RMS).
-  double noise_sigma_v = 0.008;
-  /// Per-transition timing jitter of the transceiver (seconds RMS).
-  double edge_jitter_s = 3.0e-9;
+  /// Gaussian measurement/bus noise at the sampling point (RMS).
+  units::Volts noise_sigma{0.008};
+  /// Per-transition timing jitter of the transceiver (RMS).
+  units::Seconds edge_jitter{3.0e-9};
 
   // Environmental coefficients (deviations from reference conditions).
   /// Dominant-level shift per degree Celsius of *ECU* temperature.
@@ -59,9 +65,9 @@ struct EcuSignature {
 
 /// Controls how far apart randomly generated signatures are.
 struct SignatureSpread {
-  double dominant_v = 0.08;     // +- range around the nominal level
-  double recessive_v = 0.01;
-  double freq_frac = 0.25;      // relative spread of natural frequencies
+  units::Volts dominant{0.08};    // +- range around the nominal level
+  units::Volts recessive{0.01};
+  double freq_frac = 0.25;        // relative spread of natural frequencies
   double damping = 0.1;
   double noise_frac = 0.3;
   double temp_coeff_frac = 0.6;

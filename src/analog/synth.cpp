@@ -61,7 +61,8 @@ void validate(const canbus::BitVector& wire_bits, const SynthOptions& opts) {
   if (wire_bits.empty()) {
     throw std::invalid_argument("synthesize_frame_voltage: empty bit vector");
   }
-  if (opts.bitrate_bps <= 0.0 || opts.sample_rate_hz <= 0.0) {
+  if (opts.bitrate <= units::BitRateBps{0.0} ||
+      opts.sample_rate <= units::SampleRateHz{0.0}) {
     throw std::invalid_argument("synthesize_frame_voltage: rates must be > 0");
   }
 }
@@ -73,18 +74,21 @@ std::vector<Segment> build_segments(const canbus::BitVector& wire_bits,
                                     const EcuSignature& sig,
                                     const SynthOptions& opts, double phase,
                                     std::size_t nbits, stats::Rng& rng) {
-  const double bit_t = 1.0 / opts.bitrate_bps;
+  const double bit_t = units::period(opts.bitrate).value();
   std::vector<Segment> segments;
-  segments.push_back(Segment{0.0, sig.recessive_v, false});
+  segments.push_back(Segment{0.0, sig.recessive.value(), false});
   const double sof_time = opts.lead_in_bits * bit_t + phase;
   bool prev = true;  // bus idles recessive
   for (std::size_t i = 0; i < nbits; ++i) {
     const bool bit = wire_bits[i];
     if (bit == prev) continue;
     double t = sof_time + static_cast<double>(i) * bit_t;
-    if (sig.edge_jitter_s > 0.0) t += rng.gaussian(0.0, sig.edge_jitter_s);
-    segments.push_back(Segment{t, bit ? sig.recessive_v : sig.dominant_v,
-                               /*to_dominant=*/!bit});
+    if (sig.edge_jitter > units::Seconds{0.0}) {
+      t += rng.gaussian(0.0, sig.edge_jitter.value());
+    }
+    segments.push_back(Segment{
+        t, bit ? sig.recessive.value() : sig.dominant.value(),
+        /*to_dominant=*/!bit});
     prev = bit;
   }
   return segments;
@@ -97,10 +101,10 @@ dsp::Trace render(const std::vector<Segment>& segments,
                   const EcuSignature& sig, const SynthOptions& opts,
                   std::size_t nsamples, double arrival_delay_s, double gain,
                   stats::Rng& rng) {
-  const double dt = 1.0 / opts.sample_rate_hz;
+  const double dt = units::period(opts.sample_rate).value();
   dsp::Trace out(nsamples);
   ResponseState st =
-      enter_segment(segments.front(), sig.release, sig.recessive_v, 0.0);
+      enter_segment(segments.front(), sig.release, sig.recessive.value(), 0.0);
   std::size_t next_seg = 1;
 
   // Per-sample recurrence within a segment: z tracks
@@ -132,7 +136,7 @@ dsp::Trace render(const std::vector<Segment>& segments,
     if (!z_fresh) z *= step;
     z_fresh = false;
     out[k] = gain * (st.target + z.real()) +
-             rng.gaussian(0.0, sig.noise_sigma_v);
+             rng.gaussian(0.0, sig.noise_sigma.value());
   }
   return out;
 }
@@ -146,8 +150,8 @@ dsp::Trace synthesize_frame_voltage(const canbus::BitVector& wire_bits,
                                     stats::Rng& rng) {
   validate(wire_bits, opts);
   const EcuSignature sig = sig_nominal.under(env);
-  const double bit_t = 1.0 / opts.bitrate_bps;
-  const double dt = 1.0 / opts.sample_rate_hz;
+  const double bit_t = units::period(opts.bitrate).value();
+  const double dt = units::period(opts.sample_rate).value();
 
   const std::size_t nbits = (opts.max_bits != 0)
                                 ? std::min(opts.max_bits, wire_bits.size())
@@ -176,8 +180,8 @@ std::pair<dsp::Trace, dsp::Trace> synthesize_two_tap_voltage(
         "synthesize_two_tap_voltage: position outside the bus");
   }
   const EcuSignature sig = sig_nominal.under(env);
-  const double bit_t = 1.0 / opts.bitrate_bps;
-  const double dt = 1.0 / opts.sample_rate_hz;
+  const double bit_t = units::period(opts.bitrate).value();
+  const double dt = units::period(opts.sample_rate).value();
 
   const std::size_t nbits = (opts.max_bits != 0)
                                 ? std::min(opts.max_bits, wire_bits.size())

@@ -16,6 +16,7 @@
 #include "analog/environment.hpp"
 #include "analog/signature.hpp"
 #include "canbus/crc15.hpp"
+#include "core/units.hpp"
 #include "dsp/trace.hpp"
 #include "stats/rng.hpp"
 
@@ -23,8 +24,9 @@ namespace analog {
 
 /// Synthesis controls.
 struct SynthOptions {
-  double bitrate_bps = 250.0e3;   // both test vehicles use 250 kb/s J1939
-  double sample_rate_hz = 20.0e6;
+  /// Both test vehicles use 250 kb/s J1939.
+  units::BitRateBps bitrate{250.0e3};
+  units::SampleRateHz sample_rate{20.0e6};
   /// Idle (recessive) bit times before SOF so SOF detection has context.
   double lead_in_bits = 2.0;
   /// Idle bit times appended after the last synthesized bit.

@@ -13,7 +13,8 @@ namespace {
 BitVector arbitration_bits(const DataFrame& f) {
   BitVector all = build_unstuffed_bits(f);
   return BitVector(all.begin(),
-                   all.begin() + frame_bits::kRtr + 1);
+                   all.begin() + static_cast<std::ptrdiff_t>(
+                                     (frame_bits::kRtr + 1).value()));
 }
 
 }  // namespace

@@ -43,11 +43,12 @@ void append_tail(BitVector& bits) {
   for (int i = 0; i < 7; ++i) bits.push_back(true);  // EOF
 }
 
-std::uint32_t read_bits_msb_first(const BitVector& bits, std::size_t first,
-                                  int width) {
+std::uint32_t read_bits_msb_first(const BitVector& bits,
+                                  units::BitIndex first, int width) {
   std::uint32_t v = 0;
   for (int i = 0; i < width; ++i) {
-    v = (v << 1) | (bits[first + static_cast<std::size_t>(i)] ? 1u : 0u);
+    const std::size_t at = first.value() + static_cast<std::size_t>(i);
+    v = (v << 1) | (bits[at] ? 1u : 0u);
   }
   return v;
 }
@@ -96,11 +97,11 @@ std::optional<DataFrame> parse_wire_bits(const BitVector& wire) {
     if (run == 5) skip_next = true;
 
     if (stuffable_len == 0 &&
-        unstuffed.size() > frame_bits::kDlcFirst + 3) {
+        unstuffed.size() > (frame_bits::kDlcFirst + 3).value()) {
       const std::uint32_t dlc =
           read_bits_msb_first(unstuffed, frame_bits::kDlcFirst, 4);
       if (dlc > 8) return std::nullopt;
-      stuffable_len = frame_bits::kDataFirst + 8 * dlc + 15;
+      stuffable_len = frame_bits::kDataFirst.value() + 8 * dlc + 15;
     }
     if (stuffable_len != 0 && unstuffed.size() == stuffable_len) {
       ++wire_pos;
@@ -130,10 +131,11 @@ std::optional<DataFrame> parse_wire_bits(const BitVector& wire) {
   }
 
   // Structural checks on fixed bits.
-  if (unstuffed[frame_bits::kSof]) return std::nullopt;       // SOF must be 0
-  if (!unstuffed[frame_bits::kSrr]) return std::nullopt;      // SRR must be 1
-  if (!unstuffed[frame_bits::kIde]) return std::nullopt;      // IDE must be 1
-  if (unstuffed[frame_bits::kRtr]) return std::nullopt;       // RTR must be 0
+  namespace fb = frame_bits;
+  if (unstuffed[fb::kSof.value()]) return std::nullopt;   // SOF must be 0
+  if (!unstuffed[fb::kSrr.value()]) return std::nullopt;  // SRR must be 1
+  if (!unstuffed[fb::kIde.value()]) return std::nullopt;  // IDE must be 1
+  if (unstuffed[fb::kRtr.value()]) return std::nullopt;   // RTR must be 0
 
   // CRC check: recompute over SOF..data.
   const std::size_t crc_first = stuffable_len - 15;
@@ -141,7 +143,8 @@ std::optional<DataFrame> parse_wire_bits(const BitVector& wire) {
                  unstuffed.begin() + static_cast<std::ptrdiff_t>(crc_first));
   const std::uint16_t expected_crc = crc15(body);
   const std::uint16_t got_crc =
-      static_cast<std::uint16_t>(read_bits_msb_first(unstuffed, crc_first, 15));
+      static_cast<std::uint16_t>(
+          read_bits_msb_first(unstuffed, units::BitIndex{crc_first}, 15));
   if (expected_crc != got_crc) return std::nullopt;
 
   DataFrame frame;

@@ -11,6 +11,7 @@
 
 #include "canbus/crc15.hpp"
 #include "canbus/j1939.hpp"
+#include "core/units.hpp"
 
 namespace canbus {
 
@@ -26,22 +27,24 @@ struct DataFrame {
 };
 
 /// Zero-based positions of fields within the *unstuffed* extended data
-/// frame, SOF = bit 0 (as used by the paper's Algorithm 1).
+/// frame, SOF = bit 0 (as used by the paper's Algorithm 1).  Typed as
+/// units::BitIndex so a frame bit position can never be handed to an API
+/// expecting a sample-grid index.
 namespace frame_bits {
-inline constexpr std::size_t kSof = 0;
-inline constexpr std::size_t kBaseIdFirst = 1;    // 11 bits: 1..11
-inline constexpr std::size_t kSrr = 12;
-inline constexpr std::size_t kIde = 13;
-inline constexpr std::size_t kExtIdFirst = 14;    // 18 bits: 14..31
-inline constexpr std::size_t kRtr = 32;
+inline constexpr units::BitIndex kSof{0};
+inline constexpr units::BitIndex kBaseIdFirst{1};    // 11 bits: 1..11
+inline constexpr units::BitIndex kSrr{12};
+inline constexpr units::BitIndex kIde{13};
+inline constexpr units::BitIndex kExtIdFirst{14};    // 18 bits: 14..31
+inline constexpr units::BitIndex kRtr{32};
 /// SA = last 8 bits of the 29-bit identifier = unstuffed bits 24..31.
-inline constexpr std::size_t kSourceAddrFirst = 24;
-inline constexpr std::size_t kSourceAddrLast = 31;
+inline constexpr units::BitIndex kSourceAddrFirst{24};
+inline constexpr units::BitIndex kSourceAddrLast{31};
 /// First bit after the arbitration field (reserved bit r1); the edge set
 /// is taken at or after this point because arbitration bits are unstable.
-inline constexpr std::size_t kFirstPostArbitration = 33;
-inline constexpr std::size_t kDlcFirst = 35;      // 4 bits: 35..38
-inline constexpr std::size_t kDataFirst = 39;
+inline constexpr units::BitIndex kFirstPostArbitration{33};
+inline constexpr units::BitIndex kDlcFirst{35};      // 4 bits: 35..38
+inline constexpr units::BitIndex kDataFirst{39};
 }  // namespace frame_bits
 
 /// Builds the unstuffed logical bitstream of a data frame: SOF through EOF,

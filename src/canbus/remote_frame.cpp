@@ -12,11 +12,12 @@ void push_bits_msb_first(std::uint32_t value, int width, BitVector& out) {
   for (int i = width - 1; i >= 0; --i) out.push_back(((value >> i) & 1u) != 0);
 }
 
-std::uint32_t read_bits_msb_first(const BitVector& bits, std::size_t first,
+std::uint32_t read_bits_msb_first(const BitVector& bits, units::BitIndex first,
                                   int width) {
   std::uint32_t v = 0;
   for (int i = 0; i < width; ++i) {
-    v = (v << 1) | (bits[first + static_cast<std::size_t>(i)] ? 1u : 0u);
+    const std::size_t at = (first + static_cast<std::size_t>(i)).value();
+    v = (v << 1) | (bits[at] ? 1u : 0u);
   }
   return v;
 }
@@ -111,15 +112,17 @@ std::optional<RemoteFrame> parse_remote_wire_bits(const BitVector& wire) {
   }
 
   namespace fb = frame_bits;
-  if (unstuffed[fb::kSof]) return std::nullopt;
-  if (!unstuffed[fb::kSrr] || !unstuffed[fb::kIde]) return std::nullopt;
-  if (!unstuffed[fb::kRtr]) return std::nullopt;  // must be recessive
+  if (unstuffed[fb::kSof.value()]) return std::nullopt;
+  if (!unstuffed[fb::kSrr.value()] || !unstuffed[fb::kIde.value()]) {
+    return std::nullopt;
+  }
+  if (!unstuffed[fb::kRtr.value()]) return std::nullopt;  // recessive
 
   const std::size_t crc_first = kStuffableLen - 15;
   BitVector body(unstuffed.begin(),
                  unstuffed.begin() + static_cast<std::ptrdiff_t>(crc_first));
   if (crc15(body) != static_cast<std::uint16_t>(read_bits_msb_first(
-                         unstuffed, crc_first, 15))) {
+                         unstuffed, units::BitIndex{crc_first}, 15))) {
     return std::nullopt;
   }
 

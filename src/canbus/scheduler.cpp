@@ -8,13 +8,13 @@
 
 namespace canbus {
 
-Scheduler::Scheduler(std::vector<PeriodicMessage> messages, double bitrate_bps,
-                     stats::Rng rng)
-    : messages_(std::move(messages)), bitrate_bps_(bitrate_bps), rng_(rng) {
+Scheduler::Scheduler(std::vector<PeriodicMessage> messages,
+                     units::BitRateBps bitrate, stats::Rng rng)
+    : messages_(std::move(messages)), bitrate_(bitrate), rng_(rng) {
   if (messages_.empty()) {
     throw std::invalid_argument("Scheduler: empty message set");
   }
-  if (bitrate_bps_ <= 0.0) {
+  if (bitrate_ <= units::BitRateBps{0.0}) {
     throw std::invalid_argument("Scheduler: bitrate must be positive");
   }
   for (const auto& m : messages_) {
@@ -77,7 +77,7 @@ std::vector<Transmission> Scheduler::run(std::size_t count) {
     DataFrame frame = std::move(contenders[winner_pos]);
 
     const double duration =
-        static_cast<double>(wire_bit_count(frame) + 3) / bitrate_bps_;
+        static_cast<double>(wire_bit_count(frame) + 3) / bitrate_.value();
     // +3 bits of interframe space before the next SOF.
     out.push_back(Transmission{now, messages_[msg_index].node, std::move(frame)});
     bus_free_at = now + duration;

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "canbus/frame.hpp"
+#include "core/units.hpp"
 #include "stats/rng.hpp"
 
 namespace canbus {
@@ -36,7 +37,7 @@ class Scheduler {
  public:
   /// Throws std::invalid_argument for an empty message set, non-positive
   /// bitrate, or non-positive periods.
-  Scheduler(std::vector<PeriodicMessage> messages, double bitrate_bps,
+  Scheduler(std::vector<PeriodicMessage> messages, units::BitRateBps bitrate,
             stats::Rng rng);
 
   /// Runs until `count` transmissions have completed and returns them in
@@ -45,7 +46,7 @@ class Scheduler {
 
  private:
   std::vector<PeriodicMessage> messages_;
-  double bitrate_bps_;
+  units::BitRateBps bitrate_;
   stats::Rng rng_;
 };
 

@@ -11,11 +11,12 @@ void push_bits_msb_first(std::uint32_t value, int width, BitVector& out) {
   for (int i = width - 1; i >= 0; --i) out.push_back(((value >> i) & 1u) != 0);
 }
 
-std::uint32_t read_bits_msb_first(const BitVector& bits, std::size_t first,
+std::uint32_t read_bits_msb_first(const BitVector& bits, units::BitIndex first,
                                   int width) {
   std::uint32_t v = 0;
   for (int i = 0; i < width; ++i) {
-    v = (v << 1) | (bits[first + static_cast<std::size_t>(i)] ? 1u : 0u);
+    const std::size_t at = (first + static_cast<std::size_t>(i)).value();
+    v = (v << 1) | (bits[at] ? 1u : 0u);
   }
   return v;
 }
@@ -91,11 +92,11 @@ std::optional<StandardDataFrame> parse_standard_wire_bits(
     unstuffed.push_back(b);
     if (run == 5) skip_next = true;
 
-    if (stuffable_len == 0 && unstuffed.size() > fb::kDlcFirst + 3) {
+    if (stuffable_len == 0 && unstuffed.size() > (fb::kDlcFirst + 3).value()) {
       const std::uint32_t dlc =
           read_bits_msb_first(unstuffed, fb::kDlcFirst, 4);
       if (dlc > 8) return std::nullopt;
-      stuffable_len = fb::kDataFirst + 8 * dlc + 15;
+      stuffable_len = fb::kDataFirst.value() + 8 * dlc + 15;
     }
     if (stuffable_len != 0 && unstuffed.size() == stuffable_len) {
       ++wire_pos;
@@ -121,16 +122,18 @@ std::optional<StandardDataFrame> parse_standard_wire_bits(
     ++wire_pos;
   }
 
-  if (unstuffed[fb::kSof]) return std::nullopt;
-  if (unstuffed[fb::kRtr]) return std::nullopt;           // data frame
-  if (unstuffed[fb::kFirstPostArbitration]) return std::nullopt;  // IDE = 0
+  if (unstuffed[fb::kSof.value()]) return std::nullopt;
+  if (unstuffed[fb::kRtr.value()]) return std::nullopt;           // data frame
+  // IDE = 0 for a standard frame.
+  if (unstuffed[fb::kFirstPostArbitration.value()]) return std::nullopt;
 
   const std::size_t crc_first = stuffable_len - 15;
   BitVector body(unstuffed.begin(),
                  unstuffed.begin() + static_cast<std::ptrdiff_t>(crc_first));
   const std::uint16_t expected_crc = crc15(body);
   const std::uint16_t got_crc =
-      static_cast<std::uint16_t>(read_bits_msb_first(unstuffed, crc_first, 15));
+      static_cast<std::uint16_t>(
+          read_bits_msb_first(unstuffed, units::BitIndex{crc_first}, 15));
   if (expected_crc != got_crc) return std::nullopt;
 
   StandardDataFrame frame;

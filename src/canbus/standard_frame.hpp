@@ -12,6 +12,7 @@
 
 #include "canbus/crc15.hpp"
 #include "canbus/frame.hpp"
+#include "core/units.hpp"
 
 namespace canbus {
 
@@ -26,15 +27,15 @@ struct StandardDataFrame {
 /// Zero-based positions of fields within the *unstuffed* standard data
 /// frame, SOF = bit 0.
 namespace standard_frame_bits {
-inline constexpr std::size_t kSof = 0;
-inline constexpr std::size_t kIdFirst = 1;   // 11 bits: 1..11
-inline constexpr std::size_t kIdLast = 11;
-inline constexpr std::size_t kRtr = 12;
+inline constexpr units::BitIndex kSof{0};
+inline constexpr units::BitIndex kIdFirst{1};   // 11 bits: 1..11
+inline constexpr units::BitIndex kIdLast{11};
+inline constexpr units::BitIndex kRtr{12};
 /// First bit after the arbitration field (IDE, dominant for standard
 /// frames) — the edge-set search starts at or after this bit.
-inline constexpr std::size_t kFirstPostArbitration = 13;
-inline constexpr std::size_t kDlcFirst = 15;  // 4 bits: 15..18
-inline constexpr std::size_t kDataFirst = 19;
+inline constexpr units::BitIndex kFirstPostArbitration{13};
+inline constexpr units::BitIndex kDlcFirst{15};  // 4 bits: 15..18
+inline constexpr units::BitIndex kDataFirst{19};
 }  // namespace standard_frame_bits
 
 /// Unstuffed logical bitstream, SOF through EOF.  Throws

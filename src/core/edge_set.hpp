@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "core/units.hpp"
 #include "linalg/vector_ops.hpp"
 
 namespace vprofile {
@@ -42,9 +43,12 @@ struct ExtractionConfig {
 
 /// Scales the paper's 10 MS/s reference constants (bit width 40, prefix 2,
 /// suffix 14) to another sampling rate / bitrate, keeping the same time
-/// window.  Throws std::invalid_argument on non-positive rates.
-ExtractionConfig make_extraction_config(double sample_rate_hz,
-                                        double bitrate_bps,
+/// window.  The rates are unit-typed so a sampling rate can never land in
+/// the bitrate slot (they differ by two orders of magnitude; swapped they
+/// produce a silently wrong bit width).  Throws std::invalid_argument on
+/// non-positive rates.
+ExtractionConfig make_extraction_config(units::SampleRateHz sample_rate,
+                                        units::BitRateBps bitrate,
                                         double bit_threshold);
 
 }  // namespace vprofile

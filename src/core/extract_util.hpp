@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/edge_set.hpp"
+#include "core/units.hpp"
 #include "dsp/trace.hpp"
 
 namespace vprofile {
@@ -19,8 +20,11 @@ namespace vprofile::detail {
 struct BitWalk {
   /// Unstuffed bit polarities; index 0 is SOF, true = dominant ('0').
   std::vector<bool> dominant;
-  /// Trace index at the centre of the last counted bit.
-  std::size_t pos = 0;
+  /// Sample-grid index at the centre of the last counted bit.  Typed as
+  /// units::SampleIndex: the walk deals in both frame-bit positions and
+  /// trace sample positions, and mixing the two is exactly the bug class
+  /// the unit types exclude.
+  units::SampleIndex pos{0};
 };
 
 /// Walks the trace from SOF through unstuffed bit `stop_bit` (inclusive),
@@ -29,7 +33,7 @@ struct BitWalk {
 /// `err` when non-null.
 std::optional<BitWalk> walk_unstuffed_bits(const dsp::Trace& trace,
                                            const ExtractionConfig& cfg,
-                                           std::size_t stop_bit,
+                                           units::BitIndex stop_bit,
                                            ExtractError* err);
 
 /// Index of the first rising crossing at or after `pos`: the first sample
@@ -47,17 +51,18 @@ std::optional<std::size_t> next_falling_crossing(const dsp::Trace& t,
 /// Extracts one rising+falling window pair starting the search at `pos`;
 /// std::nullopt when the trace ends first.
 std::optional<linalg::Vector> extract_one_set(const dsp::Trace& trace,
-                                              std::size_t pos,
+                                              units::SampleIndex pos,
                                               const ExtractionConfig& cfg);
 
 /// Extracts cfg.num_edge_sets window pairs starting at `pos` and averages
 /// them; std::nullopt when any set is truncated.
-std::optional<linalg::Vector> extract_edge_windows(
-    const dsp::Trace& trace, std::size_t pos, const ExtractionConfig& cfg);
+std::optional<linalg::Vector> extract_edge_windows(const dsp::Trace& trace,
+                                                   units::SampleIndex pos,
+                                                   const ExtractionConfig& cfg);
 
 /// Reads unstuffed bits [first, last] (inclusive, SOF = 0) as an MSB-first
 /// unsigned value; dominant = '0'.
-std::uint32_t read_walk_bits(const BitWalk& walk, std::size_t first,
-                             std::size_t last);
+std::uint32_t read_walk_bits(const BitWalk& walk, units::BitIndex first,
+                             units::BitIndex last);
 
 }  // namespace vprofile::detail

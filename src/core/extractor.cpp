@@ -47,11 +47,12 @@ bool append_window(const dsp::Trace& t, std::size_t crossing,
 }  // namespace
 
 std::optional<linalg::Vector> extract_one_set(const dsp::Trace& trace,
-                                              std::size_t pos,
+                                              units::SampleIndex pos,
                                               const ExtractionConfig& cfg) {
   linalg::Vector samples;
   samples.reserve(cfg.dimension());
-  const auto rising = next_rising_crossing(trace, pos, cfg.bit_threshold);
+  const auto rising =
+      next_rising_crossing(trace, pos.value(), cfg.bit_threshold);
   if (!rising) return std::nullopt;
   if (!append_window(trace, *rising, cfg, samples)) return std::nullopt;
   const auto falling =
@@ -62,7 +63,8 @@ std::optional<linalg::Vector> extract_one_set(const dsp::Trace& trace,
 }
 
 std::optional<linalg::Vector> extract_edge_windows(
-    const dsp::Trace& trace, std::size_t pos, const ExtractionConfig& cfg) {
+    const dsp::Trace& trace, units::SampleIndex pos,
+    const ExtractionConfig& cfg) {
   std::vector<linalg::Vector> sets;
   sets.reserve(cfg.num_edge_sets);
   for (std::size_t k = 0; k < cfg.num_edge_sets; ++k) {
@@ -84,7 +86,7 @@ bool set_walk_error(ExtractError* err, ExtractError value) {
 
 std::optional<BitWalk> walk_unstuffed_bits(const dsp::Trace& trace,
                                            const ExtractionConfig& cfg,
-                                           std::size_t stop_bit,
+                                           units::BitIndex stop_bit,
                                            ExtractError* err) {
   const double threshold = cfg.bit_threshold;
   const auto sof = dsp::find_sof(trace, threshold);
@@ -94,7 +96,7 @@ std::optional<BitWalk> walk_unstuffed_bits(const dsp::Trace& trace,
   }
 
   BitWalk walk;
-  walk.dominant.reserve(stop_bit + 1);
+  walk.dominant.reserve(stop_bit.value() + 1);
   walk.dominant.push_back(true);  // SOF is dominant
   std::size_t pos = *sof + cfg.bit_width_samples / 2;
   if (pos >= trace.size()) {
@@ -107,7 +109,7 @@ std::optional<BitWalk> walk_unstuffed_bits(const dsp::Trace& trace,
   bool next_is_stuff = false;
 
   while (pos + cfg.bit_width_samples < trace.size() &&
-         walk.dominant.size() <= stop_bit) {
+         walk.dominant.size() <= stop_bit.value()) {
     pos += cfg.bit_width_samples;
     const bool dominant = trace[pos] >= threshold;
 
@@ -136,20 +138,20 @@ std::optional<BitWalk> walk_unstuffed_bits(const dsp::Trace& trace,
     walk.dominant.push_back(dominant);
   }
 
-  if (walk.dominant.size() <= stop_bit) {
+  if (walk.dominant.size() <= stop_bit.value()) {
     set_walk_error(err, ExtractError::kTruncated);
     return std::nullopt;
   }
-  walk.pos = pos;
+  walk.pos = units::SampleIndex{pos};
   return walk;
 }
 
-std::uint32_t read_walk_bits(const BitWalk& walk, std::size_t first,
-                             std::size_t last) {
+std::uint32_t read_walk_bits(const BitWalk& walk, units::BitIndex first,
+                             units::BitIndex last) {
   std::uint32_t v = 0;
-  for (std::size_t i = first; i <= last; ++i) {
+  for (units::BitIndex i = first; i <= last; ++i) {
     // Logical '1' is recessive, i.e. not dominant.
-    v = (v << 1) | (walk.dominant.at(i) ? 0u : 1u);
+    v = (v << 1) | (walk.dominant.at(i.value()) ? 0u : 1u);
   }
   return v;
 }
@@ -215,15 +217,16 @@ double estimate_bit_threshold(const dsp::Trace& trace) {
   return (*lo + *hi) / 2.0;
 }
 
-ExtractionConfig make_extraction_config(double sample_rate_hz,
-                                        double bitrate_bps,
+ExtractionConfig make_extraction_config(units::SampleRateHz sample_rate,
+                                        units::BitRateBps bitrate,
                                         double bit_threshold) {
-  if (sample_rate_hz <= 0.0 || bitrate_bps <= 0.0) {
+  if (sample_rate <= units::SampleRateHz{0.0} ||
+      bitrate <= units::BitRateBps{0.0}) {
     throw std::invalid_argument("make_extraction_config: rates must be > 0");
   }
   // Reference constants from the paper: 10 MS/s on a 250 kb/s bus gives a
   // 40-sample bit, 2-sample prefix, 14-sample suffix.
-  const double samples_per_bit = sample_rate_hz / bitrate_bps;
+  const double samples_per_bit = units::samples_per_bit(sample_rate, bitrate);
   const double ratio = samples_per_bit / 40.0;
   ExtractionConfig cfg;
   cfg.bit_width_samples =

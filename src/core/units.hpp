@@ -1,0 +1,277 @@
+// Zero-overhead dimensional safety for the quantities vProfile's detection
+// signal lives in.
+//
+// Every stage of the system mixes physical quantities — transceiver
+// voltages, seconds, sample rates, sample indices at a given rate, bit
+// positions in a stuffed CAN frame, frame counts, RNG seeds — and the
+// paper's results depend on never confusing them (a sample index used as a
+// bit index silently reads the wrong edge window).  Each quantity below is
+// a distinct strong type over its raw representation: same-unit arithmetic
+// and scalar scaling compile, cross-unit arithmetic does not, and the only
+// bridges between dimensions are the explicit conversions defined at the
+// bottom of this header (`SampleIndex = Seconds * SampleRateHz` compiles;
+// `Volts + Seconds` does not).
+//
+// The types are guaranteed zero-overhead: same size, alignment and
+// trivial-copyability as their representation (static_asserts below), so
+// they can sit in hot structs and serialized PODs without cost.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <utility>
+
+namespace units {
+
+/// Strong typedef over an arithmetic representation.  `Tag` makes each
+/// instantiation a distinct type; operators are hidden friends so they are
+/// only found for matching tags (no accidental cross-unit arithmetic).
+template <class Tag, class Rep>
+class Quantity {
+  static_assert(std::is_arithmetic_v<Rep>,
+                "Quantity requires an arithmetic representation");
+
+ public:
+  using rep = Rep;
+
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(Rep value) : value_(value) {}
+
+  /// The raw representation.  This is the sanctioned exit point to
+  /// dimensionless arithmetic; re-entry is the explicit constructor.
+  constexpr Rep value() const { return value_; }
+
+  // Same-unit arithmetic.
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(static_cast<Rep>(a.value_ + b.value_));
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(static_cast<Rep>(a.value_ - b.value_));
+  }
+  constexpr Quantity operator-() const
+    requires std::is_signed_v<Rep>
+  {
+    return Quantity(-value_);
+  }
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ = static_cast<Rep>(value_ + o.value_);
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ = static_cast<Rep>(value_ - o.value_);
+    return *this;
+  }
+
+  // Scaling by a dimensionless factor keeps the unit.
+  friend constexpr Quantity operator*(Quantity a, Rep s) {
+    return Quantity(static_cast<Rep>(a.value_ * s));
+  }
+  friend constexpr Quantity operator*(Rep s, Quantity a) {
+    return Quantity(static_cast<Rep>(s * a.value_));
+  }
+  friend constexpr Quantity operator/(Quantity a, Rep s) {
+    return Quantity(static_cast<Rep>(a.value_ / s));
+  }
+  constexpr Quantity& operator*=(Rep s) {
+    value_ = static_cast<Rep>(value_ * s);
+    return *this;
+  }
+  constexpr Quantity& operator/=(Rep s) {
+    value_ = static_cast<Rep>(value_ / s);
+    return *this;
+  }
+
+  /// Ratio of two like quantities is dimensionless.
+  friend constexpr Rep ratio(Quantity a, Quantity b) {
+    return static_cast<Rep>(a.value_ / b.value_);
+  }
+
+  // Index-like units (integral rep) advance and retreat by raw counts;
+  // floating-point units must stay fully dimensioned.
+  friend constexpr Quantity operator+(Quantity a, Rep n)
+    requires std::is_integral_v<Rep>
+  {
+    return Quantity(static_cast<Rep>(a.value_ + n));
+  }
+  friend constexpr Quantity operator-(Quantity a, Rep n)
+    requires std::is_integral_v<Rep>
+  {
+    return Quantity(static_cast<Rep>(a.value_ - n));
+  }
+  constexpr Quantity& operator++()
+    requires std::is_integral_v<Rep>
+  {
+    ++value_;
+    return *this;
+  }
+
+  friend constexpr bool operator==(Quantity, Quantity) = default;
+  friend constexpr auto operator<=>(Quantity, Quantity) = default;
+
+ private:
+  Rep value_{};
+};
+
+/// Differential bus voltage / voltage level (volts).
+using Volts = Quantity<struct VoltsTag, double>;
+/// Wall-clock / signal time (seconds).
+using Seconds = Quantity<struct SecondsTag, double>;
+/// Temperature (degrees Celsius).
+using Celsius = Quantity<struct CelsiusTag, double>;
+/// Digitizer sampling rate (samples per second).
+using SampleRateHz = Quantity<struct SampleRateHzTag, double>;
+/// CAN bus bitrate (bits per second).  Distinct from SampleRateHz: mixing
+/// the two is the classic sample-vs-bit index bug this header exists for.
+using BitRateBps = Quantity<struct BitRateBpsTag, double>;
+/// Zero-based position on the digitizer's sample grid.
+using SampleIndex = Quantity<struct SampleIndexTag, std::size_t>;
+/// Zero-based position in a CAN frame's bitstream (SOF = bit 0).
+using BitIndex = Quantity<struct BitIndexTag, std::size_t>;
+/// Count of CAN frames (captures, pipeline telemetry).
+using FrameCount = Quantity<struct FrameCountTag, std::uint64_t>;
+/// Deterministic RNG seed.  A distinct type so a seed is never silently
+/// interchanged with a count or an index.
+using Seed64 = Quantity<struct Seed64Tag, std::uint64_t>;
+
+// ---------------------------------------------------------------------------
+// Dimension-checked conversions: the only bridges between units.
+
+/// Sample period of a digitizer.
+constexpr Seconds period(SampleRateHz rate) {
+  return Seconds(1.0 / rate.value());
+}
+/// Nominal bit time on the bus.
+constexpr Seconds period(BitRateBps rate) {
+  return Seconds(1.0 / rate.value());
+}
+
+/// Samples the digitizer takes per bus bit (40 for 10 MS/s at 250 kb/s).
+constexpr double samples_per_bit(SampleRateHz sample_rate, BitRateBps bitrate) {
+  return sample_rate.value() / bitrate.value();
+}
+
+/// Time * rate = position on the sample grid (truncated toward zero; the
+/// instant `t` falls within sample `t * rate`).  Negative times are a
+/// caller bug; they wrap to a huge index and fail fast downstream.
+constexpr SampleIndex operator*(Seconds t, SampleRateHz rate) {
+  return SampleIndex(static_cast<std::size_t>(t.value() * rate.value()));
+}
+constexpr SampleIndex operator*(SampleRateHz rate, Seconds t) {
+  return t * rate;
+}
+
+/// Position on the sample grid back to the time of that sample.
+constexpr Seconds operator/(SampleIndex i, SampleRateHz rate) {
+  return Seconds(static_cast<double>(i.value()) / rate.value());
+}
+
+/// Time * rate = position in the bitstream (truncated toward zero).
+constexpr BitIndex operator*(Seconds t, BitRateBps rate) {
+  return BitIndex(static_cast<std::size_t>(t.value() * rate.value()));
+}
+constexpr BitIndex operator*(BitRateBps rate, Seconds t) { return t * rate; }
+
+/// Bit position back to its nominal start time on the wire.
+constexpr Seconds operator/(BitIndex i, BitRateBps rate) {
+  return Seconds(static_cast<double>(i.value()) / rate.value());
+}
+
+namespace literals {
+constexpr Volts operator""_V(long double v) {
+  return Volts(static_cast<double>(v));
+}
+constexpr Seconds operator""_sec(long double v) {
+  return Seconds(static_cast<double>(v));
+}
+constexpr Celsius operator""_degC(long double v) {
+  return Celsius(static_cast<double>(v));
+}
+}  // namespace literals
+
+// ---------------------------------------------------------------------------
+// Compile-time traits: detectors for which mixed-unit expressions are
+// well-formed.  Used by the static_assert matrices here and in
+// tests/test_units.cpp to prove that illegal mixes fail to compile.
+
+namespace traits {
+
+template <class A, class B, class = void>
+struct is_addable : std::false_type {};
+template <class A, class B>
+struct is_addable<A, B,
+                  std::void_t<decltype(std::declval<A>() + std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct is_subtractable : std::false_type {};
+template <class A, class B>
+struct is_subtractable<
+    A, B, std::void_t<decltype(std::declval<A>() - std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct is_multipliable : std::false_type {};
+template <class A, class B>
+struct is_multipliable<
+    A, B, std::void_t<decltype(std::declval<A>() * std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct is_dividable : std::false_type {};
+template <class A, class B>
+struct is_dividable<
+    A, B, std::void_t<decltype(std::declval<A>() / std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B, class = void>
+struct is_comparable : std::false_type {};
+template <class A, class B>
+struct is_comparable<
+    A, B, std::void_t<decltype(std::declval<A>() < std::declval<B>())>>
+    : std::true_type {};
+
+template <class A, class B>
+inline constexpr bool is_addable_v = is_addable<A, B>::value;
+template <class A, class B>
+inline constexpr bool is_subtractable_v = is_subtractable<A, B>::value;
+template <class A, class B>
+inline constexpr bool is_multipliable_v = is_multipliable<A, B>::value;
+template <class A, class B>
+inline constexpr bool is_dividable_v = is_dividable<A, B>::value;
+template <class A, class B>
+inline constexpr bool is_comparable_v = is_comparable<A, B>::value;
+
+}  // namespace traits
+
+// Zero-overhead guarantees.
+static_assert(sizeof(Volts) == sizeof(double));
+static_assert(sizeof(SampleIndex) == sizeof(std::size_t));
+static_assert(sizeof(Seed64) == sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<Volts>);
+static_assert(std::is_trivially_copyable_v<SampleIndex>);
+static_assert(std::is_trivially_copyable_v<Seed64>);
+static_assert(alignof(Volts) == alignof(double));
+
+// The legal-mix spine: dimensioned arithmetic that must keep compiling.
+static_assert(traits::is_addable_v<Volts, Volts>);
+static_assert(traits::is_subtractable_v<Seconds, Seconds>);
+static_assert(traits::is_multipliable_v<Seconds, SampleRateHz>);
+static_assert(traits::is_multipliable_v<SampleRateHz, Seconds>);
+static_assert(traits::is_dividable_v<SampleIndex, SampleRateHz>);
+static_assert(traits::is_multipliable_v<Seconds, BitRateBps>);
+static_assert(traits::is_multipliable_v<Volts, double>);
+static_assert(traits::is_comparable_v<BitIndex, BitIndex>);
+
+// The illegal-mix spine: dimension errors that must never compile again.
+static_assert(!traits::is_addable_v<Volts, Seconds>);
+static_assert(!traits::is_addable_v<Volts, double>);
+static_assert(!traits::is_addable_v<SampleIndex, BitIndex>);
+static_assert(!traits::is_subtractable_v<SampleRateHz, BitRateBps>);
+static_assert(!traits::is_multipliable_v<Volts, Seconds>);
+static_assert(!traits::is_multipliable_v<Seconds, Seconds>);
+static_assert(!traits::is_comparable_v<SampleIndex, BitIndex>);
+static_assert(!traits::is_comparable_v<Seconds, double>);
+static_assert(!traits::is_addable_v<Seed64, FrameCount>);
+
+}  // namespace units

@@ -6,13 +6,13 @@
 
 namespace dsp {
 
-AdcModel::AdcModel(double sample_rate_hz, int resolution_bits, double v_min,
-                   double v_max)
-    : sample_rate_hz_(sample_rate_hz),
+AdcModel::AdcModel(units::SampleRateHz sample_rate, int resolution_bits,
+                   units::Volts v_min, units::Volts v_max)
+    : sample_rate_(sample_rate),
       resolution_bits_(resolution_bits),
       v_min_(v_min),
       v_max_(v_max) {
-  if (sample_rate_hz <= 0.0) {
+  if (sample_rate <= units::SampleRateHz{0.0}) {
     throw std::invalid_argument("AdcModel: sample rate must be positive");
   }
   if (resolution_bits < 2 || resolution_bits > 24) {
@@ -22,17 +22,17 @@ AdcModel::AdcModel(double sample_rate_hz, int resolution_bits, double v_min,
     throw std::invalid_argument("AdcModel: v_min must be < v_max");
   }
   max_code_ = (1u << resolution_bits) - 1u;
-  volts_per_code_ = (v_max_ - v_min_) / static_cast<double>(max_code_);
+  volts_per_code_ = (v_max_ - v_min_).value() / static_cast<double>(max_code_);
 }
 
 double AdcModel::quantize(double volts) const {
-  const double clamped = std::clamp(volts, v_min_, v_max_);
-  const double code = std::round((clamped - v_min_) / volts_per_code_);
+  const double clamped = std::clamp(volts, v_min_.value(), v_max_.value());
+  const double code = std::round((clamped - v_min_.value()) / volts_per_code_);
   return std::clamp(code, 0.0, static_cast<double>(max_code_));
 }
 
 double AdcModel::to_volts(double code) const {
-  return v_min_ + code * volts_per_code_;
+  return v_min_.value() + code * volts_per_code_;
 }
 
 Trace AdcModel::quantize_trace(const Trace& volts) const {
@@ -42,11 +42,11 @@ Trace AdcModel::quantize_trace(const Trace& volts) const {
 }
 
 AdcModel AdcModel::with_resolution(int bits) const {
-  return AdcModel(sample_rate_hz_, bits, v_min_, v_max_);
+  return AdcModel(sample_rate_, bits, v_min_, v_max_);
 }
 
-AdcModel AdcModel::with_sample_rate(double hz) const {
-  return AdcModel(hz, resolution_bits_, v_min_, v_max_);
+AdcModel AdcModel::with_sample_rate(units::SampleRateHz rate) const {
+  return AdcModel(rate, resolution_bits_, v_min_, v_max_);
 }
 
 Trace requantize_codes(const Trace& codes, int from_bits, int to_bits) {

@@ -7,10 +7,15 @@
 // full-scale grid of the configured resolution, and `requantize_codes`
 // reproduces the paper's software experiments that "drop the least
 // significant bits".
+//
+// The sampling rate and analog range are unit-safe strong types
+// (core/units.hpp); individual codes stay raw doubles because they live on
+// the dimensionless ADC grid shared with dsp::Trace.
 #pragma once
 
 #include <cstdint>
 
+#include "core/units.hpp"
 #include "dsp/trace.hpp"
 
 namespace dsp {
@@ -18,18 +23,19 @@ namespace dsp {
 /// Digitizer configuration and conversion.
 class AdcModel {
  public:
-  /// `sample_rate_hz` > 0, 2 <= `resolution_bits` <= 24, v_min < v_max.
+  /// `sample_rate` > 0, 2 <= `resolution_bits` <= 24, v_min < v_max.
   /// The defaults span the CAN differential range with headroom for
   /// overshoot, placing the recessive level near code 2^(bits-2) — with
   /// these values a 16-bit conversion puts the paper's Fig 2.5 threshold
   /// of 38000 roughly mid-edge.
-  AdcModel(double sample_rate_hz, int resolution_bits, double v_min = -1.0,
-           double v_max = 3.0);
+  AdcModel(units::SampleRateHz sample_rate, int resolution_bits,
+           units::Volts v_min = units::Volts{-1.0},
+           units::Volts v_max = units::Volts{3.0});
 
-  double sample_rate_hz() const { return sample_rate_hz_; }
+  units::SampleRateHz sample_rate() const { return sample_rate_; }
   int resolution_bits() const { return resolution_bits_; }
-  double v_min() const { return v_min_; }
-  double v_max() const { return v_max_; }
+  units::Volts v_min() const { return v_min_; }
+  units::Volts v_max() const { return v_max_; }
   std::uint32_t max_code() const { return max_code_; }
 
   /// Quantizes one voltage to the nearest code, clamping at the rails.
@@ -43,13 +49,13 @@ class AdcModel {
   /// sweeps.
   AdcModel with_resolution(int bits) const;
   /// Digitizer with a different sample rate (same range and resolution).
-  AdcModel with_sample_rate(double hz) const;
+  AdcModel with_sample_rate(units::SampleRateHz rate) const;
 
  private:
-  double sample_rate_hz_;
+  units::SampleRateHz sample_rate_;
   int resolution_bits_;
-  double v_min_;
-  double v_max_;
+  units::Volts v_min_;
+  units::Volts v_max_;
   std::uint32_t max_code_;
   double volts_per_code_;
 };

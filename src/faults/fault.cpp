@@ -186,7 +186,7 @@ dsp::Trace apply_truncation(const dsp::Trace& trace, const TruncationFault& f,
 }
 
 FaultInjector::FaultInjector(FaultProfile profile, double max_code,
-                             std::uint64_t seed)
+                             units::Seed64 seed)
     : profile_(std::move(profile)), max_code_(max_code), rng_(seed) {}
 
 dsp::Trace FaultInjector::apply(const dsp::Trace& trace) {

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "core/units.hpp"
 #include "dsp/trace.hpp"
 #include "stats/rng.hpp"
 
@@ -138,7 +139,9 @@ struct FaultStats {
 /// input sequences.
 class FaultInjector {
  public:
-  FaultInjector(FaultProfile profile, double max_code, std::uint64_t seed);
+  FaultInjector(FaultProfile profile, double max_code, units::Seed64 seed);
+  FaultInjector(FaultProfile profile, double max_code, std::uint64_t seed)
+      : FaultInjector(std::move(profile), max_code, units::Seed64{seed}) {}
 
   /// Returns the corrupted trace and updates the per-fault counters.
   dsp::Trace apply(const dsp::Trace& trace);

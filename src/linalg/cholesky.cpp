@@ -14,7 +14,8 @@ std::optional<Cholesky> Cholesky::factorize(const Matrix& a,
   Matrix l(n, n);
   // Scale the pivot tolerance to the matrix magnitude so that "singular"
   // means the same thing for volt-scale and ADC-code-scale data.
-  const double scale = std::max(1.0, std::fabs(a.trace()) / n);
+  const double scale =
+      std::max(1.0, std::fabs(a.trace()) / static_cast<double>(n));
   const double tol = pivot_tol * scale;
   for (std::size_t j = 0; j < n; ++j) {
     double d = a.at(j, j);
@@ -99,6 +100,8 @@ std::optional<RidgedCholesky> factorize_with_ridge(const Matrix& a,
     if (auto f = Cholesky::factorize(m)) {
       return RidgedCholesky{std::move(*f), lambda};
     }
+    // First retry replaces the exact sentinel 0.0, later ones scale it.
+    // vprofile-lint: allow(float-eq)
     lambda = (lambda == 0.0) ? initial_ridge : lambda * 10.0;
   }
   return std::nullopt;

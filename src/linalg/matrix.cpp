@@ -71,6 +71,9 @@ Matrix Matrix::operator*(const Matrix& other) const {
   for (std::size_t r = 0; r < rows_; ++r) {
     for (std::size_t k = 0; k < cols_; ++k) {
       const double a = at(r, k);
+      // Exact-zero skip: sparse rows contribute nothing; any nonzero,
+      // however small, must still be accumulated.
+      // vprofile-lint: allow(float-eq)
       if (a == 0.0) continue;
       for (std::size_t c = 0; c < other.cols_; ++c) {
         out.at(r, c) += a * other.at(k, c);

@@ -14,17 +14,20 @@
 
 #include "core/detector.hpp"
 #include "core/extractor.hpp"
+#include "core/units.hpp"
 
 namespace pipeline {
 
 /// Extraction failure kinds tracked separately (kNone excluded).
 inline constexpr std::size_t kNumExtractErrors = 4;
 
-/// Plain-value view of the counters at one instant.
+/// Plain-value view of the counters at one instant.  Frame tallies are
+/// units::FrameCount so they cannot be confused with nanosecond totals or
+/// queue depths when fed into derived statistics.
 struct CountersSnapshot {
-  std::uint64_t submitted = 0;   // frames handed to submit()
-  std::uint64_t completed = 0;   // frames a worker finished scoring
-  std::uint64_t dropped = 0;     // frames rejected by a full queue
+  units::FrameCount submitted{0};  // frames handed to submit()
+  units::FrameCount completed{0};  // frames a worker finished scoring
+  units::FrameCount dropped{0};    // frames rejected by a full queue
   std::uint64_t extract_ns = 0;  // total wall time in extract_edge_set
   std::uint64_t detect_ns = 0;   // total wall time in detect()
   std::size_t queue_high_watermark = 0;
@@ -48,18 +51,27 @@ struct CountersSnapshot {
     return verdict(vprofile::Verdict::kDegraded);
   }
   std::uint64_t anomalies() const {
-    return completed - extract_failures() - verdict(vprofile::Verdict::kOk);
+    return completed.value() - extract_failures() -
+           verdict(vprofile::Verdict::kOk);
   }
 
   double mean_extract_us() const {
-    return completed ? static_cast<double>(extract_ns) / completed / 1e3 : 0.0;
+    return completed.value() != 0
+               ? static_cast<double>(extract_ns) /
+                     static_cast<double>(completed.value()) / 1e3
+               : 0.0;
   }
   double mean_detect_us() const {
-    return completed ? static_cast<double>(detect_ns) / completed / 1e3 : 0.0;
+    return completed.value() != 0
+               ? static_cast<double>(detect_ns) /
+                     static_cast<double>(completed.value()) / 1e3
+               : 0.0;
   }
   /// Throughput over an externally timed interval.
   double frames_per_second(double elapsed_s) const {
-    return elapsed_s > 0.0 ? static_cast<double>(completed) / elapsed_s : 0.0;
+    return elapsed_s > 0.0
+               ? static_cast<double>(completed.value()) / elapsed_s
+               : 0.0;
   }
 };
 
@@ -88,9 +100,9 @@ class Counters {
 
   CountersSnapshot snapshot(std::size_t queue_high_watermark = 0) const {
     CountersSnapshot s;
-    s.submitted = submitted_.load(std::memory_order_relaxed);
-    s.completed = completed_.load(std::memory_order_relaxed);
-    s.dropped = dropped_.load(std::memory_order_relaxed);
+    s.submitted = units::FrameCount{submitted_.load(std::memory_order_relaxed)};
+    s.completed = units::FrameCount{completed_.load(std::memory_order_relaxed)};
+    s.dropped = units::FrameCount{dropped_.load(std::memory_order_relaxed)};
     s.extract_ns = extract_ns_.load(std::memory_order_relaxed);
     s.detect_ns = detect_ns_.load(std::memory_order_relaxed);
     s.queue_high_watermark = queue_high_watermark;

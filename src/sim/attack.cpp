@@ -99,12 +99,16 @@ analog::EcuSignature blend_signatures(const analog::EcuSignature& from,
                                       const analog::EcuSignature& to,
                                       double alpha) {
   analog::EcuSignature out;
-  out.dominant_v = lerp(from.dominant_v, to.dominant_v, alpha);
-  out.recessive_v = lerp(from.recessive_v, to.recessive_v, alpha);
+  out.dominant =
+      units::Volts{lerp(from.dominant.value(), to.dominant.value(), alpha)};
+  out.recessive =
+      units::Volts{lerp(from.recessive.value(), to.recessive.value(), alpha)};
   out.drive = blend_dynamics(from.drive, to.drive, alpha);
   out.release = blend_dynamics(from.release, to.release, alpha);
-  out.noise_sigma_v = lerp(from.noise_sigma_v, to.noise_sigma_v, alpha);
-  out.edge_jitter_s = lerp(from.edge_jitter_s, to.edge_jitter_s, alpha);
+  out.noise_sigma = units::Volts{
+      lerp(from.noise_sigma.value(), to.noise_sigma.value(), alpha)};
+  out.edge_jitter = units::Seconds{
+      lerp(from.edge_jitter.value(), to.edge_jitter.value(), alpha)};
   out.dominant_temp_coeff_v_per_c =
       lerp(from.dominant_temp_coeff_v_per_c, to.dominant_temp_coeff_v_per_c,
            alpha);
@@ -136,12 +140,12 @@ std::vector<LabeledCapture> make_masquerade_stream(
   const analog::EcuSignature& vic = ecus[victim].signature;
   const analog::EcuSignature& atk = ecus[attacker].signature;
   analog::EcuSignature corrupted = vic;
-  corrupted.dominant_v += overdrive * atk.dominant_v;
-  corrupted.recessive_v += overdrive * atk.recessive_v;
+  corrupted.dominant += overdrive * atk.dominant;
+  corrupted.recessive += overdrive * atk.recessive;
   corrupted.drive = blend_dynamics(vic.drive, atk.drive, 0.5 * overdrive);
   corrupted.release = blend_dynamics(vic.release, atk.release, 0.5 * overdrive);
-  corrupted.noise_sigma_v =
-      std::hypot(vic.noise_sigma_v, overdrive * atk.noise_sigma_v);
+  corrupted.noise_sigma = units::Volts{
+      std::hypot(vic.noise_sigma.value(), overdrive * atk.noise_sigma.value())};
 
   std::vector<LabeledCapture> out;
   out.reserve(count);

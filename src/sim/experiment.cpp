@@ -67,14 +67,15 @@ Capture apply_front_end(const Capture& capture, const FrontEnd& front_end,
 
 vprofile::ExtractionConfig front_end_extraction(const VehicleConfig& config,
                                                 const FrontEnd& front_end) {
-  const double rate =
-      config.adc.sample_rate_hz() /
-      static_cast<double>(std::max<std::size_t>(1, front_end.downsample_factor));
-  return vprofile::make_extraction_config(rate, config.bitrate_bps,
+  const units::SampleRateHz rate{
+      config.adc.sample_rate().value() /
+      static_cast<double>(
+          std::max<std::size_t>(1, front_end.downsample_factor))};
+  return vprofile::make_extraction_config(rate, config.bitrate,
                                           default_bit_threshold(config));
 }
 
-Experiment::Experiment(VehicleConfig config, std::uint64_t seed)
+Experiment::Experiment(VehicleConfig config, units::Seed64 seed)
     : vehicle_(std::move(config), seed) {}
 
 namespace {

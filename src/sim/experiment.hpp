@@ -90,7 +90,9 @@ class Experiment {
  public:
   /// `seed` drives traffic, noise and attack randomness; two experiments
   /// with equal seeds and params are identical.
-  Experiment(VehicleConfig config, std::uint64_t seed);
+  Experiment(VehicleConfig config, units::Seed64 seed);
+  Experiment(VehicleConfig config, std::uint64_t seed)
+      : Experiment(std::move(config), units::Seed64{seed}) {}
 
   /// Trains a model on clean traffic.  `exclude_ecu` removes one ECU from
   /// the training set and the SA database (foreign-device protocol).

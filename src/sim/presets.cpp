@@ -26,17 +26,17 @@ PeriodicMessage msg(std::uint8_t priority, std::uint32_t pgn, std::uint8_t sa,
 VehicleConfig vehicle_a() {
   VehicleConfig cfg;
   cfg.name = "Vehicle A";
-  cfg.bitrate_bps = 250.0e3;
-  cfg.adc = dsp::AdcModel(20.0e6, 16);
+  cfg.bitrate = units::BitRateBps{250.0e3};
+  cfg.adc = dsp::AdcModel(units::SampleRateHz{20.0e6}, 16);
 
   // ECU 0: engine control module, mounted on the engine block — full
   // temperature coupling and the strongest level drift (Fig 4.6).
   EcuSignature ecm;
-  ecm.dominant_v = 2.10;
-  ecm.recessive_v = 0.005;
+  ecm.dominant = units::Volts{2.10};
+  ecm.recessive = units::Volts{0.005};
   ecm.drive = {2.30e6, 0.60};
   ecm.release = {1.15e6, 0.82};
-  ecm.noise_sigma_v = 0.003;
+  ecm.noise_sigma = units::Volts{0.003};
   ecm.dominant_temp_coeff_v_per_c = -0.00015;
   ecm.freq_temp_coeff_per_c = -0.0004;
   ecm.temperature_coupling = 1.0;
@@ -46,11 +46,11 @@ VehicleConfig vehicle_a() {
   // profiles: identical edge timing, slightly different damping
   // (overshoot) and dominant level.
   EcuSignature trans;
-  trans.dominant_v = 1.920;
-  trans.recessive_v = 0.000;
+  trans.dominant = units::Volts{1.920};
+  trans.recessive = units::Volts{0.000};
   trans.drive = {1.88e6, 0.76};
   trans.release = {0.95e6, 0.88};
-  trans.noise_sigma_v = 0.0028;
+  trans.noise_sigma = units::Volts{0.0028};
   trans.dominant_temp_coeff_v_per_c = -0.00010;
   trans.freq_temp_coeff_per_c = -0.00013;
   trans.temperature_coupling = 0.25;
@@ -59,11 +59,11 @@ VehicleConfig vehicle_a() {
   // ECU 2: brake controller, engine-bay mounted — strong temperature
   // response (the second "drastic" trace in Fig 4.6).
   EcuSignature brake;
-  brake.dominant_v = 2.28;
-  brake.recessive_v = 0.012;
+  brake.dominant = units::Volts{2.28};
+  brake.recessive = units::Volts{0.012};
   brake.drive = {2.90e6, 0.52};
   brake.release = {1.40e6, 0.78};
-  brake.noise_sigma_v = 0.0032;
+  brake.noise_sigma = units::Volts{0.0032};
   brake.dominant_temp_coeff_v_per_c = -0.00013;
   brake.freq_temp_coeff_per_c = -0.00033;
   brake.temperature_coupling = 0.9;
@@ -71,11 +71,11 @@ VehicleConfig vehicle_a() {
 
   // ECU 3: body controller, cabin mounted.
   EcuSignature body;
-  body.dominant_v = 1.78;
-  body.recessive_v = -0.004;
+  body.dominant = units::Volts{1.78};
+  body.recessive = units::Volts{-0.004};
   body.drive = {1.50e6, 0.82};
   body.release = {0.85e6, 0.90};
-  body.noise_sigma_v = 0.0026;
+  body.noise_sigma = units::Volts{0.0026};
   body.dominant_temp_coeff_v_per_c = -0.00010;
   body.freq_temp_coeff_per_c = -0.00013;
   body.temperature_coupling = 0.30;
@@ -83,11 +83,11 @@ VehicleConfig vehicle_a() {
 
   // ECU 4: instrument cluster — ECU 1's near twin.
   EcuSignature cluster;
-  cluster.dominant_v = 1.945;
-  cluster.recessive_v = 0.002;
+  cluster.dominant = units::Volts{1.945};
+  cluster.recessive = units::Volts{0.002};
   cluster.drive = {1.88e6, 0.70};
   cluster.release = {0.95e6, 0.84};
-  cluster.noise_sigma_v = 0.0028;
+  cluster.noise_sigma = units::Volts{0.0028};
   cluster.dominant_temp_coeff_v_per_c = -0.00010;
   cluster.freq_temp_coeff_per_c = -0.00013;
   cluster.temperature_coupling = 0.20;
@@ -110,8 +110,8 @@ VehicleConfig vehicle_a() {
 VehicleConfig vehicle_b(std::uint64_t seed) {
   VehicleConfig cfg;
   cfg.name = "Vehicle B";
-  cfg.bitrate_bps = 250.0e3;
-  cfg.adc = dsp::AdcModel(10.0e6, 12);
+  cfg.bitrate = units::BitRateBps{250.0e3};
+  cfg.adc = dsp::AdcModel(units::SampleRateHz{10.0e6}, 12);
 
   stats::Rng rng(seed);
 
@@ -126,16 +126,16 @@ VehicleConfig vehicle_b(std::uint64_t seed) {
 
   for (int i = 0; i < 10; ++i) {
     EcuSignature s;
-    s.dominant_v = 1.78 + 0.068 * i + rng.uniform(-0.002, 0.002);
-    s.recessive_v = rng.uniform(-0.004, 0.004);
+    s.dominant = units::Volts{1.78 + 0.068 * i + rng.uniform(-0.002, 0.002)};
+    s.recessive = units::Volts{rng.uniform(-0.004, 0.004)};
     const double freq = 1.72e6 * (1.0 + 0.012 * i) *
                         (1.0 + rng.uniform(-0.006, 0.006));
     s.drive = {freq, std::clamp(0.64 + 0.018 * i +
                                     rng.uniform(-0.008, 0.008),
                                 0.4, 0.95)};
     s.release = {freq * 0.52, std::clamp(0.80 + 0.008 * i, 0.5, 0.95)};
-    s.noise_sigma_v = 0.004 * (1.0 + rng.uniform(-0.1, 0.1));
-    s.edge_jitter_s = 4.0e-9;
+    s.noise_sigma = units::Volts{0.004 * (1.0 + rng.uniform(-0.1, 0.1))};
+    s.edge_jitter = units::Seconds{4.0e-9};
     s.dominant_temp_coeff_v_per_c = -0.00012 * (1.0 + rng.uniform(-0.3, 0.3));
     s.freq_temp_coeff_per_c = -0.0002;
     s.temperature_coupling = rng.uniform(0.2, 0.9);
@@ -155,7 +155,9 @@ VehicleConfig vehicle_b(std::uint64_t seed) {
 
 double default_bit_threshold(const VehicleConfig& config) {
   double mean_dom = 0.0;
-  for (const auto& ecu : config.ecus) mean_dom += ecu.signature.dominant_v;
+  for (const auto& ecu : config.ecus) {
+    mean_dom += ecu.signature.dominant.value();
+  }
   mean_dom /= static_cast<double>(config.ecus.size());
   // Same full-scale fraction as the paper's 38000-of-65535 for a ~2.1 V
   // dominant level: ~63% of the dominant swing.
@@ -163,8 +165,8 @@ double default_bit_threshold(const VehicleConfig& config) {
 }
 
 vprofile::ExtractionConfig default_extraction(const VehicleConfig& config) {
-  return vprofile::make_extraction_config(config.adc.sample_rate_hz(),
-                                          config.bitrate_bps,
+  return vprofile::make_extraction_config(config.adc.sample_rate(),
+                                          config.bitrate,
                                           default_bit_threshold(config));
 }
 

@@ -32,11 +32,11 @@ std::uint64_t hash_u64(std::uint64_t hash, std::uint64_t value) {
 /// Derives a stream seed from the runner seed and a purpose string, so
 /// every scenario (and every stage within it) draws from an independent,
 /// order-independent random stream.
-std::uint64_t derive_seed(std::uint64_t seed, const std::string& purpose) {
-  std::uint64_t h = hash_u64(fnv1a_init(), seed);
+units::Seed64 derive_seed(units::Seed64 seed, const std::string& purpose) {
+  std::uint64_t h = hash_u64(fnv1a_init(), seed.value());
   h = fnv1a(h, purpose.data(), purpose.size());
   // Avoid the degenerate all-zero mt19937 seed.
-  return h == 0 ? 0x9e3779b97f4a7c15ULL : h;
+  return units::Seed64{h == 0 ? 0x9e3779b97f4a7c15ULL : h};
 }
 
 }  // namespace
@@ -95,7 +95,7 @@ vprofile::DetectionConfig scenario_detection_config(
   return dc;
 }
 
-ScenarioRunner::ScenarioRunner(std::uint64_t seed) : seed_(seed) {}
+ScenarioRunner::ScenarioRunner(units::Seed64 seed) : seed_(seed) {}
 
 const ScenarioRunner::CachedModel& ScenarioRunner::model_for(
     const Scenario& scenario) {

@@ -109,13 +109,15 @@ vprofile::DetectionConfig scenario_detection_config(
 /// thread-safe; use one runner per thread.
 class ScenarioRunner {
  public:
-  explicit ScenarioRunner(std::uint64_t seed);
+  explicit ScenarioRunner(units::Seed64 seed);
+  explicit ScenarioRunner(std::uint64_t seed)
+      : ScenarioRunner(units::Seed64{seed}) {}
 
   /// Never throws for any fault profile or attack: training failures are
   /// reported in the result, detection always yields a verdict.
   ScenarioResult run(const Scenario& scenario);
 
-  std::uint64_t seed() const { return seed_; }
+  units::Seed64 seed() const { return seed_; }
 
  private:
   struct CachedModel {
@@ -125,7 +127,7 @@ class ScenarioRunner {
 
   const CachedModel& model_for(const Scenario& scenario);
 
-  std::uint64_t seed_;
+  units::Seed64 seed_;
   std::map<std::string, CachedModel> model_cache_;
 };
 

@@ -18,7 +18,7 @@ std::vector<std::uint8_t> EcuSpec::source_addresses() const {
   return sas;
 }
 
-Vehicle::Vehicle(VehicleConfig config, std::uint64_t seed)
+Vehicle::Vehicle(VehicleConfig config, units::Seed64 seed)
     : config_(std::move(config)), rng_(seed) {
   if (config_.ecus.empty()) {
     throw std::invalid_argument("Vehicle: need at least one ECU");
@@ -48,8 +48,8 @@ vprofile::SaDatabase Vehicle::database() const {
 
 analog::SynthOptions Vehicle::synth_options() const {
   analog::SynthOptions opts;
-  opts.bitrate_bps = config_.bitrate_bps;
-  opts.sample_rate_hz = config_.adc.sample_rate_hz();
+  opts.bitrate = config_.bitrate;
+  opts.sample_rate = config_.adc.sample_rate();
   opts.max_bits = config_.synth_max_bits;
   return opts;
 }
@@ -63,8 +63,7 @@ std::vector<canbus::Transmission> Vehicle::schedule(std::size_t count) {
       all.push_back(m);
     }
   }
-  canbus::Scheduler scheduler(std::move(all), config_.bitrate_bps,
-                              rng_.fork());
+  canbus::Scheduler scheduler(std::move(all), config_.bitrate, rng_.fork());
   return scheduler.run(count);
 }
 

@@ -16,6 +16,7 @@
 #include "analog/synth.hpp"
 #include "canbus/scheduler.hpp"
 #include "core/trainer.hpp"
+#include "core/units.hpp"
 #include "dsp/adc.hpp"
 #include "stats/rng.hpp"
 
@@ -40,8 +41,8 @@ struct EcuSpec {
 /// Complete vehicle description.
 struct VehicleConfig {
   std::string name;
-  double bitrate_bps = 250.0e3;
-  dsp::AdcModel adc{20.0e6, 16};
+  units::BitRateBps bitrate{250.0e3};
+  dsp::AdcModel adc{units::SampleRateHz{20.0e6}, 16};
   std::vector<EcuSpec> ecus;
   /// Wire bits synthesized per message.  vProfile only reads the start of
   /// a message, so synthesis is truncated for speed; raise this if
@@ -62,7 +63,9 @@ class Vehicle {
  public:
   /// Throws std::invalid_argument for an empty ECU list, a message whose
   /// `node` is out of range, or an SA owned by two ECUs.
-  Vehicle(VehicleConfig config, std::uint64_t seed);
+  Vehicle(VehicleConfig config, units::Seed64 seed);
+  Vehicle(VehicleConfig config, std::uint64_t seed)
+      : Vehicle(std::move(config), units::Seed64{seed}) {}
 
   const VehicleConfig& config() const { return config_; }
 

@@ -42,6 +42,8 @@ double BinaryConfusion::recall() const {
 double BinaryConfusion::f_score() const {
   const double p = precision();
   const double r = recall();
+  // Exact-zero guard against division by zero, not a tolerance test.
+  // vprofile-lint: allow(float-eq)
   if (p + r == 0.0) return 0.0;
   return 2.0 * p * r / (p + r);
 }
@@ -110,6 +112,8 @@ double MultiClassConfusion::recall(std::size_t cls) const {
 double MultiClassConfusion::f_score(std::size_t cls) const {
   const double p = precision(cls);
   const double r = recall(cls);
+  // Exact-zero guard against division by zero, not a tolerance test.
+  // vprofile-lint: allow(float-eq)
   if (p + r == 0.0) return 0.0;
   return 2.0 * p * r / (p + r);
 }

@@ -8,6 +8,8 @@
 #include <cstdint>
 #include <random>
 
+#include "core/units.hpp"
+
 namespace stats {
 
 /// Seeded pseudo-random source with the distributions the library needs.
@@ -18,6 +20,7 @@ namespace stats {
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(units::Seed64 seed) : engine_(seed.value()) {}
 
   /// Uniform double in [0, 1).
   double uniform() { return unit_(engine_); }

@@ -36,6 +36,8 @@ double percentile(std::vector<double> xs, double q) {
 }
 
 double percent_delta(double baseline, double value) {
+  // Exact-zero guard against division by zero, not a tolerance test.
+  // vprofile-lint: allow(float-eq)
   if (baseline == 0.0) {
     throw std::invalid_argument("percent_delta: zero baseline");
   }

@@ -19,19 +19,19 @@ using canbus::BitVector;
 
 EcuSignature quiet_signature() {
   EcuSignature s;
-  s.dominant_v = 2.0;
-  s.recessive_v = 0.0;
+  s.dominant = units::Volts{2.0};
+  s.recessive = units::Volts{0.0};
   s.drive = {2.0e6, 0.7};
   s.release = {1.0e6, 0.85};
-  s.noise_sigma_v = 0.0;  // deterministic for waveform-shape tests
-  s.edge_jitter_s = 0.0;
+  s.noise_sigma = units::Volts{0.0};
+  s.edge_jitter = units::Seconds{0.0};
   return s;
 }
 
 SynthOptions fast_options() {
   SynthOptions o;
-  o.bitrate_bps = 250e3;
-  o.sample_rate_hz = 20e6;
+  o.bitrate = units::BitRateBps{250e3};
+  o.sample_rate = units::SampleRateHz{20e6};
   o.sampling_phase_jitter = false;
   return o;
 }
@@ -57,9 +57,9 @@ TEST(Synth, DominantBitReachesDominantLevel) {
   const auto trace = analog::synthesize_frame_voltage(
       pulse_bits(), sig, Environment::reference(), fast_options(), rng);
   const double peak = *std::max_element(trace.begin(), trace.end());
-  EXPECT_GT(peak, 0.9 * sig.dominant_v);
+  EXPECT_GT(peak, 0.9 * sig.dominant.value());
   // Settles back to recessive by the end.
-  EXPECT_NEAR(trace.back(), sig.recessive_v, 0.05);
+  EXPECT_NEAR(trace.back(), sig.recessive.value(), 0.05);
 }
 
 TEST(Synth, UnderdampedDriveOvershoots) {
@@ -75,7 +75,7 @@ TEST(Synth, UnderdampedDriveOvershoots) {
   const double peak = *std::max_element(trace.begin(), trace.end());
   const double overshoot_expected =
       std::exp(-M_PI * 0.5 / std::sqrt(1.0 - 0.25));
-  EXPECT_NEAR(peak, sig.dominant_v * (1.0 + overshoot_expected), 0.05);
+  EXPECT_NEAR(peak, sig.dominant.value() * (1.0 + overshoot_expected), 0.05);
 }
 
 TEST(Synth, HigherDampingMeansLessOvershoot) {
@@ -109,7 +109,7 @@ TEST(Synth, FasterNaturalFrequencyRisesSooner) {
 
 TEST(Synth, DeterministicGivenSeedAndNoJitter) {
   EcuSignature sig = quiet_signature();
-  sig.noise_sigma_v = 0.01;
+  sig.noise_sigma = units::Volts{0.01};
   stats::Rng r1(99);
   stats::Rng r2(99);
   SynthOptions opts = fast_options();
@@ -124,7 +124,7 @@ TEST(Synth, DeterministicGivenSeedAndNoJitter) {
 
 TEST(Synth, NoiseSigmaControlsSpread) {
   EcuSignature sig = quiet_signature();
-  sig.noise_sigma_v = 0.02;
+  sig.noise_sigma = units::Volts{0.02};
   stats::Rng rng(5);
   const auto trace = analog::synthesize_frame_voltage(
       BitVector(40, true), sig, Environment::reference(), fast_options(),
@@ -168,7 +168,7 @@ TEST(Synth, ValidatesInput) {
                                                 fast_options(), rng),
                std::invalid_argument);
   SynthOptions bad = fast_options();
-  bad.bitrate_bps = 0.0;
+  bad.bitrate = units::BitRateBps{0.0};
   EXPECT_THROW(
       analog::synthesize_frame_voltage(pulse_bits(), quiet_signature(),
                                        Environment::reference(), bad, rng),
@@ -180,9 +180,10 @@ TEST(Signature, TemperatureShiftsDominantLevel) {
   sig.dominant_temp_coeff_v_per_c = -0.001;
   sig.temperature_coupling = 1.0;
   const EcuSignature hot =
-      sig.under(Environment{analog::kReferenceTemperatureC + 10.0,
-                            analog::kReferenceBatteryV});
-  EXPECT_NEAR(hot.dominant_v, sig.dominant_v - 0.01, 1e-12);
+      sig.under(Environment{
+          units::Celsius{analog::kReferenceTemperature.value() + 10.0},
+                            units::Volts{analog::kReferenceBattery.value()}});
+  EXPECT_NEAR(hot.dominant.value(), sig.dominant.value() - 0.01, 1e-12);
 }
 
 TEST(Signature, CouplingScalesTemperatureEffect) {
@@ -190,24 +191,26 @@ TEST(Signature, CouplingScalesTemperatureEffect) {
   sig.dominant_temp_coeff_v_per_c = -0.001;
   sig.temperature_coupling = 0.5;
   const EcuSignature hot =
-      sig.under(Environment{analog::kReferenceTemperatureC + 10.0,
-                            analog::kReferenceBatteryV});
-  EXPECT_NEAR(hot.dominant_v, sig.dominant_v - 0.005, 1e-12);
+      sig.under(Environment{
+          units::Celsius{analog::kReferenceTemperature.value() + 10.0},
+                            units::Volts{analog::kReferenceBattery.value()}});
+  EXPECT_NEAR(hot.dominant.value(), sig.dominant.value() - 0.005, 1e-12);
 }
 
 TEST(Signature, BatteryVoltageShiftsDominantLevel) {
   EcuSignature sig = quiet_signature();
   sig.dominant_vbat_coeff = 0.02;
   const EcuSignature high =
-      sig.under(Environment{analog::kReferenceTemperatureC,
-                            analog::kReferenceBatteryV + 1.0});
-  EXPECT_NEAR(high.dominant_v, sig.dominant_v + 0.02, 1e-12);
+      sig.under(Environment{
+          units::Celsius{analog::kReferenceTemperature.value()},
+          units::Volts{analog::kReferenceBattery.value() + 1.0}});
+  EXPECT_NEAR(high.dominant.value(), sig.dominant.value() + 0.02, 1e-12);
 }
 
 TEST(Signature, ReferenceEnvironmentIsIdentity) {
   const EcuSignature sig = quiet_signature();
   const EcuSignature same = sig.under(Environment::reference());
-  EXPECT_DOUBLE_EQ(same.dominant_v, sig.dominant_v);
+  EXPECT_DOUBLE_EQ(same.dominant.value(), sig.dominant.value());
   EXPECT_DOUBLE_EQ(same.drive.natural_freq_hz, sig.drive.natural_freq_hz);
 }
 
@@ -216,8 +219,9 @@ TEST(Signature, TemperatureScalesEdgeFrequency) {
   sig.freq_temp_coeff_per_c = -0.002;
   sig.temperature_coupling = 1.0;
   const EcuSignature hot =
-      sig.under(Environment{analog::kReferenceTemperatureC + 10.0,
-                            analog::kReferenceBatteryV});
+      sig.under(Environment{
+          units::Celsius{analog::kReferenceTemperature.value() + 10.0},
+                            units::Volts{analog::kReferenceBattery.value()}});
   EXPECT_NEAR(hot.drive.natural_freq_hz,
               sig.drive.natural_freq_hz * 0.98, 1.0);
 }
@@ -226,7 +230,7 @@ TEST(Signature, ParameterDistanceZeroForIdentical) {
   const EcuSignature sig = quiet_signature();
   EXPECT_DOUBLE_EQ(sig.parameter_distance(sig), 0.0);
   EcuSignature other = sig;
-  other.dominant_v += 0.05;
+  other.dominant += units::Volts{0.05};
   EXPECT_GT(sig.parameter_distance(other), 0.0);
 }
 
@@ -242,7 +246,7 @@ TEST(Signature, PerturbStaysInPhysicalRanges) {
     EXPECT_GE(s.release.damping, 0.3);
     EXPECT_LE(s.release.damping, 0.97);
     EXPECT_GT(s.drive.natural_freq_hz, 0.0);
-    EXPECT_GT(s.noise_sigma_v, 0.0);
+    EXPECT_GT(s.noise_sigma.value(), 0.0);
   }
 }
 
@@ -257,9 +261,10 @@ TEST(Signature, PerturbedSignaturesDiffer) {
 
 TEST(EnvironmentPresets, MatchPaperMeasurements) {
   // §4.4: accessory mode 12.61 V, engine running 13.60 V.
-  EXPECT_NEAR(analog::accessory_mode().battery_v, 12.61, 1e-9);
-  EXPECT_NEAR(analog::engine_running().battery_v, 13.60, 1e-9);
-  EXPECT_NEAR(analog::accessory_under_load(0.07).battery_v, 12.54, 1e-9);
+  EXPECT_NEAR(analog::accessory_mode().battery.value(), 12.61, 1e-9);
+  EXPECT_NEAR(analog::engine_running().battery.value(), 13.60, 1e-9);
+  EXPECT_NEAR(analog::accessory_under_load(units::Volts{0.07}).battery.value(),
+              12.54, 1e-9);
 }
 
 TEST(Synth, DifferentSignaturesProduceDistinguishableTraces) {
@@ -268,7 +273,7 @@ TEST(Synth, DifferentSignaturesProduceDistinguishableTraces) {
   stats::Rng rng(3);
   EcuSignature a = quiet_signature();
   EcuSignature b = quiet_signature();
-  b.dominant_v = 2.2;
+  b.dominant = units::Volts{2.2};
   b.drive = {3.0e6, 0.55};
   canbus::DataFrame frame;
   frame.id = canbus::J1939Id{3, 100, 7};

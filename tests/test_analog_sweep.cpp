@@ -24,8 +24,8 @@ canbus::BitVector test_wire() {
 
 analog::SynthOptions quiet_options() {
   analog::SynthOptions o;
-  o.bitrate_bps = 250e3;
-  o.sample_rate_hz = 20e6;
+  o.bitrate = units::BitRateBps{250e3};
+  o.sample_rate = units::SampleRateHz{20e6};
   o.max_bits = 40;
   o.sampling_phase_jitter = false;
   return o;
@@ -41,11 +41,11 @@ class TemperatureSweep : public ::testing::TestWithParam<double> {};
 TEST_P(TemperatureSweep, DominantLevelMonotoneInTemperature) {
   const double coupling = GetParam();
   analog::EcuSignature sig;
-  sig.dominant_v = 2.0;
+  sig.dominant = units::Volts{2.0};
   sig.drive = {2.0e6, 0.7};
   sig.release = {1.0e6, 0.85};
-  sig.noise_sigma_v = 0.0;
-  sig.edge_jitter_s = 0.0;
+  sig.noise_sigma = units::Volts{0.0};
+  sig.edge_jitter = units::Seconds{0.0};
   sig.dominant_temp_coeff_v_per_c = -0.001;
   sig.temperature_coupling = coupling;
 
@@ -53,7 +53,9 @@ TEST_P(TemperatureSweep, DominantLevelMonotoneInTemperature) {
   for (double temp : {-10.0, 0.0, 10.0, 25.0, 40.0}) {
     stats::Rng rng(1);
     const auto trace = analog::synthesize_frame_voltage(
-        test_wire(), sig, analog::Environment{temp, 12.6}, quiet_options(),
+        test_wire(), sig,
+        analog::Environment{units::Celsius{temp}, units::Volts{12.6}},
+        quiet_options(),
         rng);
     const double peak = *std::max_element(trace.begin(), trace.end());
     if (coupling > 0.0) {
@@ -82,18 +84,20 @@ class BatterySweep : public ::testing::TestWithParam<double> {};
 TEST_P(BatterySweep, DominantLevelMonotoneInSupply) {
   const double coeff = GetParam();
   analog::EcuSignature sig;
-  sig.dominant_v = 2.0;
+  sig.dominant = units::Volts{2.0};
   sig.drive = {2.0e6, 0.7};
   sig.release = {1.0e6, 0.85};
-  sig.noise_sigma_v = 0.0;
-  sig.edge_jitter_s = 0.0;
+  sig.noise_sigma = units::Volts{0.0};
+  sig.edge_jitter = units::Seconds{0.0};
   sig.dominant_vbat_coeff = coeff;
 
   double prev_peak = -1e9;
   for (double vbat : {11.5, 12.0, 12.6, 13.2, 14.0}) {
     stats::Rng rng(1);
     const auto trace = analog::synthesize_frame_voltage(
-        test_wire(), sig, analog::Environment{20.0, vbat}, quiet_options(),
+        test_wire(), sig,
+        analog::Environment{units::Celsius{20.0}, units::Volts{vbat}},
+        quiet_options(),
         rng);
     const double peak = *std::max_element(trace.begin(), trace.end());
     EXPECT_GT(peak, prev_peak) << "vbat " << vbat;
@@ -128,7 +132,7 @@ TEST_P(VehicleEnvSweep, EveryEcuExtractsUnderEnvironment) {
       (vehicle_name == 'a') ? sim::vehicle_a() : sim::vehicle_b();
   sim::Vehicle vehicle(config, 4242);
   const auto extraction = sim::default_extraction(config);
-  const analog::Environment env{temp, vbat};
+  const analog::Environment env{units::Celsius{temp}, units::Volts{vbat}};
 
   for (std::size_t e = 0; e < config.ecus.size(); ++e) {
     canbus::DataFrame frame;
@@ -168,11 +172,11 @@ class NoiseSweep : public ::testing::TestWithParam<double> {};
 TEST_P(NoiseSweep, IdleSpreadTracksConfiguredSigma) {
   const double sigma = GetParam();
   analog::EcuSignature sig;
-  sig.dominant_v = 2.0;
+  sig.dominant = units::Volts{2.0};
   sig.drive = {2.0e6, 0.7};
   sig.release = {1.0e6, 0.85};
-  sig.noise_sigma_v = sigma;
-  sig.edge_jitter_s = 0.0;
+  sig.noise_sigma = units::Volts{sigma};
+  sig.edge_jitter = units::Seconds{0.0};
 
   stats::Rng rng(9);
   const auto trace = analog::synthesize_frame_voltage(

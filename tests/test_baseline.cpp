@@ -267,7 +267,7 @@ TEST_F(BaselineTest, LogisticProbabilitiesSumToOne) {
 TEST_F(BaselineTest, MseTrainsAndAcceptsCleanTraffic) {
   baseline::MseIds::Options opts;
   opts.base = config();
-  opts.sample_rate_hz = vehicle_->config().adc.sample_rate_hz();
+  opts.sample_rate_hz = vehicle_->config().adc.sample_rate().value();
   baseline::MseIds ids(opts);
   std::string error;
   ASSERT_TRUE(ids.train(*examples_, *db_, &error)) << error;
@@ -281,7 +281,7 @@ TEST_F(BaselineTest, MseTrainsAndAcceptsCleanTraffic) {
 TEST_F(BaselineTest, MseCatchesGrossImpersonation) {
   baseline::MseIds::Options opts;
   opts.base = config();
-  opts.sample_rate_hz = vehicle_->config().adc.sample_rate_hz();
+  opts.sample_rate_hz = vehicle_->config().adc.sample_rate().value();
   baseline::MseIds ids(opts);
   std::string error;
   ASSERT_TRUE(ids.train(*examples_, *db_, &error)) << error;

@@ -114,10 +114,10 @@ TEST(Frame, UnstuffedLayoutMatchesTable21) {
   f.payload = {};
   const BitVector bits = canbus::build_unstuffed_bits(f);
   namespace fb = canbus::frame_bits;
-  EXPECT_FALSE(bits[fb::kSof]);
-  EXPECT_TRUE(bits[fb::kSrr]);
-  EXPECT_TRUE(bits[fb::kIde]);
-  EXPECT_FALSE(bits[fb::kRtr]);
+  EXPECT_FALSE(bits[fb::kSof.value()]);
+  EXPECT_TRUE(bits[fb::kSrr.value()]);
+  EXPECT_TRUE(bits[fb::kIde.value()]);
+  EXPECT_FALSE(bits[fb::kRtr.value()]);
   // Empty payload: SOF..CRC is 39+15 bits, plus the 10-bit tail.
   EXPECT_EQ(bits.size(), 39u + 15u + 10u);
   // EOF: last 7 bits recessive.
@@ -132,8 +132,8 @@ TEST(Frame, SourceAddressOccupiesBits24To31) {
   f.id = J1939Id{0, 0, 0xA5};
   const BitVector bits = canbus::build_unstuffed_bits(f);
   std::uint32_t sa = 0;
-  for (std::size_t i = canbus::frame_bits::kSourceAddrFirst;
-       i <= canbus::frame_bits::kSourceAddrLast; ++i) {
+  for (std::size_t i = canbus::frame_bits::kSourceAddrFirst.value();
+       i <= canbus::frame_bits::kSourceAddrLast.value(); ++i) {
     sa = (sa << 1) | (bits[i] ? 1u : 0u);
   }
   EXPECT_EQ(sa, 0xA5u);
@@ -145,8 +145,8 @@ TEST(Frame, DlcEncodesPayloadLength) {
   f.payload = {1, 2, 3};
   const BitVector bits = canbus::build_unstuffed_bits(f);
   std::uint32_t dlc = 0;
-  for (std::size_t i = canbus::frame_bits::kDlcFirst;
-       i < canbus::frame_bits::kDlcFirst + 4; ++i) {
+  for (std::size_t i = canbus::frame_bits::kDlcFirst.value();
+       i < (canbus::frame_bits::kDlcFirst+4).value(); ++i) {
     dlc = (dlc << 1) | (bits[i] ? 1u : 0u);
   }
   EXPECT_EQ(dlc, 3u);
@@ -237,7 +237,8 @@ TEST(Arbitration, SingleContenderWins) {
 
 TEST(Arbitration, ManyContendersAgreeWithNumericOrder) {
   std::vector<DataFrame> frames;
-  for (std::uint8_t sa : {0x44, 0x11, 0x99, 0x22}) {
+  for (int sa_value : {0x44, 0x11, 0x99, 0x22}) {
+    const auto sa = static_cast<std::uint8_t>(sa_value);
     DataFrame f;
     f.id = J1939Id{3, 100, sa};
     frames.push_back(f);
@@ -256,7 +257,7 @@ TEST(Scheduler, ProducesRequestedCount) {
   canbus::PeriodicMessage m;
   m.id = J1939Id{3, 10, 1};
   m.period_s = 0.01;
-  canbus::Scheduler sched({m}, 250e3, stats::Rng(1));
+  canbus::Scheduler sched({m}, units::BitRateBps{250e3}, stats::Rng(1));
   EXPECT_EQ(sched.run(100).size(), 100u);
 }
 
@@ -268,7 +269,7 @@ TEST(Scheduler, TimestampsMonotonicallyIncrease) {
   b.id = J1939Id{6, 20, 2};
   b.period_s = 0.013;
   b.node = 1;
-  canbus::Scheduler sched({a, b}, 250e3, stats::Rng(2));
+  canbus::Scheduler sched({a, b}, units::BitRateBps{250e3}, stats::Rng(2));
   const auto txs = sched.run(200);
   for (std::size_t i = 1; i < txs.size(); ++i) {
     EXPECT_GE(txs[i].start_s, txs[i - 1].start_s);
@@ -283,12 +284,15 @@ TEST(Scheduler, MessageMixTracksPeriodRatio) {
   slow.id = J1939Id{6, 20, 2};
   slow.period_s = 0.1;
   slow.node = 1;
-  canbus::Scheduler sched({fast, slow}, 250e3, stats::Rng(3));
+  canbus::Scheduler sched({fast, slow}, units::BitRateBps{250e3},
+                          stats::Rng(3));
   const auto txs = sched.run(1100);
   std::size_t fast_count = 0;
   for (const auto& tx : txs) fast_count += (tx.node == 0);
   // 10:1 period ratio => ~10/11 of messages from the fast sender.
-  EXPECT_NEAR(static_cast<double>(fast_count) / txs.size(), 10.0 / 11.0,
+  EXPECT_NEAR(static_cast<double>(fast_count) /
+                  static_cast<double>(txs.size()),
+              10.0 / 11.0,
               0.05);
 }
 
@@ -302,7 +306,7 @@ TEST(Scheduler, HigherPriorityWinsContention) {
   lo.id = J1939Id{7, 0x3FFFF, 0xFF};
   lo.period_s = 0.005;
   lo.node = 1;
-  canbus::Scheduler sched({hi, lo}, 250e3, stats::Rng(4));
+  canbus::Scheduler sched({hi, lo}, units::BitRateBps{250e3}, stats::Rng(4));
   const auto txs = sched.run(100);
   std::size_t hi_count = 0;
   for (const auto& tx : txs) hi_count += (tx.node == 0);
@@ -314,15 +318,15 @@ TEST(Scheduler, ValidatesConfiguration) {
   canbus::PeriodicMessage m;
   m.id = J1939Id{3, 10, 1};
   m.period_s = 0.0;
-  EXPECT_THROW(canbus::Scheduler({}, 250e3, stats::Rng(1)),
+  EXPECT_THROW(canbus::Scheduler({}, units::BitRateBps{250e3}, stats::Rng(1)),
                std::invalid_argument);
-  EXPECT_THROW(canbus::Scheduler({m}, 250e3, stats::Rng(1)),
+  EXPECT_THROW(canbus::Scheduler({m}, units::BitRateBps{250e3}, stats::Rng(1)),
                std::invalid_argument);
   m.period_s = 0.1;
-  EXPECT_THROW(canbus::Scheduler({m}, 0.0, stats::Rng(1)),
+  EXPECT_THROW(canbus::Scheduler({m}, units::BitRateBps{0.0}, stats::Rng(1)),
                std::invalid_argument);
   m.payload_len = 9;
-  EXPECT_THROW(canbus::Scheduler({m}, 250e3, stats::Rng(1)),
+  EXPECT_THROW(canbus::Scheduler({m}, units::BitRateBps{250e3}, stats::Rng(1)),
                std::invalid_argument);
 }
 
@@ -331,8 +335,8 @@ TEST(Scheduler, DeterministicWithSameSeed) {
   m.id = J1939Id{3, 10, 1};
   m.period_s = 0.01;
   m.jitter_s = 0.001;
-  canbus::Scheduler s1({m}, 250e3, stats::Rng(42));
-  canbus::Scheduler s2({m}, 250e3, stats::Rng(42));
+  canbus::Scheduler s1({m}, units::BitRateBps{250e3}, stats::Rng(42));
+  canbus::Scheduler s2({m}, units::BitRateBps{250e3}, stats::Rng(42));
   const auto a = s1.run(50);
   const auto b = s2.run(50);
   for (std::size_t i = 0; i < a.size(); ++i) {

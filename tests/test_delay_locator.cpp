@@ -16,17 +16,17 @@ using baseline::DelayLocatorIds;
 
 analog::EcuSignature test_signature() {
   analog::EcuSignature s;
-  s.dominant_v = 2.0;
+  s.dominant = units::Volts{2.0};
   s.drive = {2.0e6, 0.7};
   s.release = {1.0e6, 0.85};
-  s.noise_sigma_v = 0.003;
+  s.noise_sigma = units::Volts{0.003};
   return s;
 }
 
 analog::SynthOptions fast_options() {
   analog::SynthOptions o;
-  o.bitrate_bps = 250e3;
-  o.sample_rate_hz = 20e6;
+  o.bitrate = units::BitRateBps{250e3};
+  o.sample_rate = units::SampleRateHz{20e6};
   o.max_bits = 40;
   return o;
 }

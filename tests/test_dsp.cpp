@@ -14,7 +14,8 @@ using dsp::AdcModel;
 using dsp::Trace;
 
 TEST(Adc, QuantizesRailsToCodeRange) {
-  const AdcModel adc(10e6, 12, -1.0, 3.0);
+  const AdcModel adc(units::SampleRateHz{10e6}, 12, units::Volts{-1.0},
+                     units::Volts{3.0});
   EXPECT_DOUBLE_EQ(adc.quantize(-1.0), 0.0);
   EXPECT_DOUBLE_EQ(adc.quantize(3.0), 4095.0);
   EXPECT_DOUBLE_EQ(adc.quantize(-5.0), 0.0);   // clamps below
@@ -22,13 +23,15 @@ TEST(Adc, QuantizesRailsToCodeRange) {
 }
 
 TEST(Adc, MidScaleValue) {
-  const AdcModel adc(10e6, 16, -1.0, 3.0);
+  const AdcModel adc(units::SampleRateHz{10e6}, 16, units::Volts{-1.0},
+                     units::Volts{3.0});
   // 1.0 V is exactly halfway through [-1, 3].
   EXPECT_NEAR(adc.quantize(1.0), 65535.0 / 2.0, 1.0);
 }
 
 TEST(Adc, RoundTripWithinHalfLsb) {
-  const AdcModel adc(10e6, 12, -1.0, 3.0);
+  const AdcModel adc(units::SampleRateHz{10e6}, 12, units::Volts{-1.0},
+                     units::Volts{3.0});
   const double lsb = 4.0 / 4095.0;
   for (double v = -0.9; v < 2.9; v += 0.137) {
     EXPECT_NEAR(adc.to_volts(adc.quantize(v)), v, lsb / 2.0 + 1e-12);
@@ -38,7 +41,7 @@ TEST(Adc, RoundTripWithinHalfLsb) {
 TEST(Adc, PaperThresholdLandsMidEdgeFor16Bit) {
   // The paper's Fig 2.5 threshold of 38000 (16-bit) should sit between the
   // recessive (~0 V) and dominant (~2 V) code levels with this range.
-  const AdcModel adc(20e6, 16);
+  const AdcModel adc(units::SampleRateHz{20e6}, 16);
   const double rec = adc.quantize(0.0);
   const double dom = adc.quantize(2.0);
   EXPECT_GT(38000.0, rec);
@@ -46,29 +49,34 @@ TEST(Adc, PaperThresholdLandsMidEdgeFor16Bit) {
 }
 
 TEST(Adc, LowerResolutionCoarsensCodes) {
-  const AdcModel adc16(10e6, 16, -1.0, 3.0);
+  const AdcModel adc16(units::SampleRateHz{10e6}, 16, units::Volts{-1.0},
+                       units::Volts{3.0});
   const AdcModel adc8 = adc16.with_resolution(8);
   EXPECT_EQ(adc8.max_code(), 255u);
   EXPECT_EQ(adc8.resolution_bits(), 8);
-  EXPECT_DOUBLE_EQ(adc8.v_min(), adc16.v_min());
+  EXPECT_DOUBLE_EQ(adc8.v_min().value(), adc16.v_min().value());
 }
 
 TEST(Adc, WithSampleRateKeepsRange) {
-  const AdcModel adc(10e6, 12, -1.0, 3.0);
-  const AdcModel fast = adc.with_sample_rate(20e6);
-  EXPECT_DOUBLE_EQ(fast.sample_rate_hz(), 20e6);
+  const AdcModel adc(units::SampleRateHz{10e6}, 12, units::Volts{-1.0},
+                     units::Volts{3.0});
+  const AdcModel fast = adc.with_sample_rate(units::SampleRateHz{20e6});
+  EXPECT_DOUBLE_EQ(fast.sample_rate().value(), 20e6);
   EXPECT_EQ(fast.resolution_bits(), 12);
 }
 
 TEST(Adc, ValidatesConstruction) {
-  EXPECT_THROW(AdcModel(0.0, 12), std::invalid_argument);
-  EXPECT_THROW(AdcModel(1e6, 1), std::invalid_argument);
-  EXPECT_THROW(AdcModel(1e6, 25), std::invalid_argument);
-  EXPECT_THROW(AdcModel(1e6, 12, 3.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(AdcModel(units::SampleRateHz{0.0}, 12), std::invalid_argument);
+  EXPECT_THROW(AdcModel(units::SampleRateHz{1e6}, 1), std::invalid_argument);
+  EXPECT_THROW(AdcModel(units::SampleRateHz{1e6}, 25), std::invalid_argument);
+  EXPECT_THROW(AdcModel(units::SampleRateHz{1e6}, 12, units::Volts{3.0},
+                        units::Volts{-1.0}),
+               std::invalid_argument);
 }
 
 TEST(Adc, QuantizeTraceMapsAllSamples) {
-  const AdcModel adc(10e6, 12, -1.0, 3.0);
+  const AdcModel adc(units::SampleRateHz{10e6}, 12, units::Volts{-1.0},
+                     units::Volts{3.0});
   const Trace out = adc.quantize_trace({0.0, 1.0, 2.0});
   ASSERT_EQ(out.size(), 3u);
   EXPECT_DOUBLE_EQ(out[0], adc.quantize(0.0));

@@ -20,24 +20,25 @@ using vprofile::ExtractionConfig;
 
 EcuSignature test_signature() {
   EcuSignature s;
-  s.dominant_v = 2.0;
-  s.recessive_v = 0.0;
+  s.dominant = units::Volts{2.0};
+  s.recessive = units::Volts{0.0};
   s.drive = {2.0e6, 0.7};
   s.release = {1.0e6, 0.85};
-  s.noise_sigma_v = 0.003;
+  s.noise_sigma = units::Volts{0.003};
   return s;
 }
 
 struct Pipeline {
-  dsp::AdcModel adc{20e6, 16};
+  dsp::AdcModel adc{units::SampleRateHz{20e6}, 16};
   analog::SynthOptions synth;
   ExtractionConfig extraction;
 
   Pipeline() {
-    synth.bitrate_bps = 250e3;
-    synth.sample_rate_hz = 20e6;
+    synth.bitrate = units::BitRateBps{250e3};
+    synth.sample_rate = units::SampleRateHz{20e6};
     synth.max_bits = 70;
-    extraction = vprofile::make_extraction_config(20e6, 250e3,
+    extraction = vprofile::make_extraction_config(units::SampleRateHz{20e6},
+                                                  units::BitRateBps{250e3},
                                                   adc.quantize(1.25));
   }
 
@@ -52,27 +53,32 @@ struct Pipeline {
 
 TEST(ExtractionConfigTest, ScalesPaperConstantsWithRate) {
   // Reference: 10 MS/s / 250 kb/s => bit width 40, prefix 2, suffix 14.
-  const auto ref = vprofile::make_extraction_config(10e6, 250e3, 38000);
+  const auto ref = vprofile::make_extraction_config(
+      units::SampleRateHz{10e6}, units::BitRateBps{250e3}, 38000);
   EXPECT_EQ(ref.bit_width_samples, 40u);
   EXPECT_EQ(ref.prefix_len, 2u);
   EXPECT_EQ(ref.suffix_len, 14u);
   EXPECT_EQ(ref.dimension(), 2u * (2 + 14 + 1));
 
-  const auto doubled = vprofile::make_extraction_config(20e6, 250e3, 38000);
+  const auto doubled = vprofile::make_extraction_config(
+      units::SampleRateHz{20e6}, units::BitRateBps{250e3}, 38000);
   EXPECT_EQ(doubled.bit_width_samples, 80u);
   EXPECT_EQ(doubled.prefix_len, 4u);
   EXPECT_EQ(doubled.suffix_len, 28u);
 
-  const auto slow = vprofile::make_extraction_config(2.5e6, 250e3, 38000);
+  const auto slow = vprofile::make_extraction_config(
+      units::SampleRateHz{2.5e6}, units::BitRateBps{250e3}, 38000);
   EXPECT_EQ(slow.bit_width_samples, 10u);
   EXPECT_GE(slow.prefix_len, 1u);
   EXPECT_GE(slow.suffix_len, 2u);
 }
 
 TEST(ExtractionConfigTest, RejectsNonPositiveRates) {
-  EXPECT_THROW(vprofile::make_extraction_config(0, 250e3, 1),
+  EXPECT_THROW(vprofile::make_extraction_config(units::SampleRateHz{0},
+                                                units::BitRateBps{250e3}, 1),
                std::invalid_argument);
-  EXPECT_THROW(vprofile::make_extraction_config(1e6, 0, 1),
+  EXPECT_THROW(vprofile::make_extraction_config(units::SampleRateHz{1e6},
+                                                units::BitRateBps{0}, 1),
                std::invalid_argument);
 }
 
@@ -116,7 +122,8 @@ TEST(Extractor, SaDecodingSurvivesRandomFrames) {
 TEST(Extractor, HandlesStuffBitsInsideArbitrationField) {
   Pipeline p;
   stats::Rng rng(3);
-  for (std::uint8_t sa : {0x00, 0xFF, 0xF0, 0x0F, 0xAA, 0x55, 0x1F, 0xF8}) {
+  for (int sa_value : {0x00, 0xFF, 0xF0, 0x0F, 0xAA, 0x55, 0x1F, 0xF8}) {
+    const auto sa = static_cast<std::uint8_t>(sa_value);
     for (std::uint32_t pgn : {0u, 0x3FFFFu, 0x1F000u, 0x000FFu}) {
       DataFrame frame;
       frame.id = J1939Id{0, pgn, sa};
@@ -238,13 +245,15 @@ TEST(Extractor, MultiEdgeSetFailsGracefullyOnShortTrace) {
 TEST(Extractor, WorksAcrossSamplingRates) {
   // The same message must extract at every rate the paper sweeps.
   for (double rate : {20e6, 10e6, 5e6, 2.5e6}) {
-    dsp::AdcModel adc(rate, 16);
+    dsp::AdcModel adc(units::SampleRateHz{rate}, 16);
     analog::SynthOptions synth;
-    synth.bitrate_bps = 250e3;
-    synth.sample_rate_hz = rate;
+    synth.bitrate = units::BitRateBps{250e3};
+    synth.sample_rate = units::SampleRateHz{rate};
     synth.max_bits = 70;
     const auto cfg =
-        vprofile::make_extraction_config(rate, 250e3, adc.quantize(1.25));
+        vprofile::make_extraction_config(units::SampleRateHz{rate},
+                                         units::BitRateBps{250e3},
+                                         adc.quantize(1.25));
 
     stats::Rng rng(9);
     DataFrame frame;
@@ -301,9 +310,9 @@ TEST(EstimateThreshold, PerClusterThresholdTracksLevels) {
   frame.id = J1939Id{3, 0xF004, 0x10};
   frame.payload = {1, 2, 3, 4};
   EcuSignature low = test_signature();
-  low.dominant_v = 1.8;
+  low.dominant = units::Volts{1.8};
   EcuSignature high = test_signature();
-  high.dominant_v = 2.3;
+  high.dominant = units::Volts{2.3};
   const auto t_low = p.capture(frame, low, rng);
   const auto t_high = p.capture(frame, high, rng);
   EXPECT_LT(vprofile::estimate_bit_threshold(t_low),

@@ -188,7 +188,8 @@ TEST(GoldenCsv, Fig3_1EdgeSetsMatchCommitted) {
            {16, "1.25 MS/s"}}) {
     const auto down = dsp::downsample(cap.codes, factor);
     const auto cfg = vprofile::make_extraction_config(
-        20e6 / static_cast<double>(factor), 250e3, base_cfg.bit_threshold);
+        units::SampleRateHz{20e6 / static_cast<double>(factor)},
+        units::BitRateBps{250e3}, base_cfg.bit_threshold);
     const auto es = vprofile::extract_edge_set(down, cfg);
     if (!es) continue;
     series.emplace_back(name, stretch(es->samples, n));

@@ -204,7 +204,7 @@ TEST(OnlineUpdateIntegration, AdaptationBeatsStaleModelUnderDrift) {
   // model centred while a stale model drifts toward false positives.
   Experiment exp(sim::vehicle_a(), 115);
   ExperimentParams p = small_params(DistanceMetric::kMahalanobis);
-  p.env = analog::Environment{0.0, 13.60};
+  p.env = analog::Environment{units::Celsius{0.0}, units::Volts{13.60}};
   auto trained = exp.train(p);
   ASSERT_TRUE(trained.ok()) << trained.error;
   vprofile::Model stale = *trained.model;
@@ -216,7 +216,9 @@ TEST(OnlineUpdateIntegration, AdaptationBeatsStaleModelUnderDrift) {
   std::size_t n = 0;
   for (double temp : {5.0, 10.0, 15.0, 20.0, 25.0, 30.0}) {
     const auto caps =
-        exp.vehicle().capture(400, analog::Environment{temp, 13.60});
+        exp.vehicle().capture(
+            400,
+            analog::Environment{units::Celsius{temp}, units::Volts{13.60}});
     for (const auto& cap : caps) {
       const auto es =
           vprofile::extract_edge_set(cap.codes, stale.extraction());
@@ -232,7 +234,8 @@ TEST(OnlineUpdateIntegration, AdaptationBeatsStaleModelUnderDrift) {
     }
   }
   ASSERT_GT(n, 0u);
-  EXPECT_LT(adaptive_excess_sum / n, stale_excess_sum / n);
+  EXPECT_LT(adaptive_excess_sum / static_cast<double>(n),
+                stale_excess_sum / static_cast<double>(n));
 }
 
 TEST(ThreatModel, UnknownSaIsHardAnomaly) {

@@ -248,7 +248,7 @@ TEST(Covariance, MatchesDirectTwoPassEstimate) {
   for (const auto& x : xs) {
     for (std::size_t i = 0; i < dim; ++i) mean[i] += x[i];
   }
-  for (double& m : mean) m /= xs.size();
+  for (double& m : mean) m /= static_cast<double>(xs.size());
   Matrix ref(dim, dim);
   for (const auto& x : xs) {
     for (std::size_t i = 0; i < dim; ++i) {
@@ -257,7 +257,7 @@ TEST(Covariance, MatchesDirectTwoPassEstimate) {
       }
     }
   }
-  ref = ref * (1.0 / xs.size());
+  ref = ref * (1.0 / static_cast<double>(xs.size()));
 
   EXPECT_LT(acc.covariance().max_abs_diff(ref), 1e-10);
   for (std::size_t i = 0; i < dim; ++i) {

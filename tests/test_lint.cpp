@@ -1,0 +1,278 @@
+// Tests for the vprofile_lint rule engine: every rule must fire on a
+// minimal violating fixture and stay silent on the conforming rewrite,
+// suppressions must be honored, and the scrubber must keep comments and
+// string literals from producing findings.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/lint.hpp"
+
+namespace {
+
+using vplint::Finding;
+using vplint::lint_source;
+
+std::vector<std::string> rules_of(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+// ---------------------------------------------------------------------
+// determinism
+// ---------------------------------------------------------------------
+
+TEST(LintDeterminism, FlagsRandSrandTimeClock) {
+  const std::string src = R"cpp(
+int f() {
+  srand(42);
+  int a = rand();
+  long t = time(nullptr);
+  long c = clock();
+  return a + int(t + c);
+}
+)cpp";
+  const auto findings = lint_source("fixture.cpp", src);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"determinism", "determinism",
+                                      "determinism", "determinism"}));
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintDeterminism, FlagsRandomDevice) {
+  const auto findings =
+      lint_source("fixture.cpp", "std::mt19937 g{std::random_device{}()};\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "determinism");
+}
+
+TEST(LintDeterminism, CleanOnSeededRngAndUnrelatedNames) {
+  const std::string src = R"cpp(
+#include "stats/rng.hpp"
+double g(const Frame& frame) {
+  stats::Rng rng(units::Seed64{42});   // seeded stream: fine
+  double start_time(double);           // _time suffix is a different token
+  return rng.uniform(0.0, 1.0) + frame.time() + clk->clock();
+}
+)cpp";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+TEST(LintDeterminism, AllowlistExemptsSeedHelperFile) {
+  const std::string src = "unsigned s = std::random_device{}();\n";
+  EXPECT_FALSE(lint_source("src/other/file.hpp", src).empty());
+  EXPECT_TRUE(lint_source("src/stats/rng.hpp", src).empty());
+}
+
+// ---------------------------------------------------------------------
+// raw-new-delete
+// ---------------------------------------------------------------------
+
+TEST(LintRawNewDelete, FlagsRawNewAndDelete) {
+  const std::string src = R"cpp(
+void f() {
+  int* p = new int[4];
+  delete[] p;
+}
+)cpp";
+  const auto findings = lint_source("fixture.cpp", src);
+  EXPECT_EQ(rules_of(findings), (std::vector<std::string>{"raw-new-delete",
+                                                          "raw-new-delete"}));
+}
+
+TEST(LintRawNewDelete, AllowsDeletedFunctionsAndAllocatorShims) {
+  const std::string src = R"cpp(
+struct Arena {
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) =delete;
+  void* operator new(std::size_t n);
+  void operator delete(void* p);
+};
+)cpp";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------
+// unordered-iteration
+// ---------------------------------------------------------------------
+
+TEST(LintUnorderedIteration, FlagsRangeForOverDeclaredVariable) {
+  const std::string src = R"cpp(
+#include <unordered_map>
+double score(const std::unordered_map<int, double>& weights) {
+  double sum = 0.0;
+  for (const auto& [k, w] : weights) sum += w;
+  return sum;
+}
+)cpp";
+  const auto findings = lint_source("fixture.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unordered-iteration");
+  EXPECT_EQ(findings[0].line, 5u);
+}
+
+TEST(LintUnorderedIteration, FlagsMultiLineDeclarations) {
+  const std::string src = R"cpp(
+std::unordered_map<std::string,
+                   std::vector<double>> table;
+void dump() {
+  for (auto it = table.begin(); it != table.end(); ++it) emit(*it);
+}
+)cpp";
+  EXPECT_TRUE(has_rule(lint_source("fixture.cpp", src),
+                       "unordered-iteration"));
+}
+
+TEST(LintUnorderedIteration, CleanOnLookupsAndOrderedMaps) {
+  const std::string src = R"cpp(
+#include <map>
+#include <unordered_map>
+std::unordered_map<int, double> cache;
+std::map<int, double> ordered;
+double f(int k) {
+  const auto it = cache.find(k);       // point lookup: fine
+  for (const auto& [key, v] : ordered) use(key, v);
+  return it == cache.end() ? 0.0 : it->second;
+}
+)cpp";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------
+// float-eq
+// ---------------------------------------------------------------------
+
+TEST(LintFloatEq, FlagsEqualityAgainstFloatLiterals) {
+  const std::string src = R"cpp(
+bool f(double x, double y) {
+  if (x == 0.0) return true;
+  if (1.5f != y) return false;
+  return x == 1e-9;
+}
+)cpp";
+  const auto findings = lint_source("fixture.cpp", src);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"float-eq", "float-eq", "float-eq"}));
+}
+
+TEST(LintFloatEq, CleanOnIntegerComparisonsAndOperators) {
+  const std::string src = R"cpp(
+struct Id {
+  int v = 0;
+  friend bool operator==(Id, Id) = default;
+};
+bool g(int n, std::size_t i, const std::vector<int>& xs) {
+  return n == 0 && i != xs.size() && xs[0] == 0x10;
+}
+)cpp";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------
+// unit-cast
+// ---------------------------------------------------------------------
+
+TEST(LintUnitCast, FlagsStaticCastToUnitType) {
+  const std::string src =
+      "auto i = static_cast<units::SampleIndex>(bit_index);\n";
+  const auto findings = lint_source("fixture.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "unit-cast");
+}
+
+TEST(LintUnitCast, FlagsRewrappingOneUnitAsAnother) {
+  const std::string src =
+      "units::SampleIndex pos{units::BitIndex{3}.value()};\n";
+  EXPECT_TRUE(has_rule(lint_source("fixture.cpp", src), "unit-cast"));
+}
+
+TEST(LintUnitCast, CleanOnEntryExitAndSameUnitWraps) {
+  const std::string src = R"cpp(
+units::Volts v{2.5};
+double raw = v.value();
+units::SampleRateHz rate{adc.sample_rate().value() / 2.0};
+units::SampleIndex pos = t * rate_of(cfg);
+)cpp";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+// ---------------------------------------------------------------------
+// Suppressions and scrubbing
+// ---------------------------------------------------------------------
+
+TEST(LintSuppression, SameLineAllowSilencesOneRule) {
+  const std::string src =
+      "bool z = (x == 0.0);  // vprofile-lint: allow(float-eq)\n"
+      "bool w = (y == 0.0);\n";
+  const auto findings = lint_source("fixture.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 2u);
+}
+
+TEST(LintSuppression, PrecedingLineAllowCoversNextLine) {
+  const std::string src =
+      "// vprofile-lint: allow(raw-new-delete)\n"
+      "int* p = new int;\n";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+TEST(LintSuppression, AllowOnlySilencesTheNamedRule) {
+  const std::string src =
+      "// vprofile-lint: allow(float-eq)\n"
+      "int* p = new int;\n";
+  EXPECT_TRUE(has_rule(lint_source("fixture.cpp", src), "raw-new-delete"));
+}
+
+TEST(LintScrub, CommentsAndStringsProduceNoFindings) {
+  const std::string src = R"cpp(
+// a comment mentioning rand() and new and x == 0.0
+/* block: time(nullptr) and delete p */
+const char* s = "rand() time(0) new delete == 0.0";
+const char* r = R"(random_device == 1.5)";
+char c = '=';
+)cpp";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+TEST(LintScrub, DigitSeparatorsAreNotCharLiterals) {
+  // A digit separator must not open a character literal and swallow the
+  // rest of the file (which would hide the violation on the next line).
+  const std::string src =
+      "const long n = 1'000'000;\n"
+      "int* p = new int;\n";
+  EXPECT_TRUE(has_rule(lint_source("fixture.cpp", src), "raw-new-delete"));
+}
+
+TEST(LintScrub, FindingsReportOneBasedLines) {
+  const auto findings =
+      lint_source("fixture.cpp", "\n\n\nint a = rand();\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+// ---------------------------------------------------------------------
+// compile_commands.json parsing
+// ---------------------------------------------------------------------
+
+TEST(LintCompileCommands, ExtractsSortedUniqueFiles) {
+  const std::string json = R"json(
+[
+  {"directory": "/b", "command": "c++ -c a.cpp", "file": "/repo/src/a.cpp"},
+  {"directory": "/b", "command": "c++ -c b.cpp", "file": "/repo/src/b.cpp"},
+  {"directory": "/b", "command": "c++ -c a.cpp", "file": "/repo/src/a.cpp"}
+]
+)json";
+  const auto files = vplint::files_from_compile_commands(json);
+  EXPECT_EQ(files, (std::vector<std::string>{"/repo/src/a.cpp",
+                                             "/repo/src/b.cpp"}));
+}
+
+}  // namespace

@@ -29,19 +29,21 @@ class ExtractionSweep : public ::testing::TestWithParam<FrontEndPoint> {};
 
 TEST_P(ExtractionSweep, SaDecodingAndDimensionInvariant) {
   const auto [rate, bits] = GetParam();
-  const dsp::AdcModel adc(rate, bits);
+  const dsp::AdcModel adc(units::SampleRateHz{rate}, bits);
   analog::SynthOptions synth;
-  synth.bitrate_bps = 250e3;
-  synth.sample_rate_hz = rate;
+  synth.bitrate = units::BitRateBps{250e3};
+  synth.sample_rate = units::SampleRateHz{rate};
   synth.max_bits = 70;
   const auto cfg =
-      vprofile::make_extraction_config(rate, 250e3, adc.quantize(1.25));
+      vprofile::make_extraction_config(units::SampleRateHz{rate},
+                                       units::BitRateBps{250e3},
+                                       adc.quantize(1.25));
 
   analog::EcuSignature sig;
-  sig.dominant_v = 2.0;
+  sig.dominant = units::Volts{2.0};
   sig.drive = {2.0e6, 0.7};
   sig.release = {1.0e6, 0.85};
-  sig.noise_sigma_v = 0.003;
+  sig.noise_sigma = units::Volts{0.003};
 
   stats::Rng rng(static_cast<std::uint64_t>(rate) + bits);
   for (int trial = 0; trial < 40; ++trial) {

@@ -199,9 +199,9 @@ TEST(PipelineEquivalence, CountersAccountForEveryFrame) {
   for (const dsp::Trace& t : f.traces) pipe.submit(t);
   pipe.finish();
   const pipeline::CountersSnapshot c = pipe.counters();
-  EXPECT_EQ(c.submitted, f.traces.size());
-  EXPECT_EQ(c.completed, f.traces.size());
-  EXPECT_EQ(c.dropped, 0u);
+  EXPECT_EQ(c.submitted.value(), f.traces.size());
+  EXPECT_EQ(c.completed.value(), f.traces.size());
+  EXPECT_EQ(c.dropped.value(), 0u);
   EXPECT_EQ(emitted, f.traces.size());
   EXPECT_GE(c.queue_high_watermark, 1u);
   EXPECT_LE(c.queue_high_watermark, pc.queue_capacity);
@@ -218,7 +218,7 @@ TEST(PipelineEquivalence, SubmitAfterFinishIsRefused) {
   pipe.finish();
   EXPECT_FALSE(pipe.submit(f.traces.front()).has_value());
   EXPECT_EQ(emitted, f.traces.size());
-  EXPECT_EQ(pipe.counters().submitted, f.traces.size());
+  EXPECT_EQ(pipe.counters().submitted.value(), f.traces.size());
 }
 
 TEST(ParallelTrainer, ThreadCountDoesNotChangeTheModel) {

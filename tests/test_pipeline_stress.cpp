@@ -161,9 +161,9 @@ TEST(PipelineStress, ManyProducersSmallQueueRandomWorkerCounts) {
       ASSERT_EQ(results[i].extract_error, vprofile::ExtractError::kNoSof);
     }
     const pipeline::CountersSnapshot c = pipe.counters();
-    EXPECT_EQ(c.submitted, total);
-    EXPECT_EQ(c.completed, total);
-    EXPECT_EQ(c.dropped, 0u);
+    EXPECT_EQ(c.submitted.value(), total);
+    EXPECT_EQ(c.completed.value(), total);
+    EXPECT_EQ(c.dropped.value(), 0u);
     EXPECT_LE(c.queue_high_watermark, pc.queue_capacity);
   }
 }
@@ -195,8 +195,8 @@ TEST(PipelineStress, DropModeAccountsEveryFrameExactlyOnce) {
 
   const std::uint64_t total = kProducers * kPerProducer;
   const pipeline::CountersSnapshot c = pipe.counters();
-  EXPECT_EQ(c.submitted, total);
-  EXPECT_EQ(c.completed + c.dropped, total);
+  EXPECT_EQ(c.submitted.value(), total);
+  EXPECT_EQ(c.completed.value() + c.dropped.value(), total);
   // The verdict stream still covers every submitted frame, in order, with
   // drops marked — nothing vanishes silently.
   ASSERT_EQ(results.size(), total);
@@ -205,8 +205,9 @@ TEST(PipelineStress, DropModeAccountsEveryFrameExactlyOnce) {
     ASSERT_EQ(results[i].seq, i);
     dropped_seen += results[i].dropped ? 1 : 0;
   }
-  EXPECT_EQ(dropped_seen, c.dropped);
-  EXPECT_GT(c.dropped, 0u) << "stress did not overflow the queue; weaken "
+  EXPECT_EQ(dropped_seen, c.dropped.value());
+  EXPECT_GT(c.dropped.value(), 0u)
+      << "stress did not overflow the queue; weaken "
                               "the worker or shrink the queue";
 }
 
@@ -225,7 +226,7 @@ TEST(PipelineStress, FinishDrainsEverythingAccepted) {
   }
   pipe.finish();  // must wait for all 300, not just close the queue
   EXPECT_EQ(emitted.load(), kCount);
-  EXPECT_EQ(pipe.counters().completed, kCount);
+  EXPECT_EQ(pipe.counters().completed.value(), kCount);
   // finish() is idempotent and safe to repeat.
   pipe.finish();
   EXPECT_EQ(emitted.load(), kCount);

@@ -170,7 +170,7 @@ TEST_F(Robustness, ExtremeNoiseDegradesGracefully) {
   // never crashes, and failures are reported with a reason.
   stats::Rng rng(7);
   analog::EcuSignature noisy = vehicle_->config().ecus[0].signature;
-  noisy.noise_sigma_v *= 10.0;
+  noisy.noise_sigma *= 10.0;
   canbus::DataFrame frame;
   frame.id = vehicle_->config().ecus[0].messages[0].id;
   frame.payload = {1, 2, 3};

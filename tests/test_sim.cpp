@@ -16,15 +16,15 @@ using sim::VehicleConfig;
 TEST(Presets, VehicleAHasFiveEcus) {
   const VehicleConfig cfg = sim::vehicle_a();
   EXPECT_EQ(cfg.ecus.size(), 5u);
-  EXPECT_DOUBLE_EQ(cfg.adc.sample_rate_hz(), 20e6);
+  EXPECT_DOUBLE_EQ(cfg.adc.sample_rate().value(), 20e6);
   EXPECT_EQ(cfg.adc.resolution_bits(), 16);
-  EXPECT_DOUBLE_EQ(cfg.bitrate_bps, 250e3);
+  EXPECT_DOUBLE_EQ(cfg.bitrate.value(), 250e3);
 }
 
 TEST(Presets, VehicleBHasTenEcusAtTenMsps) {
   const VehicleConfig cfg = sim::vehicle_b();
   EXPECT_EQ(cfg.ecus.size(), 10u);
-  EXPECT_DOUBLE_EQ(cfg.adc.sample_rate_hz(), 10e6);
+  EXPECT_DOUBLE_EQ(cfg.adc.sample_rate().value(), 10e6);
   EXPECT_EQ(cfg.adc.resolution_bits(), 12);
 }
 
@@ -65,7 +65,8 @@ TEST(Presets, VehicleBSeedChangesSignaturesNotStructure) {
   const VehicleConfig a = sim::vehicle_b(1);
   const VehicleConfig b = sim::vehicle_b(2);
   ASSERT_EQ(a.ecus.size(), b.ecus.size());
-  EXPECT_NE(a.ecus[0].signature.dominant_v, b.ecus[0].signature.dominant_v);
+  EXPECT_NE(a.ecus[0].signature.dominant.value(),
+            b.ecus[0].signature.dominant.value());
   EXPECT_EQ(a.ecus[0].source_addresses(), b.ecus[0].source_addresses());
 }
 
@@ -129,7 +130,8 @@ TEST(VehicleTest, EnvironmentScheduleIsApplied) {
   // the strongly coupled ECM (ECU 0).
   Vehicle vehicle(sim::vehicle_a(), 5);
   auto env_at = [](double t) {
-    return analog::Environment{t < 0.5 ? 20.0 : 120.0, 12.6};
+    return analog::Environment{units::Celsius{t < 0.5 ? 20.0 : 120.0},
+                               units::Volts{12.6}};
   };
   const auto caps = vehicle.capture_with_env(600, env_at);
   double early_max = 0.0;
@@ -184,7 +186,9 @@ TEST(AttackTest, HijackRateApproximatesProbability) {
       vehicle, 3000, 0.2, analog::Environment::reference());
   std::size_t attacks = 0;
   for (const auto& lc : stream) attacks += lc.is_attack;
-  EXPECT_NEAR(static_cast<double>(attacks) / stream.size(), 0.2, 0.03);
+  EXPECT_NEAR(static_cast<double>(attacks) /
+                  static_cast<double>(stream.size()),
+              0.2, 0.03);
 }
 
 TEST(AttackTest, HijackedSaBelongsToDifferentEcu) {

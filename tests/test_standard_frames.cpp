@@ -20,13 +20,13 @@ TEST(StandardFrame, LayoutMatchesSpec) {
   f.payload = {};
   const auto bits = canbus::build_unstuffed_bits(f);
   namespace fb = canbus::standard_frame_bits;
-  EXPECT_FALSE(bits[fb::kSof]);
+  EXPECT_FALSE(bits[fb::kSof.value()]);
   // All-ones identifier.
-  for (std::size_t i = fb::kIdFirst; i <= fb::kIdLast; ++i) {
+  for (std::size_t i = fb::kIdFirst.value(); i <= fb::kIdLast.value(); ++i) {
     EXPECT_TRUE(bits[i]);
   }
-  EXPECT_FALSE(bits[fb::kRtr]);
-  EXPECT_FALSE(bits[fb::kFirstPostArbitration]);  // IDE dominant
+  EXPECT_FALSE(bits[fb::kRtr.value()]);
+  EXPECT_FALSE(bits[fb::kFirstPostArbitration.value()]);  // IDE dominant
   // Empty payload: 19 header bits + 15 CRC + 10 tail.
   EXPECT_EQ(bits.size(), 19u + 15u + 10u);
 }
@@ -99,18 +99,18 @@ class StandardExtraction : public ::testing::Test {
  protected:
   analog::EcuSignature signature(double dominant_v = 2.0) const {
     analog::EcuSignature s;
-    s.dominant_v = dominant_v;
+    s.dominant = units::Volts{dominant_v};
     s.drive = {2.0e6, 0.7};
     s.release = {1.0e6, 0.85};
-    s.noise_sigma_v = 0.003;
+    s.noise_sigma = units::Volts{0.003};
     return s;
   }
 
   dsp::Trace capture(const StandardDataFrame& frame,
                      const analog::EcuSignature& sig, stats::Rng& rng) const {
     analog::SynthOptions opts;
-    opts.bitrate_bps = 250e3;
-    opts.sample_rate_hz = 20e6;
+    opts.bitrate = units::BitRateBps{250e3};
+    opts.sample_rate = units::SampleRateHz{20e6};
     opts.max_bits = 60;
     const auto wire = canbus::build_wire_bits(frame);
     const auto volts = analog::synthesize_frame_voltage(
@@ -118,9 +118,11 @@ class StandardExtraction : public ::testing::Test {
     return adc_.quantize_trace(volts);
   }
 
-  dsp::AdcModel adc_{20e6, 16};
+  dsp::AdcModel adc_{units::SampleRateHz{20e6}, 16};
   vprofile::ExtractionConfig extraction_ =
-      vprofile::make_extraction_config(20e6, 250e3, adc_.quantize(1.25));
+      vprofile::make_extraction_config(units::SampleRateHz{20e6},
+                                       units::BitRateBps{250e3},
+                                       adc_.quantize(1.25));
 };
 
 TEST_F(StandardExtraction, DecodesIdentifierFromTrace) {

@@ -25,13 +25,14 @@ TEST(Welford, MeanAndVarianceMatchDirectComputation) {
 
   double mean = 0.0;
   for (double x : xs) mean += x;
-  mean /= xs.size();
+  mean /= static_cast<double>(xs.size());
   double var = 0.0;
   for (double x : xs) var += (x - mean) * (x - mean);
 
   EXPECT_DOUBLE_EQ(acc.mean(), mean);
-  EXPECT_NEAR(acc.variance(), var / xs.size(), 1e-12);
-  EXPECT_NEAR(acc.sample_variance(), var / (xs.size() - 1), 1e-12);
+  EXPECT_NEAR(acc.variance(), var / static_cast<double>(xs.size()), 1e-12);
+  EXPECT_NEAR(acc.sample_variance(),
+              var / static_cast<double>(xs.size() - 1), 1e-12);
 }
 
 TEST(Welford, TracksMinAndMax) {

@@ -1,0 +1,179 @@
+// Unit-safety tests: runtime arithmetic of the strong types in
+// core/units.hpp plus a compile-time matrix (via the traits detectors)
+// proving that every illegal cross-unit mix fails to compile while the
+// sanctioned conversions keep compiling.
+#include <type_traits>
+
+#include <gtest/gtest.h>
+
+#include "core/units.hpp"
+
+namespace {
+
+using namespace units;
+using namespace units::literals;
+
+// ---------------------------------------------------------------------
+// Runtime arithmetic.
+// ---------------------------------------------------------------------
+
+TEST(Units, SameUnitArithmetic) {
+  const Volts a{2.0};
+  const Volts b{0.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  Volts acc{1.0};
+  acc += Volts{0.25};
+  acc -= Volts{0.5};
+  EXPECT_DOUBLE_EQ(acc.value(), 0.75);
+  EXPECT_DOUBLE_EQ((-Seconds{3.0}).value(), -3.0);
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_DOUBLE_EQ((Volts{2.0} * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((0.5 * Volts{2.0}).value(), 1.0);
+  EXPECT_DOUBLE_EQ((Seconds{6.0} / 3.0).value(), 2.0);
+  Volts v{2.0};
+  v *= 2.0;
+  v /= 8.0;
+  EXPECT_DOUBLE_EQ(v.value(), 0.5);
+}
+
+TEST(Units, RatioOfLikeQuantitiesIsDimensionless) {
+  const double r = ratio(Seconds{1.0}, Seconds{4.0});
+  static_assert(std::is_same_v<decltype(ratio(Volts{1.0}, Volts{2.0})),
+                               double>);
+  EXPECT_DOUBLE_EQ(r, 0.25);
+}
+
+TEST(Units, IndexUnitsAdvanceByRawCounts) {
+  SampleIndex pos{100};
+  pos = pos + std::size_t{40};
+  EXPECT_EQ(pos.value(), 140u);
+  pos = pos - std::size_t{40};
+  ++pos;
+  EXPECT_EQ(pos.value(), 101u);
+  BitIndex bit{0};
+  for (int i = 0; i < 3; ++i) ++bit;
+  EXPECT_EQ(bit.value(), 3u);
+}
+
+TEST(Units, ComparisonAndEquality) {
+  EXPECT_TRUE(SampleIndex{3} < SampleIndex{4});
+  EXPECT_TRUE(BitIndex{7} == BitIndex{7});
+  EXPECT_TRUE(Volts{1.0} <= Volts{1.0});
+  EXPECT_TRUE(FrameCount{2} != FrameCount{3});
+}
+
+TEST(Units, DimensionCheckedConversions) {
+  // 2 us at 20 MS/s lands on sample 40; the same instant at 250 kb/s is
+  // still inside bit 0.
+  const SampleRateHz rate{20.0e6};
+  const BitRateBps bitrate{250.0e3};
+  const Seconds t{2.0e-6};
+  EXPECT_EQ((t * rate).value(), 40u);
+  EXPECT_EQ((rate * t).value(), 40u);
+  EXPECT_EQ((t * bitrate).value(), 0u);
+  EXPECT_DOUBLE_EQ(samples_per_bit(rate, bitrate), 80.0);
+  EXPECT_DOUBLE_EQ(period(rate).value(), 5.0e-8);
+  EXPECT_DOUBLE_EQ(period(bitrate).value(), 4.0e-6);
+  EXPECT_DOUBLE_EQ((SampleIndex{40} / rate).value(), 2.0e-6);
+  EXPECT_DOUBLE_EQ((BitIndex{5} / bitrate).value(), 2.0e-5);
+}
+
+TEST(Units, Literals) {
+  EXPECT_DOUBLE_EQ((2.5_V).value(), 2.5);
+  EXPECT_DOUBLE_EQ((1.5_sec).value(), 1.5);
+  EXPECT_DOUBLE_EQ((21.5_degC).value(), 21.5);
+}
+
+// ---------------------------------------------------------------------
+// Compile-time matrix.  Each static_assert is a test: the build fails if
+// an illegal mix starts compiling (dimension check lost) or a legal one
+// stops (interface broken).
+// ---------------------------------------------------------------------
+
+// Zero overhead: strong types must be layout-identical to their reps.
+static_assert(sizeof(Volts) == sizeof(double));
+static_assert(sizeof(Seconds) == sizeof(double));
+static_assert(sizeof(SampleRateHz) == sizeof(double));
+static_assert(sizeof(BitRateBps) == sizeof(double));
+static_assert(sizeof(SampleIndex) == sizeof(std::size_t));
+static_assert(sizeof(BitIndex) == sizeof(std::size_t));
+static_assert(sizeof(FrameCount) == sizeof(std::uint64_t));
+static_assert(sizeof(Seed64) == sizeof(std::uint64_t));
+static_assert(std::is_trivially_copyable_v<Volts>);
+static_assert(std::is_trivially_copyable_v<BitIndex>);
+static_assert(std::is_trivially_copyable_v<FrameCount>);
+
+// No implicit bridges in or out of the unit system.
+static_assert(!std::is_convertible_v<double, Volts>);
+static_assert(!std::is_convertible_v<Volts, double>);
+static_assert(!std::is_convertible_v<std::size_t, SampleIndex>);
+static_assert(!std::is_convertible_v<SampleIndex, std::size_t>);
+static_assert(!std::is_convertible_v<SampleIndex, BitIndex>);
+static_assert(!std::is_convertible_v<Seed64, FrameCount>);
+static_assert(std::is_constructible_v<Volts, double>);  // explicit entry
+static_assert(!std::is_constructible_v<Volts, Seconds>);
+
+// Legal same-unit arithmetic.
+static_assert(traits::is_addable_v<Volts, Volts>);
+static_assert(traits::is_addable_v<Seconds, Seconds>);
+static_assert(traits::is_subtractable_v<Celsius, Celsius>);
+static_assert(traits::is_addable_v<FrameCount, FrameCount>);
+static_assert(traits::is_comparable_v<Volts, Volts>);
+static_assert(traits::is_comparable_v<SampleIndex, SampleIndex>);
+
+// Legal scalar scaling.
+static_assert(traits::is_multipliable_v<Volts, double>);
+static_assert(traits::is_multipliable_v<double, Volts>);
+static_assert(traits::is_dividable_v<Seconds, double>);
+static_assert(traits::is_addable_v<SampleIndex, std::size_t>);
+
+// Legal dimension-checked conversions.
+static_assert(traits::is_multipliable_v<Seconds, SampleRateHz>);
+static_assert(traits::is_multipliable_v<SampleRateHz, Seconds>);
+static_assert(traits::is_multipliable_v<Seconds, BitRateBps>);
+static_assert(traits::is_multipliable_v<BitRateBps, Seconds>);
+static_assert(traits::is_dividable_v<SampleIndex, SampleRateHz>);
+static_assert(traits::is_dividable_v<BitIndex, BitRateBps>);
+static_assert(
+    std::is_same_v<decltype(std::declval<Seconds>() *
+                            std::declval<SampleRateHz>()),
+                   SampleIndex>);
+static_assert(
+    std::is_same_v<decltype(std::declval<Seconds>() *
+                            std::declval<BitRateBps>()),
+                   BitIndex>);
+
+// Illegal cross-unit arithmetic: every mix below used to be expressible
+// as raw doubles/size_ts; none may compile now.
+static_assert(!traits::is_addable_v<Volts, Seconds>);
+static_assert(!traits::is_addable_v<Volts, Celsius>);
+static_assert(!traits::is_addable_v<Seconds, Celsius>);
+static_assert(!traits::is_addable_v<SampleIndex, BitIndex>);
+static_assert(!traits::is_addable_v<FrameCount, Seed64>);
+static_assert(!traits::is_subtractable_v<SampleRateHz, BitRateBps>);
+static_assert(!traits::is_subtractable_v<SampleIndex, FrameCount>);
+static_assert(!traits::is_multipliable_v<Volts, Seconds>);
+static_assert(!traits::is_multipliable_v<Volts, Volts>);
+static_assert(!traits::is_multipliable_v<Seconds, Seconds>);
+static_assert(!traits::is_multipliable_v<SampleRateHz, BitRateBps>);
+static_assert(!traits::is_dividable_v<SampleIndex, BitRateBps>);
+static_assert(!traits::is_dividable_v<BitIndex, SampleRateHz>);
+
+// Illegal unit/raw mixes: a bare scalar cannot masquerade as a quantity.
+static_assert(!traits::is_addable_v<Volts, double>);
+static_assert(!traits::is_addable_v<double, Seconds>);
+static_assert(!traits::is_subtractable_v<Seconds, double>);
+static_assert(!traits::is_addable_v<Seconds, double>);  // no raw advance
+static_assert(!traits::is_comparable_v<Volts, double>);
+static_assert(!traits::is_comparable_v<SampleIndex, std::size_t>);
+
+// Illegal cross-unit comparison.
+static_assert(!traits::is_comparable_v<SampleIndex, BitIndex>);
+static_assert(!traits::is_comparable_v<Volts, Seconds>);
+static_assert(!traits::is_comparable_v<SampleRateHz, BitRateBps>);
+static_assert(!traits::is_comparable_v<FrameCount, Seed64>);
+
+}  // namespace

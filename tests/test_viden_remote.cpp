@@ -21,8 +21,8 @@ TEST(RemoteFrameTest, LayoutHasRecessiveRtrAndNoData) {
   f.dlc = 8;
   const auto bits = canbus::build_unstuffed_bits(f);
   namespace fb = canbus::frame_bits;
-  EXPECT_FALSE(bits[fb::kSof]);
-  EXPECT_TRUE(bits[fb::kRtr]);  // remote request
+  EXPECT_FALSE(bits[fb::kSof.value()]);
+  EXPECT_TRUE(bits[fb::kRtr.value()]);  // remote request
   // Fixed length: 39 header + 15 CRC + 10 tail, no data bits.
   EXPECT_EQ(bits.size(), 39u + 15u + 10u);
 }

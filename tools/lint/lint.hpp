@@ -1,0 +1,83 @@
+// vprofile_lint: token-level invariant checker for the vProfile codebase.
+//
+// The linter enforces project rules that the compiler cannot:
+//
+//   determinism          no rand()/srand()/time()/clock()/getpid() and no
+//                        std::random_device — every stochastic quantity must
+//                        flow from an explicitly seeded stats::Rng stream,
+//                        or the golden tables stop being reproducible.
+//   raw-new-delete       no raw new/delete outside allocator shims
+//                        (`operator new`/`operator delete` definitions);
+//                        containers and values own memory here.
+//   unordered-iteration  no iteration over std::unordered_map/_set — the
+//                        traversal order is implementation-defined and any
+//                        scored or golden-file output fed from it would
+//                        differ across standard libraries.
+//   float-eq             no ==/!= against floating-point literals; exact
+//                        comparisons belong on integers or via an epsilon.
+//   unit-cast            no casts between the strong unit types from
+//                        core/units.hpp (static_cast<units::X>(...) or
+//                        re-wrapping units::A{units::B{...}.value()}) —
+//                        dimension changes go through the named conversion
+//                        helpers so they are visible and checked.
+//
+// Scanning is token-level over comment- and string-stripped source: no
+// libclang, no compiler dependency. A finding can be suppressed where a
+// human has judged it safe with a trailing or preceding comment:
+//
+//     if (p + r == 0.0) return 0.0;  // vprofile-lint: allow(float-eq)
+//
+// The suppression names the rule explicitly so grep can audit every
+// exemption in the tree.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vplint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;  // 1-based
+  std::string rule;
+  std::string message;
+};
+
+/// Knobs for lint_source. Defaults match the repository layout.
+struct Options {
+  /// Files whose path contains one of these substrings are exempt from the
+  /// determinism rule: the seeded-stream helper legitimately names the
+  /// engine machinery it wraps.
+  std::vector<std::string> determinism_allowlist = {"src/stats/rng.hpp"};
+};
+
+/// Source text with comments and string/char-literal bodies blanked out.
+struct ScrubbedSource {
+  /// Same length as the input; every stripped character becomes a space,
+  /// newlines are preserved so offsets map to the original lines.
+  std::string code;
+  /// line (1-based) -> rule names suppressed there via
+  /// `vprofile-lint: allow(rule, ...)`. A suppression covers the comment's
+  /// own line and the line after it (for standalone suppression lines).
+  std::map<std::size_t, std::set<std::string>> allowed;
+};
+
+/// Strips comments, string literals (including raw strings) and character
+/// literals, collecting suppression annotations along the way.
+ScrubbedSource scrub(const std::string& source);
+
+/// Runs every rule over one in-memory source file.
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const Options& opts = Options{});
+
+/// Extracts the "file" entries from a compile_commands.json document
+/// (sorted, deduplicated). Tolerates the subset of JSON CMake emits.
+std::vector<std::string> files_from_compile_commands(
+    const std::string& json_text);
+
+}  // namespace vplint

@@ -49,9 +49,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--seed") {
       seed = std::strtoull(next(), nullptr, 10);
     } else if (arg == "--temperature") {
-      env.temperature_c = std::atof(next());
+      env.temperature = units::Celsius{std::atof(next())};
     } else if (arg == "--battery") {
-      env.battery_v = std::atof(next());
+      env.battery = units::Volts{std::atof(next())};
     } else {
       usage();
       return 2;
@@ -68,7 +68,7 @@ int main(int argc, char** argv) {
   sim::Vehicle vehicle(config, seed);
 
   io::TraceSet set;
-  set.sample_rate_hz = config.adc.sample_rate_hz();
+  set.sample_rate_hz = config.adc.sample_rate().value();
   set.resolution_bits = config.adc.resolution_bits();
   for (sim::Capture& cap : vehicle.capture(count, env)) {
     set.traces.push_back(std::move(cap.codes));
@@ -81,6 +81,6 @@ int main(int argc, char** argv) {
               "%.1f C, %.2f V) -> %s\n",
               set.traces.size(), config.name.c_str(),
               set.sample_rate_hz / 1e6, set.resolution_bits,
-              env.temperature_c, env.battery_v, out_path.c_str());
+              env.temperature.value(), env.battery.value(), out_path.c_str());
   return 0;
 }

@@ -227,9 +227,9 @@ int main(int argc, char** argv) {
               queue_capacity, block_when_full ? "backpressure" : "drop");
   std::printf("  frames      %llu submitted, %llu scored, %llu dropped, "
               "%zu extraction failures, %zu degraded\n",
-              static_cast<unsigned long long>(c.submitted),
-              static_cast<unsigned long long>(c.completed),
-              static_cast<unsigned long long>(c.dropped),
+              static_cast<unsigned long long>(c.submitted.value()),
+              static_cast<unsigned long long>(c.completed.value()),
+              static_cast<unsigned long long>(c.dropped.value()),
               extraction_failures, degraded);
   std::printf("  verdicts   ");
   for (std::size_t v = 0; v < vprofile::kNumVerdicts; ++v) {

@@ -92,8 +92,9 @@ int main(int argc, char** argv) {
   }
 
   const vprofile::ExtractionConfig extraction =
-      vprofile::make_extraction_config(traces->sample_rate_hz, bitrate,
-                                       threshold);
+      vprofile::make_extraction_config(
+          units::SampleRateHz{traces->sample_rate_hz},
+          units::BitRateBps{bitrate}, threshold);
 
   std::vector<vprofile::EdgeSet> edge_sets;
   std::size_t failures = 0;
