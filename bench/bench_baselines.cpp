@@ -48,6 +48,7 @@ Scores score_baseline(const baseline::SenderIds& ids,
 }  // namespace
 
 int main() {
+  bench::open_report("baselines");
   bench::print_header("Baseline comparison — Vehicle A, identical traffic");
 
   sim::Vehicle vehicle(sim::vehicle_a(), bench::bench_seed("baselines"));

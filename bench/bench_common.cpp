@@ -2,11 +2,60 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <utility>
 
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+
 namespace bench {
+
+namespace {
+
+struct ReportSection {
+  std::string name;
+  std::uint64_t wall_ns = 0;
+  ReportMetrics metrics;
+};
+
+/// Process-wide report state.  Benches are single-threaded mains, so no
+/// locking; static storage keeps the linter's raw-new rule happy.
+struct Report {
+  bool open = false;
+  bool written = false;
+  std::string name;
+  obs::RunManifest manifest;
+  std::vector<ReportSection> sections;
+  ReportMetrics scalars;
+  std::chrono::steady_clock::time_point mark;
+};
+
+Report& report() {
+  static Report r;
+  return r;
+}
+
+void note_seed(std::string_view name, units::Seed64 seed) {
+  Report& r = report();
+  if (!r.open || r.written) return;
+  for (const auto& [existing, _] : r.manifest.seeds) {
+    if (existing == name) return;
+  }
+  r.manifest.seeds.emplace_back(std::string(name), seed.value());
+}
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+void write_report_at_exit() { write_report(); }
+
+}  // namespace
 
 units::Seed64 bench_seed(std::string_view bench_name) {
   // One entry per bench binary (plus one per table where a binary prints
@@ -36,7 +85,12 @@ units::Seed64 bench_seed(std::string_view bench_name) {
           {"pipeline", 2024},
       }};
   for (const auto& [name, seed] : kSeeds) {
-    if (name == bench_name) return units::Seed64{seed};
+    if (name == bench_name) {
+      // Every catalog lookup lands in the open report's manifest, so the
+      // JSON records exactly the seeds the run actually drew from.
+      note_seed(name, units::Seed64{seed});
+      return units::Seed64{seed};
+    }
   }
   std::fprintf(stderr, "bench_seed: unknown bench name\n");
   std::abort();
@@ -70,6 +124,10 @@ void print_header(const std::string& title) {
   std::printf("  (bench scale %.2fx; set VPROFILE_BENCH_SCALE to change)\n",
               bench_scale());
   std::printf("================================================================\n");
+  // A header opens a new phase: reset the mark so setup between phases is
+  // not attributed to the next result's section.
+  Report& r = report();
+  if (r.open && !r.written) r.mark = std::chrono::steady_clock::now();
 }
 
 void print_result(const std::string& label, const sim::ExperimentResult& r,
@@ -77,12 +135,26 @@ void print_result(const std::string& label, const sim::ExperimentResult& r,
   if (!r.ok()) {
     std::printf("%s\n  TRAINING FAILED: %s\n  paper: %s\n", label.c_str(),
                 r.error.c_str(), paper_reference.c_str());
+    report_mark(label, {{"trained", 0.0}});
     return;
   }
   std::printf("%s", r.confusion.to_table(label).c_str());
   std::printf("  margin=%.3f  extraction_failures=%zu\n", r.margin,
               r.extraction_failures);
   std::printf("  paper: %s\n", paper_reference.c_str());
+  report_mark(
+      label,
+      {{"trained", 1.0},
+       {"tp", static_cast<double>(r.confusion.true_positives())},
+       {"tn", static_cast<double>(r.confusion.true_negatives())},
+       {"fp", static_cast<double>(r.confusion.false_positives())},
+       {"fn", static_cast<double>(r.confusion.false_negatives())},
+       {"precision", r.confusion.precision()},
+       {"recall", r.confusion.recall()},
+       {"f_score", r.confusion.f_score()},
+       {"accuracy", r.confusion.accuracy()},
+       {"margin", r.margin},
+       {"extraction_failures", static_cast<double>(r.extraction_failures)}});
 }
 
 void run_three_tests(const std::string& table_name,
@@ -109,6 +181,100 @@ void run_three_tests(const std::string& table_name,
     print_result("(c) Foreign device imitation test",
                  exp.foreign_test(default_params(metric)), paper_foreign);
   }
+}
+
+void open_report(std::string_view name) {
+  Report& r = report();
+  if (r.open) return;
+  r.open = true;
+  r.name = std::string(name);
+  r.manifest = obs::RunManifest::create("bench_" + r.name);
+  r.manifest.config.emplace_back("scale", json_number(bench_scale()));
+  r.mark = std::chrono::steady_clock::now();
+  std::atexit(write_report_at_exit);
+}
+
+void report_section_ns(const std::string& section, std::uint64_t wall_ns,
+                       const ReportMetrics& metrics) {
+  Report& r = report();
+  if (!r.open || r.written) return;
+  r.sections.push_back(ReportSection{section, wall_ns, metrics});
+  r.mark = std::chrono::steady_clock::now();
+}
+
+void report_mark(const std::string& section, const ReportMetrics& metrics) {
+  Report& r = report();
+  if (!r.open || r.written) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now - r.mark)
+          .count());
+  r.sections.push_back(ReportSection{section, ns, metrics});
+  r.mark = now;
+}
+
+void report_scalar(const std::string& key, double value) {
+  Report& r = report();
+  if (!r.open || r.written) return;
+  r.scalars.emplace_back(key, value);
+}
+
+bool write_report() {
+  Report& r = report();
+  if (!r.open || r.written) return false;
+  r.written = true;
+
+  // Latency distribution over the section wall times: power-of-two
+  // buckets from 1 us up past half an hour, so full-scale table benches
+  // never land in the overflow bucket.
+  std::vector<std::uint64_t> bounds;
+  for (std::uint64_t b = 1024; bounds.size() < 32; b *= 2) bounds.push_back(b);
+  obs::Histogram hist(std::move(bounds));
+  for (const ReportSection& s : r.sections) hist.observe(s.wall_ns);
+  const obs::HistogramSnapshot h = hist.snapshot();
+
+  std::string out = "{\"bench\":" + obs::json_quote(r.name);
+  out += ",\"manifest\":" + r.manifest.to_json();
+  out += ",\"sections\":[";
+  for (std::size_t i = 0; i < r.sections.size(); ++i) {
+    const ReportSection& s = r.sections[i];
+    if (i != 0) out += ',';
+    out += "{\"name\":" + obs::json_quote(s.name);
+    out += ",\"wall_ns\":" + std::to_string(s.wall_ns);
+    out += ",\"metrics\":{";
+    for (std::size_t m = 0; m < s.metrics.size(); ++m) {
+      if (m != 0) out += ',';
+      out += obs::json_quote(s.metrics[m].first) + ":" +
+             json_number(s.metrics[m].second);
+    }
+    out += "}}";
+  }
+  out += "],\"scalars\":{";
+  for (std::size_t i = 0; i < r.scalars.size(); ++i) {
+    if (i != 0) out += ',';
+    out += obs::json_quote(r.scalars[i].first) + ":" +
+           json_number(r.scalars[i].second);
+  }
+  out += "},\"latency_ns\":{";
+  out += "\"count\":" + std::to_string(h.count);
+  out += ",\"mean\":" + json_number(h.mean());
+  out += ",\"p50\":" + std::to_string(h.p50());
+  out += ",\"p90\":" + std::to_string(h.p90());
+  out += ",\"p99\":" + std::to_string(h.p99());
+  out += ",\"max\":" + std::to_string(h.max);
+  out += "}}\n";
+
+  std::string path = "BENCH_" + r.name + ".json";
+  if (const char* dir = std::getenv("VPROFILE_BENCH_JSON_DIR")) {
+    if (dir[0] != '\0') path = std::string(dir) + "/" + path;
+  }
+  std::string error;
+  if (!obs::write_text_file(path, out, &error)) {
+    std::fprintf(stderr, "bench report: %s\n", error.c_str());
+    return false;
+  }
+  std::printf("\nbench report -> %s\n", path.c_str());
+  return true;
 }
 
 }  // namespace bench

@@ -4,11 +4,22 @@
 // the paper-reported reference values.  Message counts are laptop-scale by
 // default; set VPROFILE_BENCH_SCALE=<float> to multiply them (the paper
 // used runs of 10^5..10^6 messages).
+// Besides the human-readable tables, every bench also records a
+// machine-readable report: call open_report() first thing in main() and a
+// BENCH_<name>.json lands in $VPROFILE_BENCH_JSON_DIR (or the CWD) at
+// exit, stamped with the RunManifest (git describe, timestamp, every
+// bench_seed the run looked up, the scale factor) plus per-section wall
+// times and p50/p90/p99/max latency over the sections.  print_header /
+// print_result / run_three_tests feed the report automatically, so a
+// table bench needs no further changes.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/units.hpp"
 #include "sim/experiment.hpp"
@@ -53,5 +64,33 @@ void run_three_tests(const std::string& table_name,
                      const std::string& paper_fp,
                      const std::string& paper_hijack,
                      const std::string& paper_foreign);
+
+// ---------------------------------------------------------------------------
+// Machine-readable bench report (BENCH_<name>.json).
+
+/// Named values attached to a report section or the report itself.
+using ReportMetrics = std::vector<std::pair<std::string, double>>;
+
+/// Opens the JSON report for this process; `name` becomes
+/// BENCH_<name>.json.  Registers an atexit writer, so a bench that calls
+/// nothing else still emits its manifest.  Idempotent.
+void open_report(std::string_view name);
+
+/// Records a section with an explicit duration.
+void report_section_ns(const std::string& section, std::uint64_t wall_ns,
+                       const ReportMetrics& metrics = {});
+
+/// Records a section whose duration is the time since the previous report
+/// event (open/mark/header) — how print_result attributes each
+/// experiment's wall time without instrumenting the experiment itself.
+void report_mark(const std::string& section, const ReportMetrics& metrics = {});
+
+/// Adds one top-level scalar (throughputs, counts, derived stats).
+void report_scalar(const std::string& key, double value);
+
+/// Writes the report file now instead of at exit (idempotent; subsequent
+/// report_* calls are dropped).  Returns false if nothing was open or the
+/// write failed.
+bool write_report();
 
 }  // namespace bench

@@ -25,6 +25,7 @@ const char* attack_label(sim::AttackKind kind) { return sim::to_string(kind); }
 }  // namespace
 
 int main() {
+  bench::open_report("fault_matrix");
   bench::print_header(
       "Fault-injection matrix — Vehicle A, margin 12, quality gating on");
 

@@ -19,6 +19,7 @@
 #include "stats/welford.hpp"
 
 int main() {
+  bench::open_report("fig2_5_4_2_profiles");
   bench::print_header("Figs 2.5 / 4.2 / 4.5 — ECU voltage profiles, "
                       "Vehicle A (200 traces per ECU)");
 
@@ -44,6 +45,8 @@ int main() {
     }
     if (captured > 20000) break;  // safety net
   }
+  bench::report_mark("capture_and_extract",
+                     {{"edge_sets", static_cast<double>(captured)}});
 
   // Terminal rendering: per-ECU summary of the distinguishing features.
   std::printf("\n%-8s %10s %12s %12s %12s %12s\n", "ECU", "traces",
@@ -104,5 +107,6 @@ int main() {
   std::printf("closest mean profiles: ECU %zu and ECU %zu "
               "(Euclidean gap %.1f codes) — the Fig 4.5 pair\n",
               a, b, min_mean_gap);
+  bench::report_scalar("closest_pair_gap_codes", min_mean_gap);
   return 0;
 }

@@ -46,6 +46,7 @@ double rms_delta(const std::vector<double>& a, const std::vector<double>& b) {
 }  // namespace
 
 int main() {
+  bench::open_report("fig3_1_sampling_effects");
   bench::print_header("Fig 3.1 — sampling rate and resolution effects on "
                       "one edge set");
 
@@ -65,6 +66,8 @@ int main() {
     return 1;
   }
   const std::size_t n = reference->samples.size();
+  bench::report_mark("reference_extraction",
+                     {{"dimension", static_cast<double>(n)}});
 
   std::ofstream csv("fig3_1_edge_sets.csv");
   io::CsvWriter writer(csv);
@@ -99,6 +102,8 @@ int main() {
                 n);
   }
 
+  bench::report_mark("sampling_rate_sweep");
+
   // (b) Resolution reduction (LSB dropping).
   std::printf("\n(b) resolution reduction (RMS deviation from 16 bit, "
               "codes)\n");
@@ -114,6 +119,7 @@ int main() {
                 rms_delta(es->samples, reference->samples));
   }
 
+  bench::report_mark("resolution_sweep");
   std::printf(
       "\nfull series written to fig3_1_edge_sets.csv\n"
       "paper: ~10 MS/s and 8 bits are the limit before the waveform "

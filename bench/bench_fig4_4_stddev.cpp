@@ -18,6 +18,7 @@
 #include "stats/welford.hpp"
 
 int main() {
+  bench::open_report("fig4_4_stddev");
   bench::print_header("Fig 4.4 — per-sample-index standard deviation, "
                       "Vehicle A ECU 0");
 
@@ -34,6 +35,8 @@ int main() {
     }
   }
 
+  bench::report_mark("capture_and_accumulate",
+                     {{"edge_sets", static_cast<double>(acc.count())}});
   const auto mean = acc.mean();
   const auto sd = acc.stddev();
   std::printf("\n%8s %12s %12s\n", "index", "mean (cd)", "stddev (cd)");
@@ -69,6 +72,7 @@ int main() {
   std::printf("\nmean stddev near edges: %.1f codes; in steady regions: "
               "%.1f codes (ratio %.1fx)\n",
               edge_sd, steady_sd, edge_sd / steady_sd);
+  bench::report_scalar("edge_to_steady_stddev_ratio", edge_sd / steady_sd);
   std::printf("paper: edges show significantly higher standard deviation "
               "than overshoot/steady state despite contributing little to "
               "the profile\n");

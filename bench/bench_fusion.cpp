@@ -40,6 +40,7 @@ void print_row(const char* scenario, const Rates& r, const char* expect) {
 }  // namespace
 
 int main() {
+  bench::open_report("fusion");
   bench::print_header(
       "Multi-fingerprint coverage: voltage vs timing vs position vs fused");
 

@@ -163,4 +163,36 @@ void BM_Training(benchmark::State& state) {
 }
 BENCHMARK(BM_Training)->Unit(benchmark::kMillisecond);
 
+/// ConsoleReporter that additionally lands every run in the bench JSON
+/// report: one section per benchmark, wall_ns = adjusted real time per
+/// iteration, so the BENCH_latency.json percentiles summarize the
+/// distribution across the benchmarked stages.
+class ReportingConsole : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      // GetAdjustedRealTime() is per-iteration time in run.time_unit.
+      const double to_ns =
+          1e9 / benchmark::GetTimeUnitMultiplier(run.time_unit);
+      bench::report_section_ns(
+          run.benchmark_name(),
+          static_cast<std::uint64_t>(run.GetAdjustedRealTime() * to_ns),
+          {{"iterations", static_cast<double>(run.iterations)},
+           {"cpu_ns", run.GetAdjustedCPUTime() * to_ns}});
+    }
+  }
+};
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  bench::open_report("latency");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ReportingConsole display;
+  benchmark::RunSpecifiedBenchmarks(&display);
+  benchmark::Shutdown();
+  return 0;
+}

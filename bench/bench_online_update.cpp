@@ -48,6 +48,7 @@ PhaseStats score_phase(const vprofile::Model& model,
 }  // namespace
 
 int main() {
+  bench::open_report("online_update");
   bench::print_header("Online model update ablation — drifting "
                       "temperature, Vehicle A");
 

@@ -50,6 +50,7 @@ bool streams_identical(const std::vector<pipeline::FrameResult>& a,
 }  // namespace
 
 int main() {
+  bench::open_report("pipeline");
   const std::size_t train_count = bench::scaled(2000);
   const std::size_t stream_count = bench::scaled(6000);
   const unsigned hw = std::thread::hardware_concurrency();
@@ -92,6 +93,10 @@ int main() {
   std::printf("  1 thread   %7.3f s\n", train_seq_s);
   std::printf("  4 threads  %7.3f s   speedup %.2fx\n\n", train_par_s,
               train_par_s > 0.0 ? train_seq_s / train_par_s : 0.0);
+  bench::report_section_ns("train/1-thread",
+                           static_cast<std::uint64_t>(train_seq_s * 1e9));
+  bench::report_section_ns("train/4-threads",
+                           static_cast<std::uint64_t>(train_par_s * 1e9));
   if (!trained4.ok()) {
     std::fprintf(stderr, "parallel training failed: %s\n",
                  trained4.error.c_str());
@@ -116,6 +121,9 @@ int main() {
   std::printf("detect (%zu msgs):\n", traces.size());
   std::printf("  sequential  %7.3f s  %9.0f msg/s  (baseline)\n", seq_s,
               seq_fps);
+  bench::report_section_ns("detect/sequential",
+                           static_cast<std::uint64_t>(seq_s * 1e9),
+                           {{"msg_per_s", seq_fps}});
 
   for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
     pipeline::PipelineConfig pc;
@@ -135,6 +143,12 @@ int main() {
     }
     const double par_s = seconds_since(t0);
     const bool identical = streams_identical(reference, results);
+    bench::report_section_ns(
+        "detect/" + std::to_string(workers) + "-workers",
+        static_cast<std::uint64_t>(par_s * 1e9),
+        {{"msg_per_s", static_cast<double>(traces.size()) / par_s},
+         {"speedup", seq_s / par_s},
+         {"identical", identical ? 1.0 : 0.0}});
     std::printf("  %zu worker%s   %7.3f s  %9.0f msg/s  speedup %.2fx  "
                 "verdicts %s\n",
                 workers, workers == 1 ? " " : "s", par_s,

@@ -10,6 +10,7 @@
 #include "sim/presets.hpp"
 
 int main() {
+  bench::open_report("table4_1_4_2_euclidean");
   bench::run_three_tests(
       "Table 4.1", sim::vehicle_a(), bench::bench_seed("table4_1"),
       vprofile::DistanceMetric::kEuclidean,

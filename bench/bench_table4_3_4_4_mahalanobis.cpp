@@ -8,6 +8,7 @@
 #include "sim/presets.hpp"
 
 int main() {
+  bench::open_report("table4_3_4_4_mahalanobis");
   bench::run_three_tests(
       "Table 4.3", sim::vehicle_a(), bench::bench_seed("table4_3"),
       vprofile::DistanceMetric::kMahalanobis,

@@ -14,6 +14,7 @@
 #include "sim/presets.hpp"
 
 int main() {
+  bench::open_report("table4_5_distance_quotient");
   bench::print_header(
       "Table 4.5 — distance quotients between the most-similar pair");
 
@@ -24,6 +25,7 @@ int main() {
 
   // Train both metrics on the same traffic seed so means agree.
   auto mahal = exp.train(params);
+  bench::report_mark("train/mahalanobis");
   if (!mahal.ok()) {
     std::printf("training failed: %s\n", mahal.error.c_str());
     return 1;
@@ -32,6 +34,7 @@ int main() {
       sim::vehicle_a(), bench::bench_seed("table4_5_distance_quotient"));
   params.metric = vprofile::DistanceMetric::kEuclidean;
   auto euclid = exp_e.train(params);
+  bench::report_mark("train/euclidean");
   if (!euclid.ok()) {
     std::printf("training failed: %s\n", euclid.error.c_str());
     return 1;
@@ -66,6 +69,8 @@ int main() {
               e_other / e_own);
   std::printf("%-14s %16.2f %16.2f %10.2f\n", "Mahalanobis", m_own, m_other,
               m_other / m_own);
+  bench::report_scalar("euclidean_quotient", e_other / e_own);
+  bench::report_scalar("mahalanobis_quotient", m_other / m_own);
   std::printf(
       "\npaper: Euclidean 2327.10 / 5142.84 (quotient 2.21); "
       "Mahalanobis 9.90 / 182.94 (quotient 18.48)\n");

@@ -60,6 +60,7 @@ Cell run_cell(const sim::VehicleConfig& config, std::uint64_t seed,
 }  // namespace
 
 int main() {
+  bench::open_report("table4_6_4_7_sampling_sweep");
   bench::print_header(
       "Tables 4.6 / 4.7 — sampling rate and resolution sweep (Mahalanobis)");
 

@@ -25,6 +25,7 @@ constexpr double kBatteryV = 13.60;
 }  // namespace
 
 int main() {
+  bench::open_report("table4_8_temperature");
   bench::print_header("Table 4.8 / Fig 4.6 — temperature variance, Vehicle A");
 
   sim::Experiment exp(sim::vehicle_a(),

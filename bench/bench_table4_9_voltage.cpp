@@ -31,6 +31,7 @@ struct Event {
 }  // namespace
 
 int main() {
+  bench::open_report("table4_9_voltage");
   bench::print_header(
       "Table 4.9 / Figs 4.7, 4.8 — high-power vehicle functions, Vehicle A");
 

@@ -19,6 +19,7 @@
 #include "stats/welford.hpp"
 
 int main() {
+  bench::open_report("table5_1_cluster_thresholds");
   bench::print_header(
       "Table 5.1 — fixed vs per-cluster extraction thresholds, Vehicle A");
 

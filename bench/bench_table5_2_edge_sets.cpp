@@ -15,6 +15,7 @@
 #include "stats/welford.hpp"
 
 int main() {
+  bench::open_report("table5_2_edge_sets");
   bench::print_header("Table 5.2 — one vs three extracted edge sets, "
                       "Vehicle A");
 
@@ -63,8 +64,11 @@ int main() {
     return std::make_pair(std::move(spread), std::move(max_dist));
   };
 
+  bench::report_mark("capture", {{"traces", static_cast<double>(caps.size())}});
   auto [one_spread, one_max] = run_variant(1);
+  bench::report_mark("variant/1-edge-set");
   auto [three_spread, three_max] = run_variant(3);
+  bench::report_mark("variant/3-edge-sets");
 
   std::printf("\n%-6s %16s %16s %14s %14s\n", "ECU", "stddev (1 set)",
               "stddev (3 sets)", "maxD (1 set)", "maxD (3 sets)");
@@ -75,6 +79,7 @@ int main() {
                 three_max[e]);
     if (three_spread[e].stddev() < one_spread[e].stddev()) ++improved;
   }
+  bench::report_scalar("stddev_improved_ecus", static_cast<double>(improved));
   std::printf(
       "\nstddev improved for %zu/%zu ECUs "
       "(paper: lower standard deviations for every cluster and lower "

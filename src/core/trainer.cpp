@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <numeric>
@@ -9,6 +10,8 @@
 #include <thread>
 
 #include "linalg/cholesky.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "linalg/covariance.hpp"
 #include "linalg/mahalanobis.hpp"
 
@@ -108,17 +111,48 @@ TrainOutcome finalize(std::vector<ClusterGroup> groups,
 
   const std::size_t n = groups.size();
   std::vector<ClusterBuild> builds(n);
+  // Observability handles are resolved once, before the pool starts, so
+  // the workers only ever touch lock-free instruments.
+  obs::Histogram* fit_hist =
+      config.metrics != nullptr
+          ? config.metrics->histogram("train_cluster_fit_ns")
+          : nullptr;
+  obs::Counter* fit_total =
+      config.metrics != nullptr
+          ? config.metrics->counter("train_clusters_total")
+          : nullptr;
+  auto fit_one = [&](std::size_t i) {
+    if (fit_hist == nullptr && config.tracer == nullptr) {
+      builds[i] = build_cluster(groups[i], config);
+      return;
+    }
+    const std::uint64_t trace_start =
+        config.tracer != nullptr ? config.tracer->now_ns() : 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    builds[i] = build_cluster(groups[i], config);
+    const auto ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    if (fit_hist != nullptr) {
+      fit_hist->observe(ns);
+      fit_total->add();
+    }
+    if (config.tracer != nullptr) {
+      config.tracer->record("train.cluster_fit", trace_start, ns);
+    }
+  };
   const std::size_t num_threads =
       std::min(std::max<std::size_t>(config.num_threads, 1), n);
   if (num_threads <= 1) {
     for (std::size_t i = 0; i < n; ++i) {
-      builds[i] = build_cluster(groups[i], config);
+      fit_one(i);
     }
   } else {
     std::atomic<std::size_t> next{0};
     auto work = [&] {
       for (std::size_t i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        builds[i] = build_cluster(groups[i], config);
+        fit_one(i);
       }
     };
     std::vector<std::thread> pool;

@@ -20,6 +20,11 @@
 #include "core/edge_set.hpp"
 #include "core/model.hpp"
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 namespace vprofile {
 
 /// Maps an SA to the name of the ECU that owns it ("the database").
@@ -44,6 +49,10 @@ struct TrainingConfig {
   /// so the trained model is identical for any thread count; 0 or 1 keeps
   /// the single-threaded path.
   std::size_t num_threads = 1;
+  /// Optional observability sinks (per-cluster fit latency / spans); null
+  /// = zero overhead, and the trained model is bit-identical either way.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Outcome of training: a model, or a diagnosis of why training failed.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace faults {
 
 const char* to_string(FaultKind kind) {
@@ -189,8 +191,23 @@ FaultInjector::FaultInjector(FaultProfile profile, double max_code,
                              units::Seed64 seed)
     : profile_(std::move(profile)), max_code_(max_code), rng_(seed) {}
 
+void FaultInjector::bind_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_applied_ = {};
+    metric_traces_ = nullptr;
+    return;
+  }
+  for (std::size_t k = 0; k < kNumFaultKinds; ++k) {
+    metric_applied_[k] = registry->counter(
+        "fault_activations_total",
+        {{"kind", to_string(static_cast<FaultKind>(k))}});
+  }
+  metric_traces_ = registry->counter("fault_traces_total");
+}
+
 dsp::Trace FaultInjector::apply(const dsp::Trace& trace) {
   ++stats_.total_traces;
+  if (metric_traces_ != nullptr) metric_traces_->add();
   dsp::Trace out = trace;
   bool any = false;
   const auto fire = [&](const auto& fault, FaultKind kind, auto&& transform) {
@@ -201,6 +218,9 @@ dsp::Trace FaultInjector::apply(const dsp::Trace& trace) {
     if (!rng_.bernoulli(fault->probability)) return;
     out = transform(*fault);
     ++stats_.applied[static_cast<std::size_t>(kind)];
+    if (obs::Counter* c = metric_applied_[static_cast<std::size_t>(kind)]) {
+      c->add();
+    }
     any = true;
   };
   fire(profile_.clipping, FaultKind::kClipping, [&](const ClippingFault& f) {

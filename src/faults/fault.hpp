@@ -22,6 +22,11 @@
 #include "dsp/trace.hpp"
 #include "stats/rng.hpp"
 
+namespace obs {
+class Counter;
+class MetricsRegistry;
+}  // namespace obs
+
 namespace faults {
 
 /// The analog failure modes the injector can apply.
@@ -150,11 +155,18 @@ class FaultInjector {
   const FaultStats& stats() const { return stats_; }
   void reset_stats() { stats_ = FaultStats{}; }
 
+  /// Mirrors activations into `fault_activations_total{kind=...}` (plus
+  /// `fault_traces_total`) on top of the local stats.  Null detaches.
+  /// Injection itself stays bit-identical — the RNG never sees this.
+  void bind_metrics(obs::MetricsRegistry* registry);
+
  private:
   FaultProfile profile_;
   double max_code_;
   stats::Rng rng_;
   FaultStats stats_;
+  std::array<obs::Counter*, kNumFaultKinds> metric_applied_{};
+  obs::Counter* metric_traces_ = nullptr;
 };
 
 /// The individual transforms, exposed for tests and custom pipelines.

@@ -1,0 +1,183 @@
+#include "obs/export.hpp"
+
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/manifest.hpp"
+
+namespace obs {
+
+namespace {
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+std::string prom_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+  return out;
+}
+
+/// `{k1="v1",k2="v2"}` or "" when empty; `extra` appends one more pair
+/// (used for the histogram `le` label).
+std::string prom_labels(const Labels& labels, const std::string& extra_key = "",
+                        const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) {
+    return "";
+  }
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += k + "=\"" + prom_escape(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) {
+      out += ',';
+    }
+    out += extra_key + "=\"" + prom_escape(extra_value) + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+const char* prom_type(MetricSample::Kind kind) {
+  switch (kind) {
+    case MetricSample::Kind::kCounter:
+      return "counter";
+    case MetricSample::Kind::kGauge:
+      return "gauge";
+    case MetricSample::Kind::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string to_prometheus(const std::vector<MetricSample>& samples,
+                          const RunManifest* manifest) {
+  std::string out;
+  if (manifest != nullptr) {
+    out += "# vprofile manifest: " + manifest->to_json() + "\n";
+  }
+  std::string last_family;
+  for (const MetricSample& s : samples) {
+    if (s.name != last_family) {
+      out += "# TYPE " + s.name + " " + prom_type(s.kind) + "\n";
+      last_family = s.name;
+    }
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        out += s.name + prom_labels(s.labels) + " " +
+               std::to_string(s.counter_value) + "\n";
+        break;
+      case MetricSample::Kind::kGauge:
+        out += s.name + prom_labels(s.labels) + " " +
+               std::to_string(s.gauge_value) + "\n";
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const HistogramSnapshot& h = s.histogram;
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+          cumulative += h.counts[i];
+          const std::string le = i < h.bounds.size()
+                                     ? std::to_string(h.bounds[i])
+                                     : std::string("+Inf");
+          out += s.name + "_bucket" + prom_labels(s.labels, "le", le) + " " +
+                 std::to_string(cumulative) + "\n";
+        }
+        out += s.name + "_sum" + prom_labels(s.labels) + " " +
+               std::to_string(h.sum) + "\n";
+        out += s.name + "_count" + prom_labels(s.labels) + " " +
+               std::to_string(h.count) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const std::vector<MetricSample>& samples,
+                     const RunManifest* manifest) {
+  std::string out;
+  if (manifest != nullptr) {
+    out += "{\"manifest\":" + manifest->to_json() + "}\n";
+  }
+  for (const MetricSample& s : samples) {
+    std::string line = "{\"metric\":" + json_quote(s.name);
+    line += ",\"kind\":\"";
+    line += prom_type(s.kind);
+    line += "\",\"labels\":{";
+    for (std::size_t i = 0; i < s.labels.size(); ++i) {
+      if (i != 0) {
+        line += ',';
+      }
+      line += json_quote(s.labels[i].first) + ":" +
+              json_quote(s.labels[i].second);
+    }
+    line += "}";
+    switch (s.kind) {
+      case MetricSample::Kind::kCounter:
+        line += ",\"value\":" + std::to_string(s.counter_value);
+        break;
+      case MetricSample::Kind::kGauge:
+        line += ",\"value\":" + std::to_string(s.gauge_value);
+        break;
+      case MetricSample::Kind::kHistogram: {
+        const HistogramSnapshot& h = s.histogram;
+        line += ",\"count\":" + std::to_string(h.count);
+        line += ",\"sum\":" + std::to_string(h.sum);
+        line += ",\"max\":" + std::to_string(h.max);
+        line += ",\"p50\":" + std::to_string(h.p50());
+        line += ",\"p90\":" + std::to_string(h.p90());
+        line += ",\"p99\":" + std::to_string(h.p99());
+        break;
+      }
+    }
+    line += "}\n";
+    out += line;
+  }
+  return out;
+}
+
+bool write_text_file(const std::string& path, const std::string& content,
+                     std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    if (error != nullptr) {
+      *error = "cannot open '" + path + "' for writing: " +
+               std::strerror(errno);
+    }
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  const bool ok = written == content.size() && closed;
+  if (!ok && error != nullptr) {
+    *error = "short write to '" + path + "'";
+  }
+  return ok;
+}
+
+}  // namespace obs

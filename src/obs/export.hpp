@@ -1,0 +1,35 @@
+// Machine-readable exporters for the metrics registry.
+//
+// Two formats, same samples: Prometheus text exposition (scrape-able,
+// diff-able in review) and a JSONL event stream (one JSON object per
+// series, manifest first — trivially parsed by any log pipeline).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace obs {
+
+struct RunManifest;
+
+/// Prometheus text exposition format 0.0.4: `# TYPE` per family,
+/// histograms expanded to `_bucket{le=...}` / `_sum` / `_count`, label
+/// values escaped (backslash, double quote, newline).  The manifest, if
+/// given, rides along as leading `# ` comment lines.
+std::string to_prometheus(const std::vector<MetricSample>& samples,
+                          const RunManifest* manifest = nullptr);
+
+/// One JSON object per line.  If a manifest is given, the first line is
+/// {"manifest": {...}}; each following line is a series with its kind,
+/// labels and value(s) (histograms carry count/sum/max/p50/p90/p99).
+std::string to_jsonl(const std::vector<MetricSample>& samples,
+                     const RunManifest* manifest = nullptr);
+
+/// Write `content` to `path` atomically enough for telemetry (truncate +
+/// write + close).  Returns false and fills `*error` on failure.
+bool write_text_file(const std::string& path, const std::string& content,
+                     std::string* error);
+
+}  // namespace obs

@@ -1,0 +1,116 @@
+#include "obs/trace_span.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/manifest.hpp"
+
+namespace obs {
+
+namespace {
+
+std::uint64_t next_tracer_id() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      id_(next_tracer_id()),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t Tracer::now_ns() const {
+  const auto dt = std::chrono::steady_clock::now() - epoch_;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
+}
+
+Tracer::ThreadRing* Tracer::ring_for_this_thread() {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = rings_[std::this_thread::get_id()];
+  if (!slot) {
+    slot = std::make_unique<ThreadRing>(
+        ring_capacity_, static_cast<std::uint32_t>(rings_.size()));
+  }
+  return slot.get();
+}
+
+void Tracer::record(const char* name, std::uint64_t start_ns,
+                    std::uint64_t dur_ns) {
+  // Per-thread cache keyed by the tracer's process-unique id: tracer ids
+  // are never reused, so a stale entry from a destroyed tracer can never
+  // match a live one.  Only the owning thread ever writes its ring, so
+  // the store below needs no synchronization.
+  struct Cache {
+    std::uint64_t tracer_id = 0;
+    ThreadRing* ring = nullptr;
+  };
+  static thread_local Cache cache;
+  if (cache.tracer_id != id_) {
+    cache.ring = ring_for_this_thread();
+    cache.tracer_id = id_;
+  }
+  ThreadRing* ring = cache.ring;
+  TraceEvent& slot = ring->events[ring->head % ring_capacity_];
+  slot.name = name;
+  slot.start_ns = start_ns;
+  slot.dur_ns = dur_ns;
+  slot.tid = ring->tid;
+  ++ring->head;
+  total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> Tracer::collect() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& [thread_id, ring] : rings_) {
+    (void)thread_id;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(ring->head, ring_capacity_);
+    // Oldest surviving event first: once wrapped, that is events[head %
+    // cap], before wrapping it is events[0].
+    const std::uint64_t start =
+        ring->head > ring_capacity_ ? ring->head % ring_capacity_ : 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      out.push_back(ring->events[(start + i) % ring_capacity_]);
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+  return out;
+}
+
+std::string Tracer::chrome_trace_json(const RunManifest* manifest) const {
+  const std::vector<TraceEvent> events = collect();
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  char buf[160];
+  bool first = true;
+  for (const TraceEvent& ev : events) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    // Complete ("X") events; ts/dur are microseconds in the trace_event
+    // format, carried as fractional values to keep ns resolution.
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":%" PRIu32
+                  ",\"ts\":%.3f,\"dur\":%.3f}",
+                  json_quote(ev.name != nullptr ? ev.name : "?").c_str(),
+                  ev.tid, static_cast<double>(ev.start_ns) / 1000.0,
+                  static_cast<double>(ev.dur_ns) / 1000.0);
+    out += buf;
+  }
+  out += "]";
+  if (manifest != nullptr) {
+    out += ",\"otherData\":" + manifest->to_json();
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace obs

@@ -1,0 +1,110 @@
+// Lightweight tracing: RAII spans into per-thread ring buffers, flushed
+// to Chrome `trace_event` JSON (chrome://tracing, Perfetto) on demand.
+//
+// The recording path is built for the pipeline's hot loop: each thread
+// owns a fixed-capacity ring it alone writes, so record() is an index
+// increment and a struct store — no locks, no allocation, no contention.
+// The ring wraps, keeping the most recent events; tracing is a window,
+// not a log.  Flushing (collect / chrome_trace_json) is expected at
+// quiescent points — after pipeline finish(), at tool exit — where no
+// thread is still recording.
+//
+// Span names must be string literals (or otherwise outlive the Tracer):
+// the ring stores the pointer, never a copy.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace obs {
+
+struct RunManifest;
+
+/// One completed span, times in nanoseconds since the tracer's epoch.
+struct TraceEvent {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;  ///< small per-tracer thread index, not an OS id
+};
+
+class Tracer {
+ public:
+  /// `ring_capacity` is per thread, in events.
+  explicit Tracer(std::size_t ring_capacity = 65536);
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+  ~Tracer() = default;
+
+  /// Nanoseconds since this tracer was constructed (steady clock).
+  std::uint64_t now_ns() const;
+
+  /// Record a completed span.  Lock-free after a thread's first call.
+  void record(const char* name, std::uint64_t start_ns, std::uint64_t dur_ns);
+
+  /// Total spans ever recorded (including ones the rings overwrote).
+  std::uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t ring_capacity() const { return ring_capacity_; }
+
+  /// Surviving events, oldest first per thread, merged in start order.
+  /// Call only at quiescence (no thread mid-record).
+  std::vector<TraceEvent> collect() const;
+
+  /// Chrome trace_event JSON ("X" complete events, ts/dur in
+  /// microseconds); the manifest, if given, rides in otherData.
+  std::string chrome_trace_json(const RunManifest* manifest = nullptr) const;
+
+ private:
+  struct ThreadRing {
+    explicit ThreadRing(std::size_t capacity, std::uint32_t tid_index)
+        : events(capacity), tid(tid_index) {}
+    std::vector<TraceEvent> events;
+    std::uint64_t head = 0;  ///< total events this thread recorded
+    std::uint32_t tid;
+  };
+
+  ThreadRing* ring_for_this_thread();
+
+  const std::size_t ring_capacity_;
+  const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
+  const std::chrono::steady_clock::time_point epoch_;
+  std::atomic<std::uint64_t> total_{0};
+
+  mutable std::mutex mu_;
+  std::map<std::thread::id, std::unique_ptr<ThreadRing>> rings_;
+};
+
+/// RAII span: times its scope and records it on destruction.  A null
+/// tracer makes the whole thing a no-op, so call sites need no branches.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer* tracer, const char* name)
+      : tracer_(tracer),
+        name_(name),
+        start_ns_(tracer != nullptr ? tracer->now_ns() : 0) {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->record(name_, start_ns_, tracer_->now_ns() - start_ns_);
+    }
+  }
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  std::uint64_t start_ns_;
+};
+
+}  // namespace obs

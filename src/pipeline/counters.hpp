@@ -38,6 +38,20 @@ struct CountersSnapshot {
   std::array<std::uint64_t, kNumExtractErrors> extract_errors{};
   std::array<std::uint64_t, vprofile::kNumVerdicts> verdicts{};
 
+  /// Conservation law of the pipeline: once drained (finish()), every
+  /// submitted frame is accounted for as completed or dropped, and every
+  /// completed frame ended in exactly one outcome bucket.  Enforced by
+  /// DetectionPipeline::finish(); also checkable from tests.
+  bool consistent() const {
+    return submitted == completed + dropped &&
+           completed.value() == extract_failures() + classified();
+  }
+  /// Completed frames that produced a verdict (extraction succeeded).
+  std::uint64_t classified() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t v : verdicts) total += v;
+    return total;
+  }
   std::uint64_t extract_failures() const {
     std::uint64_t total = 0;
     for (std::uint64_t e : extract_errors) total += e;

@@ -1,8 +1,13 @@
 #include "pipeline/pipeline.hpp"
 
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 
 namespace pipeline {
 namespace {
@@ -49,6 +54,18 @@ DetectionPipeline::DetectionPipeline(const vprofile::Model& model,
   if (config_.num_workers == 0) {
     throw std::invalid_argument("DetectionPipeline: need at least one worker");
   }
+  if (config_.metrics != nullptr) {
+    // Resolve every fixed series up front: the registry mutex is paid
+    // here, once, and the workers only ever touch lock-free handles.
+    obs::MetricsRegistry& reg = *config_.metrics;
+    obs_.submitted = reg.counter("frames_submitted_total");
+    obs_.completed = reg.counter("frames_completed_total");
+    obs_.dropped = reg.counter("frames_dropped_total");
+    obs_.extract_latency = reg.histogram("extract_latency_ns");
+    obs_.detect_latency = reg.histogram("detect_latency_ns");
+    // vprofile-lint: allow(metric-name) — depth is unitless by design
+    obs_.queue_depth = reg.gauge("queue_depth");
+  }
   workers_.reserve(config_.num_workers);
   for (std::size_t i = 0; i < config_.num_workers; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -58,6 +75,7 @@ DetectionPipeline::DetectionPipeline(const vprofile::Model& model,
 DetectionPipeline::~DetectionPipeline() { finish(); }
 
 std::optional<std::uint64_t> DetectionPipeline::submit(dsp::Trace trace) {
+  obs::TraceSpan span(config_.tracer, "pipeline.submit");
   // One lock covers seq assignment *and* the enqueue/drop decision, so the
   // collector always sees a dense sequence space: every assigned seq is
   // either in the queue or already emitted as dropped.  Backpressure in
@@ -65,7 +83,8 @@ std::optional<std::uint64_t> DetectionPipeline::submit(dsp::Trace trace) {
   std::lock_guard<std::mutex> lock(submit_mu_);
   if (finished_) return std::nullopt;
   const std::uint64_t seq = next_seq_;
-  Job job{seq, std::move(trace)};
+  Job job{seq, std::move(trace),
+          config_.tracer != nullptr ? config_.tracer->now_ns() : 0};
   bool accepted;
   if (config_.block_when_full) {
     accepted = queue_.push(std::move(job));
@@ -74,9 +93,14 @@ std::optional<std::uint64_t> DetectionPipeline::submit(dsp::Trace trace) {
   }
   ++next_seq_;
   counters_.add_submitted();
+  if (obs_.submitted != nullptr) {
+    obs_.submitted->add();
+    obs_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+  }
   if (accepted) return seq;
 
   counters_.add_dropped();
+  if (obs_.dropped != nullptr) obs_.dropped->add();
   FrameResult dropped;
   dropped.seq = seq;
   dropped.dropped = true;
@@ -97,14 +121,52 @@ void DetectionPipeline::finish() {
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
+  // Drained means conserved: every submitted frame is now completed or
+  // dropped and every completed frame has exactly one outcome.  This is
+  // the pipeline's core accounting invariant — enforced unconditionally
+  // (assert() is compiled out in the default RelWithDebInfo build).
+  const CountersSnapshot snap = counters_.snapshot();
+  if (!snap.consistent()) {
+    std::fprintf(stderr,
+                 "DetectionPipeline::finish(): counter conservation violated "
+                 "(submitted=%llu completed=%llu dropped=%llu "
+                 "extract_failures=%llu classified=%llu)\n",
+                 static_cast<unsigned long long>(snap.submitted.value()),
+                 static_cast<unsigned long long>(snap.completed.value()),
+                 static_cast<unsigned long long>(snap.dropped.value()),
+                 static_cast<unsigned long long>(snap.extract_failures()),
+                 static_cast<unsigned long long>(snap.classified()));
+    std::abort();
+  }
 }
 
 CountersSnapshot DetectionPipeline::counters() const {
   return counters_.snapshot(queue_.high_watermark());
 }
 
+obs::Histogram* DetectionPipeline::sa_histogram(std::uint8_t sa) {
+  obs::Histogram* h =
+      obs_.detect_by_sa[sa].load(std::memory_order_acquire);
+  if (h == nullptr) {
+    char label[8];
+    std::snprintf(label, sizeof(label), "0x%02X", sa);
+    h = config_.metrics->histogram("detect_latency_ns", {{"sa", label}});
+    // Losing this race is harmless: the registry returned the same
+    // pointer to every contender.
+    obs_.detect_by_sa[sa].store(h, std::memory_order_release);
+  }
+  return h;
+}
+
 void DetectionPipeline::worker_loop() {
   while (auto job = queue_.pop()) {
+    obs::Tracer* const tracer = config_.tracer;
+    const std::uint64_t t_start =
+        tracer != nullptr ? tracer->now_ns() : 0;
+    if (tracer != nullptr && job->submit_ns != 0) {
+      tracer->record("pipeline.queue", job->submit_ns,
+                     t_start - job->submit_ns);
+    }
     std::uint64_t extract_ns = 0;
     std::uint64_t detect_ns = 0;
     FrameResult result =
@@ -113,6 +175,21 @@ void DetectionPipeline::worker_loop() {
     result.seq = job->seq;
     counters_.add_completed(extract_ns, detect_ns);
     counters_.add_outcome(result.extract_error, result.detection);
+    if (obs_.completed != nullptr) {
+      obs_.completed->add();
+      obs_.extract_latency->observe(extract_ns);
+      obs_.detect_latency->observe(detect_ns);
+      if (result.ok()) sa_histogram(result.sa)->observe(detect_ns);
+      obs_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+    }
+    if (tracer != nullptr) {
+      // Re-use score_frame's own measurements: the spans are exact in
+      // duration and only approximate in the (negligible) gap between
+      // the two stages.
+      tracer->record("pipeline.extract", t_start, extract_ns);
+      tracer->record("pipeline.detect", t_start + extract_ns, detect_ns);
+    }
+    obs::TraceSpan collect_span(tracer, "pipeline.collect");
     collector_.submit(job->seq, std::move(result));
   }
 }

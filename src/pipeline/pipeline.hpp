@@ -21,6 +21,8 @@
 //    be scored and emitted, then joins the workers.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -36,6 +38,14 @@
 #include "pipeline/ordered_collector.hpp"
 #include "pipeline/ring_queue.hpp"
 
+namespace obs {
+class Counter;
+class Gauge;
+class Histogram;
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 namespace pipeline {
 
 /// Pipeline tuning knobs.
@@ -49,6 +59,11 @@ struct PipelineConfig {
   /// monitor that must never stall the tap).
   bool block_when_full = true;
   vprofile::DetectionConfig detection;
+  /// Optional observability sinks; null = zero overhead (scoring is
+  /// bit-identical either way — instruments only ever read the results).
+  /// Both must outlive the pipeline.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One frame's outcome, emitted in capture order.
@@ -109,13 +124,33 @@ class DetectionPipeline {
   struct Job {
     std::uint64_t seq = 0;
     dsp::Trace trace;
+    /// Tracer timestamp at enqueue; 0 when tracing is off.  Lets the
+    /// worker emit the queue-wait span without a second submit-side clock.
+    std::uint64_t submit_ns = 0;
   };
 
+  /// Pre-registered metric handles, resolved once in the constructor so
+  /// the hot path never touches the registry mutex.  All null when
+  /// config_.metrics is null.
+  struct Instruments {
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Histogram* extract_latency = nullptr;
+    obs::Histogram* detect_latency = nullptr;
+    obs::Gauge* queue_depth = nullptr;
+    /// Lazily resolved per-source-address series (detect_latency_ns{sa}).
+    /// Benign races: the registry hands every thread the same pointer.
+    std::array<std::atomic<obs::Histogram*>, 256> detect_by_sa{};
+  };
+
+  obs::Histogram* sa_histogram(std::uint8_t sa);
   void worker_loop();
 
   const vprofile::Model& model_;
   PipelineConfig config_;
   Counters counters_;
+  Instruments obs_;
   RingQueue<Job> queue_;
   OrderedCollector<FrameResult> collector_;
   std::vector<std::thread> workers_;

@@ -5,6 +5,8 @@
 
 #include "core/extractor.hpp"
 #include "core/trainer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/experiment.hpp"
 #include "sim/presets.hpp"
@@ -97,6 +99,12 @@ vprofile::DetectionConfig scenario_detection_config(
 
 ScenarioRunner::ScenarioRunner(units::Seed64 seed) : seed_(seed) {}
 
+void ScenarioRunner::set_observability(obs::MetricsRegistry* metrics,
+                                       obs::Tracer* tracer) {
+  metrics_ = metrics;
+  tracer_ = tracer;
+}
+
 const ScenarioRunner::CachedModel& ScenarioRunner::model_for(
     const Scenario& scenario) {
   const std::string key = scenario.preset + "/" +
@@ -122,6 +130,8 @@ const ScenarioRunner::CachedModel& ScenarioRunner::model_for(
   vprofile::TrainingConfig tc;
   tc.metric = scenario.metric;
   tc.extraction = extraction;
+  tc.metrics = metrics_;
+  tc.tracer = tracer_;
   vprofile::TrainOutcome outcome =
       vprofile::train_with_database(edge_sets, vehicle.database(), tc);
   if (outcome.ok()) {
@@ -180,8 +190,12 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) {
   faults::FaultInjector injector(
       scenario.faults, static_cast<double>(config.adc.max_code()),
       derive_seed(seed_, "faults/" + scenario.name()));
-  for (LabeledCapture& lc : stream) {
-    lc.capture.codes = injector.apply(lc.capture.codes);
+  injector.bind_metrics(metrics_);
+  {
+    obs::TraceSpan fault_span(tracer_, "scenario.inject_faults");
+    for (LabeledCapture& lc : stream) {
+      lc.capture.codes = injector.apply(lc.capture.codes);
+    }
   }
 
   // Score through the real streaming pipeline (one worker keeps results
@@ -191,6 +205,8 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) {
   pc.num_workers = 1;
   pc.queue_capacity = 256;
   pc.block_when_full = true;
+  pc.metrics = metrics_;
+  pc.tracer = tracer_;
   if (scenario.quality_gating) {
     pc.detection = scenario_detection_config(config, scenario.margin);
   } else {

@@ -27,6 +27,11 @@
 #include "sim/vehicle.hpp"
 #include "stats/confusion.hpp"
 
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
 namespace sim {
 
 /// Attack layer of a scenario.
@@ -117,6 +122,13 @@ class ScenarioRunner {
   /// reported in the result, detection always yields a verdict.
   ScenarioResult run(const Scenario& scenario);
 
+  /// Attach observability to every subsequent run(): training fits, fault
+  /// activations and pipeline stages all report into these sinks.  The
+  /// metrics fingerprint() covers is untouched — scenario outcomes stay
+  /// bit-identical (tests/test_obs.cpp holds this against the golden
+  /// matrix).  Null detaches; sinks must outlive the runner.
+  void set_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
   units::Seed64 seed() const { return seed_; }
 
  private:
@@ -129,6 +141,8 @@ class ScenarioRunner {
 
   units::Seed64 seed_;
   std::map<std::string, CachedModel> model_cache_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sim

@@ -205,6 +205,64 @@ units::SampleIndex pos = t * rate_of(cfg);
 }
 
 // ---------------------------------------------------------------------
+// metric-name
+// ---------------------------------------------------------------------
+
+TEST(LintMetricName, FlagsBadCaseAndMissingUnitSuffix) {
+  const std::string src = R"cpp(
+void wire(obs::MetricsRegistry& reg, obs::MetricsRegistry* ptr) {
+  reg.counter("FramesTotal");
+  reg.gauge("queue_depth");
+  ptr->histogram("detectLatency_ns");
+}
+)cpp";
+  const auto findings = lint_source("fixture.cpp", src);
+  ASSERT_EQ(findings.size(), 3u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "metric-name");
+  EXPECT_NE(findings[0].message.find("FramesTotal"), std::string::npos);
+  EXPECT_NE(findings[1].message.find("queue_depth"), std::string::npos);
+}
+
+TEST(LintMetricName, CleanOnConformingNamesAndNonRegistryCalls) {
+  const std::string src = R"cpp(
+void wire(obs::MetricsRegistry& reg, obs::MetricsRegistry* ptr) {
+  reg.counter("frames_submitted_total");
+  reg.gauge("arena_bytes");
+  ptr->histogram(
+      "detect_latency_ns", {{"sa", "0x12"}});
+  // Free functions and types that merely share the factory names.
+  int counter(int);
+  obs::Counter c;
+  int x = counter(3);
+}
+)cpp";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+TEST(LintMetricName, DynamicNamesAreSkipped) {
+  // A computed name can't be validated by a token scanner; the rule must
+  // skip it rather than flag or crash.
+  const std::string src =
+      "void f(obs::MetricsRegistry& reg, const std::string& n) {\n"
+      "  reg.counter(n);\n"
+      "}\n";
+  EXPECT_TRUE(lint_source("fixture.cpp", src).empty());
+}
+
+TEST(LintMetricName, AllowCommentSuppresses) {
+  // Mirrors the one sanctioned exemption in src/pipeline/pipeline.cpp
+  // (queue_depth is deliberately unitless).
+  const std::string src =
+      "// vprofile-lint: allow(metric-name)\n"
+      "obs::Gauge* g = reg.gauge(\"queue_depth\");\n"
+      "obs::Gauge* h = reg.gauge(\"other_depth\");\n";
+  const auto findings = lint_source("fixture.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_EQ(findings[0].rule, "metric-name");
+}
+
+// ---------------------------------------------------------------------
 // Suppressions and scrubbing
 // ---------------------------------------------------------------------
 

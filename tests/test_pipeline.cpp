@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/extractor.hpp"
@@ -206,6 +208,37 @@ TEST(PipelineEquivalence, CountersAccountForEveryFrame) {
   EXPECT_GE(c.queue_high_watermark, 1u);
   EXPECT_LE(c.queue_high_watermark, pc.queue_capacity);
   EXPECT_GT(c.extract_ns, 0u);
+}
+
+TEST(PipelineEquivalence, DropPathKeepsCountersConsistent) {
+  // Regression test for the finish()-time conservation law with drops in
+  // play: every submitted frame must land in exactly one of
+  // completed/dropped, and every completed frame in exactly one outcome
+  // bucket (verdict or extraction failure).  A sink that sleeps makes the
+  // one-slot queue overflow on real mixed traffic (valid frames plus the
+  // fixture's three corrupted traces), so all three paths — verdicts,
+  // extraction failures, and drops — are exercised at once.
+  Fixture f = make_fixture(sim::vehicle_a(), 71, 900, 300);
+  ASSERT_TRUE(f.model.has_value());
+  PipelineConfig pc;
+  pc.num_workers = 1;
+  pc.queue_capacity = 1;
+  pc.block_when_full = false;
+  std::size_t emitted = 0;
+  DetectionPipeline pipe(*f.model, pc, [&](FrameResult&&) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    ++emitted;
+  });
+  for (const dsp::Trace& t : f.traces) pipe.submit(t);
+  pipe.finish();
+  const pipeline::CountersSnapshot c = pipe.counters();
+  EXPECT_GT(c.dropped.value(), 0u)
+      << "queue never overflowed; slow the sink or shrink the queue";
+  EXPECT_EQ(emitted, f.traces.size());  // dropped frames still emitted
+  EXPECT_EQ(c.submitted.value(), f.traces.size());
+  EXPECT_TRUE(c.consistent());
+  EXPECT_EQ(c.completed.value(), c.classified() + c.extract_failures());
+  EXPECT_GT(c.classified(), 0u);
 }
 
 TEST(PipelineEquivalence, SubmitAfterFinishIsRefused) {

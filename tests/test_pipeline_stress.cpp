@@ -197,6 +197,7 @@ TEST(PipelineStress, DropModeAccountsEveryFrameExactlyOnce) {
   const pipeline::CountersSnapshot c = pipe.counters();
   EXPECT_EQ(c.submitted.value(), total);
   EXPECT_EQ(c.completed.value() + c.dropped.value(), total);
+  EXPECT_TRUE(c.consistent());
   // The verdict stream still covers every submitted frame, in order, with
   // drops marked — nothing vanishes silently.
   ASSERT_EQ(results.size(), total);

@@ -373,6 +373,76 @@ void check_unit_cast(const RuleContext& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Rule: metric-name
+// ---------------------------------------------------------------------
+
+/// Checks literal metric names passed to the obs::MetricsRegistry
+/// factories (`.counter("...")`, `.gauge(...)`, `.histogram(...)`):
+/// snake_case plus one of the project's unit suffixes.  Needs the
+/// unscrubbed source because the scrubber blanks string literals: the
+/// factory call is located in scrubbed code (so matches inside comments
+/// or strings cannot fire), then the name is read from the original text
+/// at the same offset.  Dynamic (non-literal) names are skipped — the
+/// token scanner cannot evaluate them.
+void check_metric_name(const RuleContext& ctx, const std::string& original) {
+  static constexpr std::array<std::string_view, 3> kFactories = {
+      "counter", "gauge", "histogram"};
+  static constexpr std::array<std::string_view, 3> kSuffixes = {
+      "_ns", "_bytes", "_total"};
+  for (const auto word : kFactories) {
+    std::size_t pos = 0;
+    while ((pos = find_word(ctx.code, word, pos)) != std::string::npos) {
+      const std::size_t after = pos + word.size();
+      const char prev = prev_nonspace(ctx.code, pos);
+      // Only member calls on a registry; free functions named `counter`
+      // or type names like obs::Counter are unrelated.
+      const bool member = prev == '.' || prev == '>';
+      if (!member || next_nonspace(ctx.code, after) != '(') {
+        pos = after;
+        continue;
+      }
+      std::size_t cursor = ctx.code.find('(', after) + 1;
+      while (cursor < original.size() &&
+             std::isspace(static_cast<unsigned char>(original[cursor]))) {
+        ++cursor;
+      }
+      if (cursor >= original.size() || original[cursor] != '"') {
+        pos = after;  // dynamic name; not checkable at token level
+        continue;
+      }
+      std::size_t end = cursor + 1;
+      std::string name;
+      while (end < original.size() && original[end] != '"') {
+        name.push_back(original[end]);
+        ++end;
+      }
+      bool snake = !name.empty() &&
+                   std::islower(static_cast<unsigned char>(name[0])) != 0;
+      for (const char c : name) {
+        snake = snake && (std::islower(static_cast<unsigned char>(c)) != 0 ||
+                          std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+                          c == '_');
+      }
+      bool suffixed = false;
+      for (const auto suffix : kSuffixes) {
+        suffixed = suffixed ||
+                   (name.size() > suffix.size() &&
+                    name.compare(name.size() - suffix.size(), suffix.size(),
+                                 suffix) == 0);
+      }
+      if (!snake || !suffixed) {
+        ctx.add(pos, "metric-name",
+                "metric name \"" + name +
+                    "\" must be snake_case with a unit suffix "
+                    "(_ns, _bytes, _total) so exported series stay "
+                    "machine-sortable; see src/obs/metrics.hpp");
+      }
+      pos = after;
+    }
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -511,6 +581,7 @@ std::vector<Finding> lint_source(const std::string& path,
   check_unordered_iteration(ctx);
   check_float_eq(ctx);
   check_unit_cast(ctx);
+  check_metric_name(ctx, source);
 
   // Drop findings covered by an allow() on the same line, or on a
   // preceding standalone comment line (one with no code of its own —

@@ -20,6 +20,11 @@
 //                        re-wrapping units::A{units::B{...}.value()}) —
 //                        dimension changes go through the named conversion
 //                        helpers so they are visible and checked.
+//   metric-name          literal names handed to the obs::MetricsRegistry
+//                        factories (.counter/.gauge/.histogram) must be
+//                        snake_case with a unit suffix (_ns, _bytes,
+//                        _total), keeping the exported series greppable
+//                        and unit-unambiguous.
 //
 // Scanning is token-level over comment- and string-stripped source: no
 // libclang, no compiler dependency. A finding can be suppressed where a

@@ -2,6 +2,8 @@
 //
 // Usage:
 //   vprofile_detect --model MODEL --traces FILE [--margin M] [--verbose]
+//                   [--metrics-out FILE]
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -10,6 +12,9 @@
 #include "core/extractor.hpp"
 #include "io/model_store.hpp"
 #include "io/trace_store.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -17,9 +22,19 @@ void usage() {
   std::fprintf(stderr,
                "usage: vprofile_detect --model MODEL --traces FILE "
                "[--margin M] [--verbose]\n"
+               "                       [--metrics-out FILE]\n"
                "  --margin  extra distance beyond each cluster's maximum\n"
                "            training distance before flagging; defaults to\n"
-               "            0.0, the library's DetectionConfig default\n");
+               "            0.0, the library's DetectionConfig default\n"
+               "  --metrics-out  write per-stage latency histograms and\n"
+               "            outcome counters (Prometheus exposition)\n");
+}
+
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
 }
 
 }  // namespace
@@ -31,6 +46,7 @@ int main(int argc, char** argv) {
   // tool used to widen it to 4.0 silently, diverging from the library.
   double margin = vprofile::DetectionConfig{}.margin;
   bool verbose = false;
+  std::string metrics_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,6 +65,8 @@ int main(int argc, char** argv) {
       margin = std::atof(next());
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else {
       usage();
       return 2;
@@ -71,19 +89,35 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  // Instruments are cheap even here on the sequential path; resolving
+  // them unconditionally keeps the loop below branch-light.
+  obs::MetricsRegistry registry;
+  obs::Histogram* extract_hist = registry.histogram("extract_latency_ns");
+  obs::Histogram* detect_hist = registry.histogram("detect_latency_ns");
+  obs::Counter* anomalies_total = registry.counter("verdict_anomalies_total");
+  obs::Counter* ok_total = registry.counter("verdict_ok_total");
+  obs::Counter* extract_fail_total =
+      registry.counter("extract_failures_total");
+
   const vprofile::DetectionConfig dc{margin};
   std::size_t ok = 0;
   std::size_t anomalies = 0;
   std::size_t failures = 0;
   std::size_t index = 0;
   for (const dsp::Trace& trace : traces->traces) {
+    const auto t0 = std::chrono::steady_clock::now();
     const auto es = vprofile::extract_edge_set(trace, model->extraction());
+    extract_hist->observe(ns_since(t0));
     if (!es) {
+      extract_fail_total->add();
       ++failures;
       ++index;
       continue;
     }
+    const auto t1 = std::chrono::steady_clock::now();
     const auto d = vprofile::detect(*model, *es, dc);
+    detect_hist->observe(ns_since(t1));
+    (d.is_anomaly() ? anomalies_total : ok_total)->add();
     if (d.is_anomaly()) {
       ++anomalies;
       if (verbose) {
@@ -104,5 +138,19 @@ int main(int argc, char** argv) {
   std::printf("%zu messages: %zu ok, %zu anomalies, %zu extraction "
               "failures (margin %.2f)\n",
               traces->traces.size(), ok, anomalies, failures, margin);
+
+  if (!metrics_out.empty()) {
+    obs::RunManifest manifest = obs::RunManifest::create("vprofile_detect");
+    manifest.config = {{"model", model_path},
+                       {"traces", traces_path},
+                       {"margin", std::to_string(margin)}};
+    if (!obs::write_text_file(metrics_out,
+                              obs::to_prometheus(registry.samples(), &manifest),
+                              &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s\n", metrics_out.c_str());
+  }
   return anomalies > 0 ? 3 : 0;
 }

@@ -6,13 +6,18 @@
 //   vprofile_monitor --vehicle a|b [--seed S] [--train N] [--count M]
 //                    [--workers W] [--queue CAP] [--margin M]
 //                    [--hijack P] [--fault PROFILE] [--no-gate]
-//                    [--no-block] [--verbose]
+//                    [--no-block] [--verbose] [--stats-every N]
+//                    [--metrics-out FILE] [--jsonl-out FILE]
+//                    [--trace-out FILE]
 //
 // --margin defaults to 0.0, matching DetectionConfig{} (the trained
 // per-cluster maximum distance alone); --fault replays the stream through
 // a named analog fault profile (see faults::canned_profiles());
 // --no-block switches submit() from backpressure to drop-and-count, the
-// mode a real bus tap needs.
+// mode a real bus tap needs.  --stats-every N prints a telemetry line
+// every N scored frames; --metrics-out / --jsonl-out dump the metrics
+// registry (Prometheus exposition / JSONL) and --trace-out writes a
+// Chrome trace_event JSON — all stamped with the RunManifest.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -23,6 +28,10 @@
 #include "core/extractor.hpp"
 #include "core/trainer.hpp"
 #include "faults/fault.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_span.hpp"
 #include "pipeline/pipeline.hpp"
 #include "sim/attack.hpp"
 #include "sim/presets.hpp"
@@ -39,6 +48,8 @@ void usage() {
       "                        [--count M] [--workers W] [--queue CAP]\n"
       "                        [--margin M] [--hijack P] [--fault PROFILE]\n"
       "                        [--no-gate] [--no-block] [--verbose]\n"
+      "                        [--stats-every N] [--metrics-out FILE]\n"
+      "                        [--jsonl-out FILE] [--trace-out FILE]\n"
       "  --margin defaults to 0.0 (same as the library's DetectionConfig)\n"
       "  --fault corrupts captures with a named analog fault profile:\n");
   for (const faults::FaultProfile& p : faults::canned_profiles()) {
@@ -48,7 +59,11 @@ void usage() {
       stderr,
       "  --no-gate disables input-quality gating (no degraded verdicts)\n"
       "  --no-block drops frames when the queue is full instead of\n"
-      "  stalling the capture (live-tap mode)\n");
+      "  stalling the capture (live-tap mode)\n"
+      "  --stats-every N prints pipeline telemetry every N scored frames\n"
+      "  --metrics-out writes Prometheus text exposition at exit\n"
+      "  --jsonl-out writes the metrics as a JSONL event stream\n"
+      "  --trace-out writes Chrome trace_event JSON (chrome://tracing)\n");
 }
 
 }  // namespace
@@ -66,6 +81,10 @@ int main(int argc, char** argv) {
   bool quality_gate = true;
   bool block_when_full = true;
   bool verbose = false;
+  std::size_t stats_every = 0;
+  std::string metrics_out;
+  std::string jsonl_out;
+  std::string trace_out;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -109,6 +128,15 @@ int main(int argc, char** argv) {
       block_when_full = false;
     } else if (arg == "--verbose") {
       verbose = true;
+    } else if (arg == "--stats-every") {
+      stats_every =
+          static_cast<std::size_t>(std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
+    } else if (arg == "--jsonl-out") {
+      jsonl_out = next();
+    } else if (arg == "--trace-out") {
+      trace_out = next();
     } else {
       usage();
       return 2;
@@ -119,6 +147,14 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  // One registry + tracer for the whole run; pointers stay null (and the
+  // hot paths stay instrument-free) unless something will consume them.
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  const bool want_metrics = !metrics_out.empty() || !jsonl_out.empty();
+  obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
+  obs::Tracer* trace = !trace_out.empty() ? &tracer : nullptr;
 
   const sim::VehicleConfig config =
       (vehicle_name == "a") ? sim::vehicle_a() : sim::vehicle_b();
@@ -139,6 +175,8 @@ int main(int argc, char** argv) {
   vprofile::TrainingConfig tc;
   tc.extraction = extraction;
   tc.num_threads = workers;
+  tc.metrics = metrics;
+  tc.tracer = trace;
   const vprofile::TrainOutcome trained =
       vprofile::train_with_database(edge_sets, vehicle.database(), tc);
   if (!trained.ok()) {
@@ -156,6 +194,8 @@ int main(int argc, char** argv) {
   pc.num_workers = workers;
   pc.queue_capacity = queue_capacity;
   pc.block_when_full = block_when_full;
+  pc.metrics = metrics;
+  pc.tracer = trace;
   if (quality_gate) {
     pc.detection = sim::scenario_detection_config(config, margin);
   } else {
@@ -165,10 +205,28 @@ int main(int argc, char** argv) {
   stats::BinaryConfusion confusion;
   std::size_t extraction_failures = 0;
   std::size_t degraded = 0;
+  std::size_t sink_seen = 0;
+  pipeline::DetectionPipeline* pipe_ptr = nullptr;
   const vprofile::Model& model = *trained.model;
   // The sink runs in capture order, so indexing the labels by seq is safe.
   pipeline::DetectionPipeline pipe(
       model, pc, [&](pipeline::FrameResult&& r) {
+        ++sink_seen;
+        if (stats_every != 0 && sink_seen % stats_every == 0 &&
+            pipe_ptr != nullptr) {
+          const pipeline::CountersSnapshot s = pipe_ptr->counters();
+          std::printf(
+              "[stats] frames=%llu dropped=%llu anomalies=%llu "
+              "degraded=%llu extract_fail=%llu mean_extract=%.1fus "
+              "mean_detect=%.1fus queue_hwm=%zu\n",
+              static_cast<unsigned long long>(s.completed.value()),
+              static_cast<unsigned long long>(s.dropped.value()),
+              static_cast<unsigned long long>(s.anomalies()),
+              static_cast<unsigned long long>(s.degraded()),
+              static_cast<unsigned long long>(s.extract_failures()),
+              s.mean_extract_us(), s.mean_detect_us(),
+              s.queue_high_watermark);
+        }
         if (r.dropped) return;  // counted by the pipeline
         if (!r.ok()) {
           ++extraction_failures;
@@ -203,8 +261,10 @@ int main(int argc, char** argv) {
         }
       });
 
+  pipe_ptr = &pipe;
   faults::FaultInjector injector(fault_profile, config.adc.max_code(),
                                  seed ^ 0xfa0175eedull);
+  injector.bind_metrics(metrics);
   const auto t0 = std::chrono::steady_clock::now();
   for (const sim::LabeledCapture& lc : stream) {
     if (fault_profile.empty()) {
@@ -266,6 +326,50 @@ int main(int argc, char** argv) {
   std::printf("  latency     extract %.1f us/frame, detect %.1f us/frame\n",
               c.mean_extract_us(), c.mean_detect_us());
   std::printf("  queue depth high watermark %zu\n", c.queue_high_watermark);
+
+  if (want_metrics || trace != nullptr) {
+    obs::RunManifest manifest = obs::RunManifest::create("vprofile_monitor");
+    manifest.seeds.emplace_back("seed", seed);
+    manifest.config = {
+        {"vehicle", vehicle_name},
+        {"train", std::to_string(train_count)},
+        {"count", std::to_string(stream_count)},
+        {"workers", std::to_string(workers)},
+        {"queue", std::to_string(queue_capacity)},
+        {"fault", fault_profile.name},
+        {"mode", block_when_full ? "backpressure" : "drop"},
+        {"gate", quality_gate ? "on" : "off"},
+    };
+    const std::vector<obs::MetricSample> samples = registry.samples();
+    std::string err;
+    if (!metrics_out.empty()) {
+      if (!obs::write_text_file(metrics_out,
+                                obs::to_prometheus(samples, &manifest),
+                                &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("  metrics     -> %s\n", metrics_out.c_str());
+    }
+    if (!jsonl_out.empty()) {
+      if (!obs::write_text_file(jsonl_out, obs::to_jsonl(samples, &manifest),
+                                &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("  jsonl       -> %s\n", jsonl_out.c_str());
+    }
+    if (trace != nullptr) {
+      if (!obs::write_text_file(trace_out, trace->chrome_trace_json(&manifest),
+                                &err)) {
+        std::fprintf(stderr, "error: %s\n", err.c_str());
+        return 1;
+      }
+      std::printf("  trace       -> %s (%llu spans recorded)\n",
+                  trace_out.c_str(),
+                  static_cast<unsigned long long>(trace->total_recorded()));
+    }
+  }
 
   return (confusion.false_positives() + confusion.false_negatives()) > 0 ? 3
                                                                          : 0;

@@ -6,7 +6,7 @@
 // Usage:
 //   vprofile_train --traces FILE --out MODEL
 //                  [--bitrate BPS] [--metric euclidean|mahalanobis]
-//                  [--threshold CODE] [--ridge R]
+//                  [--threshold CODE] [--ridge R] [--metrics-out FILE]
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,6 +16,9 @@
 #include "core/trainer.hpp"
 #include "io/model_store.hpp"
 #include "io/trace_store.hpp"
+#include "obs/export.hpp"
+#include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 namespace {
 
@@ -24,7 +27,10 @@ void usage() {
                "usage: vprofile_train --traces FILE --out MODEL\n"
                "                      [--bitrate BPS] [--metric "
                "euclidean|mahalanobis]\n"
-               "                      [--threshold CODE] [--ridge R]\n");
+               "                      [--threshold CODE] [--ridge R]\n"
+               "                      [--metrics-out FILE]\n"
+               "  --metrics-out writes per-cluster fit latency and counts\n"
+               "                (Prometheus exposition)\n");
 }
 
 }  // namespace
@@ -35,6 +41,7 @@ int main(int argc, char** argv) {
   double bitrate = 250e3;
   double threshold = 0.0;  // 0 = estimate from the first trace
   double ridge = 0.0;
+  std::string metrics_out;
   vprofile::DistanceMetric metric = vprofile::DistanceMetric::kMahalanobis;
 
   for (int i = 1; i < argc; ++i) {
@@ -56,6 +63,8 @@ int main(int argc, char** argv) {
       threshold = std::atof(next());
     } else if (arg == "--ridge") {
       ridge = std::atof(next());
+    } else if (arg == "--metrics-out") {
+      metrics_out = next();
     } else if (arg == "--metric") {
       const std::string m = next();
       if (m == "euclidean") {
@@ -108,10 +117,12 @@ int main(int argc, char** argv) {
   std::printf("extracted %zu edge sets (%zu failures)\n", edge_sets.size(),
               failures);
 
+  obs::MetricsRegistry registry;
   vprofile::TrainingConfig cfg;
   cfg.metric = metric;
   cfg.extraction = extraction;
   cfg.ridge = ridge;
+  cfg.metrics = metrics_out.empty() ? nullptr : &registry;
   const auto outcome = vprofile::train_by_distance(edge_sets, cfg);
   if (!outcome.ok()) {
     std::fprintf(stderr, "training failed: %s\n", outcome.error.c_str());
@@ -124,6 +135,22 @@ int main(int argc, char** argv) {
   if (!io::save_model_file(*outcome.model, out_path)) {
     std::fprintf(stderr, "error: cannot write '%s'\n", out_path.c_str());
     return 1;
+  }
+  if (!metrics_out.empty()) {
+    obs::RunManifest manifest = obs::RunManifest::create("vprofile_train");
+    manifest.config = {{"traces", traces_path},
+                       {"out", out_path},
+                       {"metric", to_string(metric)},
+                       {"threshold", std::to_string(threshold)},
+                       {"ridge", std::to_string(ridge)}};
+    std::string werr;
+    if (!obs::write_text_file(metrics_out,
+                              obs::to_prometheus(registry.samples(), &manifest),
+                              &werr)) {
+      std::fprintf(stderr, "error: %s\n", werr.c_str());
+      return 1;
+    }
+    std::printf("metrics -> %s\n", metrics_out.c_str());
   }
   std::printf("trained %zu clusters (%s) -> %s\n",
               outcome.model->clusters().size(), to_string(metric),
