@@ -78,4 +78,43 @@ std::vector<std::size_t> OnlineUpdater::clusters_needing_retrain() const {
   return out;
 }
 
+const char* to_string(GateDecision decision) {
+  switch (decision) {
+    case GateDecision::kAccepted: return "accepted";
+    case GateDecision::kRejectedVerdict: return "rejected-verdict";
+    case GateDecision::kRejectedMargin: return "rejected-margin";
+    case GateDecision::kRefusedByUpdater: return "refused-by-updater";
+  }
+  return "unknown";
+}
+
+GatedUpdater::GatedUpdater(Model* model, GatedUpdateConfig config)
+    : model_(model), config_(config), updater_(model, config.retrain_bound) {
+  if (config_.max_distance_fraction <= 0.0 ||
+      config_.max_distance_fraction > 1.0) {
+    throw std::invalid_argument(
+        "GatedUpdater: max_distance_fraction must be in (0, 1]");
+  }
+}
+
+GateDecision GatedUpdater::consider(const EdgeSet& edge_set,
+                                    const Detection& detection) {
+  if (detection.verdict != Verdict::kOk || !detection.expected_cluster) {
+    ++stats_.rejected_verdict;
+    return GateDecision::kRejectedVerdict;
+  }
+  const ClusterModel& cl = model_->clusters()[*detection.expected_cluster];
+  if (detection.min_distance >
+      config_.max_distance_fraction * cl.max_distance) {
+    ++stats_.rejected_margin;
+    return GateDecision::kRejectedMargin;
+  }
+  if (updater_.update(edge_set) != UpdateStatus::kUpdated) {
+    ++stats_.refused_by_updater;
+    return GateDecision::kRefusedByUpdater;
+  }
+  ++stats_.accepted;
+  return GateDecision::kAccepted;
+}
+
 }  // namespace vprofile

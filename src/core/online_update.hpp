@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
+#include "core/detector.hpp"
 #include "core/edge_set.hpp"
 #include "core/model.hpp"
 
@@ -53,6 +55,69 @@ class OnlineUpdater {
  private:
   Model* model_;
   std::size_t retrain_bound_;
+};
+
+/// Why the gate folded — or refused — a candidate edge set.
+enum class GateDecision {
+  kAccepted,          // folded into the model
+  kRejectedVerdict,   // detector did not say kOk (anomaly or degraded)
+  kRejectedMargin,    // kOk but too close to the cluster threshold
+  kRefusedByUpdater,  // gate passed, OnlineUpdater refused (bound, SA, dim)
+};
+
+const char* to_string(GateDecision decision);
+
+struct GatedUpdateConfig {
+  /// The paper's retrain bound M, forwarded to OnlineUpdater.
+  std::size_t retrain_bound = 100000;
+  /// A frame is only trusted when its distance sits below this fraction of
+  /// its cluster's max_distance — "high-margin benign".  Frames between
+  /// here and the detection threshold still pass the detector but are
+  /// exactly where a slow-poisoning adversary (Sagong et al.) operates, so
+  /// the gate refuses them.
+  double max_distance_fraction = 0.6;
+};
+
+/// Tallies for every consider() call; mirrors GateDecision.
+struct GatedUpdateStats {
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected_verdict = 0;
+  std::uint64_t rejected_margin = 0;
+  std::uint64_t refused_by_updater = 0;
+
+  std::uint64_t considered() const {
+    return accepted + rejected_verdict + rejected_margin + refused_by_updater;
+  }
+};
+
+/// Algorithm 4 with the verdict gate in front: only frames the detector
+/// itself vouches for — a confident kOk verdict *and* a distance well
+/// inside the trained threshold — are folded into the model.  This is
+/// what keeps the online-update loop from being a poisoning vector: an
+/// adversary ramping its signature toward a victim's never gets its
+/// frames trusted, because the frames that pass detection are exactly the
+/// ones that look like the existing profile.
+class GatedUpdater {
+ public:
+  /// Same model requirements as OnlineUpdater (Mahalanobis, non-null);
+  /// throws std::invalid_argument when they do not hold.
+  GatedUpdater(Model* model, GatedUpdateConfig config);
+
+  /// Folds `edge_set` iff `detection` (the detector's verdict for this
+  /// same edge set) passes the gate.
+  GateDecision consider(const EdgeSet& edge_set, const Detection& detection);
+
+  const GatedUpdateStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = GatedUpdateStats{}; }
+  const GatedUpdateConfig& config() const { return config_; }
+  /// The wrapped ungated updater (for retrain bookkeeping).
+  OnlineUpdater& updater() { return updater_; }
+
+ private:
+  Model* model_;
+  GatedUpdateConfig config_;
+  OnlineUpdater updater_;
+  GatedUpdateStats stats_;
 };
 
 }  // namespace vprofile

@@ -15,6 +15,7 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kEmiBurst: return "emi-burst";
     case FaultKind::kClockDrift: return "clock-drift";
     case FaultKind::kTruncation: return "truncation";
+    case FaultKind::kSlowDrift: return "slow-drift";
   }
   return "unknown";
 }
@@ -22,7 +23,8 @@ const char* to_string(FaultKind kind) {
 bool FaultProfile::empty() const {
   const auto active = [](const auto& f) { return f && f->probability > 0.0; };
   return !(active(clipping) || active(dropout) || active(dc_shift) ||
-           active(emi_burst) || active(clock_drift) || active(truncation));
+           active(emi_burst) || active(clock_drift) || active(truncation) ||
+           active(slow_drift));
 }
 
 FaultProfile clean_profile() { return FaultProfile{}; }
@@ -75,9 +77,19 @@ FaultProfile harsh_environment() {
   return p;
 }
 
+FaultProfile slow_poison() {
+  FaultProfile p;
+  p.name = "slow-poison";
+  // Always fires; each step is ~0.06% of a 16-bit full scale — far inside
+  // any sane margin — but the saturated shift is a full signature's worth.
+  p.slow_drift = SlowDriftFault{1.0, 25.0, 3000.0};
+  return p;
+}
+
 std::vector<FaultProfile> canned_profiles() {
-  return {clean_profile(),   saturated_tap(),  flaky_connector(), emi_storm(),
-          drifting_clock(),  truncating_tap(), harsh_environment()};
+  return {clean_profile(),   saturated_tap(),  flaky_connector(),
+          emi_storm(),       drifting_clock(), truncating_tap(),
+          harsh_environment(), slow_poison()};
 }
 
 std::optional<FaultProfile> profile_by_name(const std::string& name) {
@@ -187,6 +199,13 @@ dsp::Trace apply_truncation(const dsp::Trace& trace, const TruncationFault& f,
                                         std::min(len, trace.size())));
 }
 
+dsp::Trace apply_slow_drift(const dsp::Trace& trace, double shift,
+                            double max_code) {
+  dsp::Trace out = trace;
+  for (double& c : out) c = clamp_code(c + shift, max_code);
+  return out;
+}
+
 FaultInjector::FaultInjector(FaultProfile profile, double max_code,
                              units::Seed64 seed)
     : profile_(std::move(profile)), max_code_(max_code), rng_(seed) {}
@@ -239,6 +258,12 @@ dsp::Trace FaultInjector::apply(const dsp::Trace& trace) {
        [&](const ClockDriftFault& f) { return apply_clock_drift(out, f, rng_); });
   fire(profile_.truncation, FaultKind::kTruncation,
        [&](const TruncationFault& f) { return apply_truncation(out, f, rng_); });
+  fire(profile_.slow_drift, FaultKind::kSlowDrift,
+       [&](const SlowDriftFault& f) {
+         slow_drift_shift_ = std::clamp(slow_drift_shift_ + f.step,
+                                        -f.max_shift, f.max_shift);
+         return apply_slow_drift(out, slow_drift_shift_, max_code_);
+       });
   if (any) ++stats_.faulted_traces;
   return out;
 }

@@ -37,9 +37,10 @@ enum class FaultKind {
   kEmiBurst,    // additive burst noise (ignition / motor EMI)
   kClockDrift,  // sampling clock runs fast/slow, stretching the trace
   kTruncation,  // capture window ends before the message does
+  kSlowDrift,   // cumulative ramping offset (thermal creep / slow poisoning)
 };
 
-inline constexpr std::size_t kNumFaultKinds = 6;
+inline constexpr std::size_t kNumFaultKinds = 7;
 
 const char* to_string(FaultKind kind);
 
@@ -92,6 +93,19 @@ struct TruncationFault {
   double min_keep = 0.25;
 };
 
+/// A slowly ramping offset: each firing advances the injector's cumulative
+/// shift by `step` codes (saturating at ±`max_shift`) and applies it to the
+/// trace.  Unlike DcShiftFault this is *stateful* — it models thermal /
+/// ground creep and, crucially, the Sagong-style slow-poisoning adversary:
+/// each individual step is small enough to pass the detector's margin, but
+/// an ungated online updater that keeps folding the shifted frames walks
+/// the stored profile toward the attacker's signature.
+struct SlowDriftFault {
+  double probability = 0.0;
+  double step = 25.0;         // codes added to the cumulative shift per firing
+  double max_shift = 3000.0;  // |cumulative shift| saturates here
+};
+
 /// A named, composable set of faults.  Faults are applied in the fixed
 /// order of the FaultKind enum so a profile + seed is reproducible.
 struct FaultProfile {
@@ -102,6 +116,7 @@ struct FaultProfile {
   std::optional<EmiBurstFault> emi_burst;
   std::optional<ClockDriftFault> clock_drift;
   std::optional<TruncationFault> truncation;
+  std::optional<SlowDriftFault> slow_drift;
 
   /// True when no fault can ever fire.
   bool empty() const;
@@ -121,6 +136,9 @@ FaultProfile drifting_clock();
 FaultProfile truncating_tap();
 /// Everything at once, at moderate rates — the worst-case soak profile.
 FaultProfile harsh_environment();
+/// Slow-poisoning ramp that always fires: every trace shifts a little
+/// further than the last, staying under the margin per step.
+FaultProfile slow_poison();
 
 /// All canned profiles above, for grids and CLI lookups.
 std::vector<FaultProfile> canned_profiles();
@@ -155,6 +173,10 @@ class FaultInjector {
   const FaultStats& stats() const { return stats_; }
   void reset_stats() { stats_ = FaultStats{}; }
 
+  /// Current cumulative slow-drift offset in codes (0 until the slow-drift
+  /// fault first fires).  Exposed so tests can assert the ramp's shape.
+  double slow_drift_shift() const { return slow_drift_shift_; }
+
   /// Mirrors activations into `fault_activations_total{kind=...}` (plus
   /// `fault_traces_total`) on top of the local stats.  Null detaches.
   /// Injection itself stays bit-identical — the RNG never sees this.
@@ -165,6 +187,7 @@ class FaultInjector {
   double max_code_;
   stats::Rng rng_;
   FaultStats stats_;
+  double slow_drift_shift_ = 0.0;
   std::array<obs::Counter*, kNumFaultKinds> metric_applied_{};
   obs::Counter* metric_traces_ = nullptr;
 };
@@ -184,5 +207,9 @@ dsp::Trace apply_clock_drift(const dsp::Trace& trace, const ClockDriftFault& f,
                              stats::Rng& rng);
 dsp::Trace apply_truncation(const dsp::Trace& trace, const TruncationFault& f,
                             stats::Rng& rng);
+/// Applies a caller-maintained cumulative shift (see SlowDriftFault); the
+/// injector advances its own state before calling this.
+dsp::Trace apply_slow_drift(const dsp::Trace& trace, double shift,
+                            double max_code);
 
 }  // namespace faults

@@ -1,0 +1,71 @@
+#include "io/atomic_file.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace io {
+namespace {
+
+bool fail(std::string* error, const std::string& message) {
+  if (error != nullptr) *error = message + ": " + std::strerror(errno);
+  return false;
+}
+
+/// Directory part of a path ("." when the path has no separator), for the
+/// post-rename directory fsync that makes the new directory entry durable.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+bool atomic_write_file(const std::string& path, const std::string& content,
+                       std::string* error) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return fail(error, "cannot create '" + tmp + "'");
+
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return fail(error, "write to '" + tmp + "' failed");
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return fail(error, "fsync of '" + tmp + "' failed");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error, "close of '" + tmp + "' failed");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return fail(error, "rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  // Make the directory entry durable too; a failure here is not fatal for
+  // correctness of the content (the rename already happened atomically),
+  // so only the fsync of the data above gates the return value.
+  const int dirfd = ::open(parent_dir(path).c_str(), O_RDONLY | O_DIRECTORY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+  return true;
+}
+
+}  // namespace io

@@ -1,0 +1,21 @@
+// Crash-safe whole-file replacement: write-temp + fsync + atomic rename.
+//
+// A checkpoint that is half-written when power dies must never shadow the
+// previous good one.  POSIX rename(2) within a directory is atomic, so the
+// sequence (write sibling temp file, fsync it, rename over the target,
+// fsync the directory) guarantees a reader sees either the old complete
+// file or the new complete file — never a prefix.
+#pragma once
+
+#include <string>
+
+namespace io {
+
+/// Replaces `path` with `content` atomically.  The temp file is created
+/// next to the target (same filesystem, so the rename cannot degrade to a
+/// copy).  Returns false with a diagnostic in `error` (if non-null) on any
+/// failure; the target is untouched in that case.
+bool atomic_write_file(const std::string& path, const std::string& content,
+                       std::string* error = nullptr);
+
+}  // namespace io

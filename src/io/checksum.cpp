@@ -1,0 +1,68 @@
+#include "io/checksum.hpp"
+
+#include <array>
+
+namespace io {
+namespace {
+
+/// Table for the reflected polynomial, built once at first use.  A plain
+/// function-local static keeps the construction race-free without any
+/// global initialization order concerns.
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const auto& table = crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string crc32_hex(std::uint32_t crc) {
+  static const char* digits = "0123456789abcdef";
+  std::string out(8, '0');
+  for (int i = 7; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = digits[crc & 0xFu];
+    crc >>= 4;
+  }
+  return out;
+}
+
+bool parse_crc32_hex(const std::string& hex, std::uint32_t* crc) {
+  if (hex.size() != 8 || crc == nullptr) return false;
+  std::uint32_t value = 0;
+  for (char ch : hex) {
+    std::uint32_t digit = 0;
+    if (ch >= '0' && ch <= '9') {
+      digit = static_cast<std::uint32_t>(ch - '0');
+    } else if (ch >= 'a' && ch <= 'f') {
+      digit = static_cast<std::uint32_t>(ch - 'a') + 10u;
+    } else if (ch >= 'A' && ch <= 'F') {
+      digit = static_cast<std::uint32_t>(ch - 'A') + 10u;
+    } else {
+      return false;
+    }
+    value = (value << 4) | digit;
+  }
+  *crc = value;
+  return true;
+}
+
+}  // namespace io

@@ -1,0 +1,33 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for integrity
+// footers on persisted artifacts.
+//
+// A wedged write, a yanked ignition or a worn flash sector can leave a
+// checkpoint file that still *parses* — numbers are numbers — but encodes
+// a model the detector never trained.  A checksum footer turns silent
+// corruption into a load failure the runtime can recover from (fall back
+// to the last-good checkpoint) instead of scoring live traffic against
+// garbage statistics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace io {
+
+/// CRC-32 of `len` bytes starting at `data`.  The standard reflected
+/// variant (init 0xFFFFFFFF, final xor 0xFFFFFFFF) so the values match
+/// zlib's crc32() and can be checked with off-the-shelf tools.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+inline std::uint32_t crc32(const std::string& s) {
+  return crc32(s.data(), s.size());
+}
+
+/// Fixed-width lowercase hex rendering used by the checkpoint footers
+/// ("deadbeef"), and its strict inverse.  parse returns false on anything
+/// that is not exactly 8 hex digits.
+std::string crc32_hex(std::uint32_t crc);
+bool parse_crc32_hex(const std::string& hex, std::uint32_t* crc);
+
+}  // namespace io

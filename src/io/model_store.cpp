@@ -8,11 +8,18 @@
 #include <ostream>
 #include <sstream>
 
+#include "io/checksum.hpp"
+
 namespace io {
 namespace {
 
 constexpr const char* kMagic = "vprofile-model";
-constexpr int kVersion = 1;
+/// Version 2 appends a `crc32 <8-hex>` footer covering every byte before
+/// it; version 1 files (no footer) are still read for backward
+/// compatibility, they just get no integrity check.
+constexpr int kVersion = 2;
+constexpr int kLegacyVersion = 1;
+constexpr const char* kCrcPrefix = "crc32 ";
 
 void write_vector(std::ostream& out, const linalg::Vector& v) {
   out << v.size();
@@ -72,7 +79,10 @@ bool all_finite(const linalg::Matrix& m) {
 
 }  // namespace
 
-bool save_model(const vprofile::Model& model, std::ostream& out) {
+namespace {
+
+/// Serializes everything except the integrity footer.
+bool write_body(const vprofile::Model& model, std::ostream& out) {
   out << std::setprecision(17);
   out << kMagic << ' ' << kVersion << '\n';
   out << to_string(model.metric()) << '\n';
@@ -103,27 +113,81 @@ bool save_model(const vprofile::Model& model, std::ostream& out) {
   return static_cast<bool>(out);
 }
 
+}  // namespace
+
+bool save_model(const vprofile::Model& model, std::ostream& out) {
+  std::ostringstream body;
+  if (!write_body(model, body)) return false;
+  const std::string payload = body.str();
+  out << payload << kCrcPrefix << crc32_hex(crc32(payload)) << '\n';
+  return static_cast<bool>(out);
+}
+
 bool save_model_file(const vprofile::Model& model, const std::string& path) {
   std::ofstream out(path);
   return out && save_model(model, out);
 }
 
-std::optional<vprofile::Model> load_model(std::istream& in,
+std::optional<vprofile::Model> load_model(std::istream& raw_in,
                                           std::string* error) {
+  // Slurp the stream: the CRC footer covers raw bytes, so verification
+  // has to happen before any formatted parsing consumes them.
+  std::ostringstream slurp;
+  slurp << raw_in.rdbuf();
+  std::string content = slurp.str();
+  if (raw_in.bad()) {
+    fail(error, "stream failure");
+    return std::nullopt;
+  }
+
+  {
+    std::istringstream header(content);
+    std::string magic;
+    int version = 0;
+    if (!(header >> magic >> version)) {
+      fail(error, "unreadable header");
+      return std::nullopt;
+    }
+    if (magic != kMagic) {
+      fail(error, "not a vprofile model file");
+      return std::nullopt;
+    }
+    if (version != kVersion && version != kLegacyVersion) {
+      fail(error, "unsupported model version " + std::to_string(version));
+      return std::nullopt;
+    }
+    if (version == kVersion) {
+      // The footer is the final line: "crc32 <8 hex>\n" over every byte
+      // before it.  A missing, truncated or mismatching footer all mean
+      // the file cannot be trusted.
+      const std::string footer_want = std::string(kCrcPrefix);
+      const std::size_t footer_len = footer_want.size() + 8 + 1;  // + hex + \n
+      if (content.size() < footer_len ||
+          content.compare(content.size() - footer_len, footer_want.size(),
+                          footer_want) != 0 ||
+          content.back() != '\n') {
+        fail(error, "missing or truncated integrity footer");
+        return std::nullopt;
+      }
+      const std::string hex =
+          content.substr(content.size() - 9, 8);  // between "crc32 " and \n
+      std::uint32_t stored = 0;
+      if (!parse_crc32_hex(hex, &stored)) {
+        fail(error, "malformed integrity footer");
+        return std::nullopt;
+      }
+      content.resize(content.size() - footer_len);
+      if (crc32(content) != stored) {
+        fail(error, "integrity check failed (CRC-32 mismatch)");
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::istringstream in(content);
   std::string magic;
   int version = 0;
-  if (!(in >> magic >> version)) {
-    fail(error, "unreadable header");
-    return std::nullopt;
-  }
-  if (magic != kMagic) {
-    fail(error, "not a vprofile model file");
-    return std::nullopt;
-  }
-  if (version != kVersion) {
-    fail(error, "unsupported model version " + std::to_string(version));
-    return std::nullopt;
-  }
+  in >> magic >> version;  // validated above
 
   std::string metric_name;
   if (!(in >> metric_name)) {

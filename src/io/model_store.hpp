@@ -3,7 +3,10 @@
 // A deployed IDS trains once (in the shop, under controlled conditions)
 // and loads the model at every ignition; this store is that persistence
 // layer.  The format is a line-oriented text format, versioned, with full
-// double precision.
+// double precision.  Version 2 files end with a `crc32 <8-hex>` footer
+// covering every preceding byte, so bit rot and torn writes are detected
+// at load; footer-less version 1 files are still readable (no integrity
+// check) for backward compatibility.
 #pragma once
 
 #include <iosfwd>

@@ -28,6 +28,9 @@ struct CountersSnapshot {
   units::FrameCount submitted{0};  // frames handed to submit()
   units::FrameCount completed{0};  // frames a worker finished scoring
   units::FrameCount dropped{0};    // frames rejected by a full queue
+  /// Frames whose scoring threw (contained stage failure) — completed
+  /// without a verdict or an extraction-failure kind.
+  std::uint64_t worker_errors = 0;
   std::uint64_t extract_ns = 0;  // total wall time in extract_edge_set
   std::uint64_t detect_ns = 0;   // total wall time in detect()
   std::size_t queue_high_watermark = 0;
@@ -44,7 +47,8 @@ struct CountersSnapshot {
   /// DetectionPipeline::finish(); also checkable from tests.
   bool consistent() const {
     return submitted == completed + dropped &&
-           completed.value() == extract_failures() + classified();
+           completed.value() ==
+               extract_failures() + classified() + worker_errors;
   }
   /// Completed frames that produced a verdict (extraction succeeded).
   std::uint64_t classified() const {
@@ -65,7 +69,7 @@ struct CountersSnapshot {
     return verdict(vprofile::Verdict::kDegraded);
   }
   std::uint64_t anomalies() const {
-    return completed.value() - extract_failures() -
+    return completed.value() - extract_failures() - worker_errors -
            verdict(vprofile::Verdict::kOk);
   }
 
@@ -94,6 +98,9 @@ class Counters {
  public:
   void add_submitted() { submitted_.fetch_add(1, std::memory_order_relaxed); }
   void add_dropped() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  void add_worker_error() {
+    worker_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
   void add_completed(std::uint64_t extract_ns, std::uint64_t detect_ns) {
     completed_.fetch_add(1, std::memory_order_relaxed);
     extract_ns_.fetch_add(extract_ns, std::memory_order_relaxed);
@@ -117,6 +124,7 @@ class Counters {
     s.submitted = units::FrameCount{submitted_.load(std::memory_order_relaxed)};
     s.completed = units::FrameCount{completed_.load(std::memory_order_relaxed)};
     s.dropped = units::FrameCount{dropped_.load(std::memory_order_relaxed)};
+    s.worker_errors = worker_errors_.load(std::memory_order_relaxed);
     s.extract_ns = extract_ns_.load(std::memory_order_relaxed);
     s.detect_ns = detect_ns_.load(std::memory_order_relaxed);
     s.queue_high_watermark = queue_high_watermark;
@@ -133,6 +141,7 @@ class Counters {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> worker_errors_{0};
   std::atomic<std::uint64_t> extract_ns_{0};
   std::atomic<std::uint64_t> detect_ns_{0};
   std::array<std::atomic<std::uint64_t>, kNumExtractErrors> extract_errors_{};

@@ -24,12 +24,12 @@ std::uint64_t ns_between(Clock::time_point a, Clock::time_point b) {
 /// property of the code rather than a hope.
 FrameResult score_frame(const vprofile::Model& model, const dsp::Trace& trace,
                         const vprofile::DetectionConfig& dc,
-                        std::uint64_t* extract_ns, std::uint64_t* detect_ns) {
+                        bool keep_edge_set, std::uint64_t* extract_ns,
+                        std::uint64_t* detect_ns) {
   FrameResult result;
   const auto t0 = Clock::now();
   vprofile::ExtractError err = vprofile::ExtractError::kNone;
-  const auto edge_set =
-      vprofile::extract_edge_set(trace, model.extraction(), &err);
+  auto edge_set = vprofile::extract_edge_set(trace, model.extraction(), &err);
   const auto t1 = Clock::now();
   *extract_ns = ns_between(t0, t1);
   if (!edge_set) {
@@ -40,6 +40,7 @@ FrameResult score_frame(const vprofile::Model& model, const dsp::Trace& trace,
   result.sa = edge_set->sa;
   result.detection = vprofile::detect(model, *edge_set, dc);
   *detect_ns = ns_between(t1, Clock::now());
+  if (keep_edge_set) result.edge_set = std::move(*edge_set);
   return result;
 }
 
@@ -61,6 +62,7 @@ DetectionPipeline::DetectionPipeline(const vprofile::Model& model,
     obs_.submitted = reg.counter("frames_submitted_total");
     obs_.completed = reg.counter("frames_completed_total");
     obs_.dropped = reg.counter("frames_dropped_total");
+    obs_.errors = reg.counter("errors_total");
     obs_.extract_latency = reg.histogram("extract_latency_ns");
     obs_.detect_latency = reg.histogram("detect_latency_ns");
     // vprofile-lint: allow(metric-name) — depth is unitless by design
@@ -130,12 +132,13 @@ void DetectionPipeline::finish() {
     std::fprintf(stderr,
                  "DetectionPipeline::finish(): counter conservation violated "
                  "(submitted=%llu completed=%llu dropped=%llu "
-                 "extract_failures=%llu classified=%llu)\n",
+                 "extract_failures=%llu classified=%llu worker_errors=%llu)\n",
                  static_cast<unsigned long long>(snap.submitted.value()),
                  static_cast<unsigned long long>(snap.completed.value()),
                  static_cast<unsigned long long>(snap.dropped.value()),
                  static_cast<unsigned long long>(snap.extract_failures()),
-                 static_cast<unsigned long long>(snap.classified()));
+                 static_cast<unsigned long long>(snap.classified()),
+                 static_cast<unsigned long long>(snap.worker_errors));
     std::abort();
   }
 }
@@ -169,14 +172,31 @@ void DetectionPipeline::worker_loop() {
     }
     std::uint64_t extract_ns = 0;
     std::uint64_t detect_ns = 0;
-    FrameResult result =
-        score_frame(model_, job->trace, config_.detection, &extract_ns,
-                    &detect_ns);
+    FrameResult result;
+    // Contain per-frame failures: a throwing stage (extractor bug, hostile
+    // input, injected fault) must cost exactly one frame, not the worker —
+    // an escaped exception from a std::thread is std::terminate for the
+    // whole monitor.
+    try {
+      if (config_.stage_hook) config_.stage_hook(job->seq, job->trace);
+      result = score_frame(model_, job->trace, config_.detection,
+                           config_.keep_edge_set, &extract_ns, &detect_ns);
+    } catch (...) {
+      result = FrameResult{};
+      result.worker_error = true;
+      extract_ns = 0;
+      detect_ns = 0;
+    }
     result.seq = job->seq;
     counters_.add_completed(extract_ns, detect_ns);
-    counters_.add_outcome(result.extract_error, result.detection);
+    if (result.worker_error) {
+      counters_.add_worker_error();
+    } else {
+      counters_.add_outcome(result.extract_error, result.detection);
+    }
     if (obs_.completed != nullptr) {
       obs_.completed->add();
+      if (result.worker_error) obs_.errors->add();
       obs_.extract_latency->observe(extract_ns);
       obs_.detect_latency->observe(detect_ns);
       if (result.ok()) sa_histogram(result.sa)->observe(detect_ns);
@@ -203,7 +223,8 @@ std::vector<FrameResult> score_sequential(
   for (const dsp::Trace& trace : traces) {
     std::uint64_t extract_ns = 0;
     std::uint64_t detect_ns = 0;
-    FrameResult r = score_frame(model, trace, dc, &extract_ns, &detect_ns);
+    FrameResult r =
+        score_frame(model, trace, dc, false, &extract_ns, &detect_ns);
     r.seq = seq++;
     results.push_back(std::move(r));
   }

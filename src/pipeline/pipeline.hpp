@@ -59,6 +59,17 @@ struct PipelineConfig {
   /// monitor that must never stall the tap).
   bool block_when_full = true;
   vprofile::DetectionConfig detection;
+  /// Attach the extracted edge set to each ok() FrameResult.  Off by
+  /// default (results stay small); the supervised runtime turns it on so
+  /// gated online updates can fold verdict-approved edge sets without
+  /// re-extracting.  Scoring is bit-identical either way.
+  bool keep_edge_set = false;
+  /// Test/fault-injection hook run in the worker before a frame is scored
+  /// (runtime fault profiles use it to wedge or crash a stage on cue).  A
+  /// throw from the hook — like a throw from any stage — is contained:
+  /// the frame becomes a worker_error result and the worker survives.
+  /// Null (the default) costs nothing.
+  std::function<void(std::uint64_t seq, const dsp::Trace& trace)> stage_hook;
   /// Optional observability sinks; null = zero overhead (scoring is
   /// bit-identical either way — instruments only ever read the results).
   /// Both must outlive the pipeline.
@@ -71,14 +82,22 @@ struct FrameResult {
   std::uint64_t seq = 0;
   /// Frame rejected by a full queue (non-blocking mode); nothing else set.
   bool dropped = false;
+  /// A stage threw while scoring this frame (contained per-frame: the
+  /// worker survives, the frame gets this error outcome instead of a
+  /// verdict).  Nothing else is set.
+  bool worker_error = false;
   /// kNone iff extraction succeeded and `detection` is set.
   vprofile::ExtractError extract_error = vprofile::ExtractError::kNone;
   /// SA decoded from the trace; only valid when ok().
   std::uint8_t sa = 0;
   std::optional<vprofile::Detection> detection;
+  /// The scored edge set, retained only when PipelineConfig::keep_edge_set
+  /// is on and extraction succeeded.
+  std::optional<vprofile::EdgeSet> edge_set;
 
   bool ok() const {
-    return !dropped && extract_error == vprofile::ExtractError::kNone;
+    return !dropped && !worker_error &&
+           extract_error == vprofile::ExtractError::kNone;
   }
   /// Extraction succeeded but the detector refused a confident verdict
   /// (quality gating; see Verdict::kDegraded).
@@ -136,6 +155,7 @@ class DetectionPipeline {
     obs::Counter* submitted = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* dropped = nullptr;
+    obs::Counter* errors = nullptr;
     obs::Histogram* extract_latency = nullptr;
     obs::Histogram* detect_latency = nullptr;
     obs::Gauge* queue_depth = nullptr;

@@ -1,0 +1,433 @@
+#include "runtime/supervisor.hpp"
+
+#include <bit>
+#include <utility>
+
+#include "core/detector.hpp"
+#include "obs/metrics.hpp"
+
+namespace runtime {
+namespace {
+
+/// FNV-1a fold (determinism, not cryptography) — same discipline as the
+/// scenario fingerprints: run-to-run comparison only, never golden
+/// constants.
+std::uint64_t fnv1a_u64(std::uint64_t hash, std::uint64_t value) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(&value);
+  for (std::size_t i = 0; i < sizeof(value); ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+/// One code per way a frame can end, for the fingerprint.
+std::uint64_t outcome_code(const pipeline::FrameResult& r) {
+  if (r.dropped) return 1;
+  if (r.worker_error) return 2;
+  if (r.extract_error != vprofile::ExtractError::kNone) {
+    return 16 + static_cast<std::uint64_t>(r.extract_error);
+  }
+  return 32 + static_cast<std::uint64_t>(r.detection->verdict);
+}
+
+void add_snapshot(pipeline::CountersSnapshot& into,
+                  const pipeline::CountersSnapshot& from) {
+  into.submitted += from.submitted;
+  into.completed += from.completed;
+  into.dropped += from.dropped;
+  into.worker_errors += from.worker_errors;
+  into.extract_ns += from.extract_ns;
+  into.detect_ns += from.detect_ns;
+  if (from.queue_high_watermark > into.queue_high_watermark) {
+    into.queue_high_watermark = from.queue_high_watermark;
+  }
+  for (std::size_t i = 0; i < into.extract_errors.size(); ++i) {
+    into.extract_errors[i] += from.extract_errors[i];
+  }
+  for (std::size_t i = 0; i < into.verdicts.size(); ++i) {
+    into.verdicts[i] += from.verdicts[i];
+  }
+}
+
+void add_gate_stats(vprofile::GatedUpdateStats& into,
+                    const vprofile::GatedUpdateStats& from) {
+  into.accepted += from.accepted;
+  into.rejected_verdict += from.rejected_verdict;
+  into.rejected_margin += from.rejected_margin;
+  into.refused_by_updater += from.refused_by_updater;
+}
+
+}  // namespace
+
+Supervisor::Supervisor(vprofile::Model model, SupervisorConfig config,
+                       ResultSink sink)
+    : config_(std::move(config)),
+      sink_(std::move(sink)),
+      model_(std::make_shared<const vprofile::Model>(std::move(model))),
+      watchdog_(config_.watchdog),
+      sentinel_(model_->clusters().size(), config_.drift) {
+  if (config_.online_update) config_.pipeline.keep_edge_set = true;
+  if (config_.validation_holdout_stride == 0) {
+    config_.validation_holdout_stride = 1;
+  }
+  if (!config_.checkpoint_dir.empty()) {
+    store_.emplace(config_.checkpoint_dir);
+  }
+  gates_.reserve(config_.fault_plan.stalls.size());
+  for (std::size_t i = 0; i < config_.fault_plan.stalls.size(); ++i) {
+    gates_.push_back(std::make_unique<faults::StallGate>());
+  }
+  if (obs::MetricsRegistry* reg = config_.pipeline.metrics) {
+    watchdog_.bind_metrics(reg);
+    instruments_.decimated = reg->counter("runtime_frames_decimated_total");
+    instruments_.promotions = reg->counter("runtime_promotions_total");
+    instruments_.rollbacks = reg->counter("runtime_rollbacks_total");
+    instruments_.checkpoints = reg->counter("runtime_checkpoints_total");
+    instruments_.drift_alarms = reg->counter("runtime_drift_alarms_total");
+    // vprofile-lint: allow(metric-name) — enum-valued state, unitless
+    instruments_.health = reg->gauge("runtime_health_state");
+    // vprofile-lint: allow(metric-name) — boolean gauge, unitless
+    instruments_.governor_active = reg->gauge("runtime_governor_active");
+  }
+  create_pipeline();
+}
+
+Supervisor::~Supervisor() { finish(); }
+
+void Supervisor::create_pipeline() {
+  pipeline::PipelineConfig pc = config_.pipeline;
+  pc.stage_hook = [this](std::uint64_t seq, const dsp::Trace&) {
+    stage_hook(seq);
+  };
+  pipe_ = std::make_unique<pipeline::DetectionPipeline>(
+      *model_, pc,
+      [this](pipeline::FrameResult&& r) { handle(std::move(r)); });
+}
+
+void Supervisor::stage_hook(std::uint64_t local_seq) {
+  const std::uint64_t global =
+      base_seq_.load(std::memory_order_relaxed) + local_seq;
+  for (std::size_t i = 0; i < config_.fault_plan.stalls.size(); ++i) {
+    if (config_.fault_plan.stalls[i].frame_index != global) continue;
+    if (gates_[i]->released()) continue;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++wedged_;
+    }
+    handled_cv_.notify_all();
+    gates_[i]->wait();  // blocks, then throws StallReleased
+  }
+}
+
+void Supervisor::handle(pipeline::FrameResult&& result) {
+  const std::uint64_t global =
+      base_seq_.load(std::memory_order_relaxed) + result.seq;
+  // Sink consumers see the supervisor's global frame numbering, stable
+  // across pipeline restarts.
+  result.seq = global;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.frames_handled;
+    fingerprint_ = fnv1a_u64(fingerprint_, global);
+    fingerprint_ = fnv1a_u64(fingerprint_, outcome_code(result));
+    if (result.worker_error) ++stats_.worker_errors;
+    if (result.ok()) {
+      const vprofile::Detection& det = *result.detection;
+      fingerprint_ = fnv1a_u64(
+          fingerprint_, std::bit_cast<std::uint64_t>(det.min_distance));
+      if (det.expected_cluster && !det.is_degraded()) {
+        if (sentinel_.observe(*det.expected_cluster, det.min_distance)) {
+          ++stats_.drift_alarms;
+          if (instruments_.drift_alarms != nullptr) {
+            instruments_.drift_alarms->add();
+          }
+          if (config_.online_update && health_ == HealthState::kHealthy) {
+            health_ = HealthState::kDrifting;
+            candidate_ = std::make_unique<vprofile::Model>(*model_);
+            gated_ = std::make_unique<vprofile::GatedUpdater>(
+                candidate_.get(), config_.gate);
+            ++stats_.candidates_started;
+          }
+        }
+      }
+      if (config_.online_update && det.verdict == vprofile::Verdict::kOk &&
+          result.edge_set) {
+        // Holdout split: window frames and update frames are disjoint, so
+        // validation exercises data the candidate has never absorbed.
+        const bool held_out =
+            holdout_tick_++ % config_.validation_holdout_stride == 0;
+        if (held_out) {
+          validation_window_.push_back(*result.edge_set);
+          while (validation_window_.size() > config_.validation_window) {
+            validation_window_.pop_front();
+          }
+        } else if (gated_ != nullptr) {
+          gated_->consider(*result.edge_set, det);
+          if (gated_->stats().accepted >= config_.retrain_batch) {
+            validate_candidate_locked();
+          }
+        }
+      }
+    }
+    if (config_.checkpoint_every != 0 && store_.has_value() &&
+        stats_.frames_handled % config_.checkpoint_every == 0) {
+      checkpoint_due_ = true;
+    }
+    ++total_handled_;
+  }
+  handled_cv_.notify_all();
+  if (sink_) sink_(result);
+}
+
+void Supervisor::validate_candidate_locked() {
+  // The candidate earned a promotion attempt; it must re-classify the
+  // held-out benign window without regressions.  The live model called
+  // every one of these frames kOk when it stored them, and the holdout
+  // split guarantees the candidate never absorbed any of them, so an
+  // anomaly here is the candidate's doing.
+  std::size_t regressions = 0;
+  const vprofile::DetectionConfig& dc = config_.pipeline.detection;
+  for (const vprofile::EdgeSet& es : validation_window_) {
+    if (vprofile::detect(*candidate_, es, dc).is_anomaly()) ++regressions;
+  }
+  if (regressions <= config_.validation_max_regressions) {
+    pending_promotion_ = std::move(*candidate_);
+    health_ = HealthState::kRetraining;  // promotion lands at the next
+                                         // control point (a drain boundary)
+  } else {
+    ++stats_.rollbacks;
+    if (instruments_.rollbacks != nullptr) instruments_.rollbacks->add();
+    health_ = HealthState::kDegraded;
+  }
+  add_gate_stats(gate_accum_, gated_->stats());
+  candidate_.reset();
+  gated_.reset();
+}
+
+std::optional<std::uint64_t> Supervisor::submit(dsp::Trace trace) {
+  apply_control();
+  std::uint64_t global = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return std::nullopt;
+    ++stats_.frames_offered;
+    if (config_.governor_high_water != 0) {
+      const std::size_t depth = pipe_->queue_depth();
+      if (!governor_active_ && depth >= config_.governor_high_water) {
+        governor_active_ = true;
+      } else if (governor_active_ && depth <= config_.governor_low_water) {
+        governor_active_ = false;
+      }
+      if (instruments_.governor_active != nullptr) {
+        instruments_.governor_active->set(governor_active_ ? 1 : 0);
+      }
+      if (governor_active_) {
+        const std::uint64_t tick = decimation_counter_++;
+        if (config_.decimation_stride == 0 ||
+            tick % config_.decimation_stride != 0) {
+          ++stats_.frames_decimated;
+          if (instruments_.decimated != nullptr) instruments_.decimated->add();
+          return std::nullopt;
+        }
+      }
+    }
+    // Global index of the frame about to be forwarded: every previously
+    // forwarded frame claimed exactly one pipeline seq, across restarts.
+    global = expected_results_;
+  }
+  // Enqueue outside the lock: blocking-mode backpressure must not hold up
+  // the result handler.
+  pipe_->submit(std::move(trace));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    // Every forwarded frame produces exactly one ordered result (scored,
+    // worker_error, or dropped-by-queue).
+    ++expected_results_;
+    ++stats_.frames_submitted;
+    if (config_.lockstep) {
+      // Wait for the frame's result, or for a visibly wedged worker — a
+      // planned stall must hand control back so the caller can drive the
+      // watchdog.
+      handled_cv_.wait(lock, [&] {
+        return total_handled_ >= expected_results_ || wedged_ > 0;
+      });
+    }
+  }
+  apply_control();
+  return global;
+}
+
+void Supervisor::poll(std::uint64_t now_ns) {
+  apply_control();
+  Watchdog::Action action = Watchdog::Action::kNone;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+    const pipeline::CountersSnapshot live = pipe_->counters();
+    const std::uint64_t completed =
+        accumulated_.completed.value() + live.completed.value();
+    const bool pending =
+        live.submitted.value() > live.completed.value() + live.dropped.value();
+    action = watchdog_.poll(now_ns, completed, pending);
+    if (action != Watchdog::Action::kNone) ++stats_.stalls_detected;
+    if (action == Watchdog::Action::kGiveUp) {
+      health_ = HealthState::kDegraded;
+    }
+  }
+  if (action == Watchdog::Action::kRestart ||
+      action == Watchdog::Action::kGiveUp) {
+    // Either way the wedged stage must be released and the pipeline made
+    // whole; give-up additionally pins health at degraded.
+    restart_pipeline(std::nullopt);
+    watchdog_.notify_restarted(now_ns);
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.restarts;
+  }
+}
+
+void Supervisor::release_armed_gates() {
+  std::uint64_t forwarded = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    forwarded = expected_results_;
+  }
+  for (std::size_t i = 0; i < gates_.size(); ++i) {
+    if (gates_[i]->released()) continue;
+    // A gate whose planned frame was already forwarded either holds the
+    // wedged worker right now or will be reached during the drain below;
+    // releasing only gates that report entered() races with the worker
+    // between its wedged_ increment and gate wait, and a drain against an
+    // armed, unreleased gate never returns.  Gates for frames not yet
+    // forwarded stay armed.
+    if (config_.fault_plan.stalls[i].frame_index < forwarded ||
+        gates_[i]->entered()) {
+      gates_[i]->release();
+    }
+  }
+}
+
+void Supervisor::accumulate_counters_locked() {
+  add_snapshot(accumulated_, pipe_->counters());
+  base_seq_.store(accumulated_.submitted.value(), std::memory_order_relaxed);
+  wedged_ = 0;
+}
+
+void Supervisor::restart_pipeline(std::optional<vprofile::Model> new_model) {
+  release_armed_gates();
+  pipe_->finish();  // drains: every accepted frame is handled before this
+                    // returns, so the swap below is a clean generation cut
+  std::lock_guard<std::mutex> lock(mu_);
+  accumulate_counters_locked();
+  if (new_model.has_value()) {
+    model_ = std::make_shared<const vprofile::Model>(std::move(*new_model));
+    sentinel_.reset_all();
+    validation_window_.clear();
+    if (health_ != HealthState::kDegraded) health_ = HealthState::kHealthy;
+  }
+  pipe_.reset();
+  create_pipeline();
+}
+
+void Supervisor::apply_control() {
+  std::optional<vprofile::Model> promote;
+  bool checkpoint = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (pending_promotion_.has_value()) {
+      promote = std::move(pending_promotion_);
+      pending_promotion_.reset();
+    }
+    if (checkpoint_due_) {
+      checkpoint = true;
+      checkpoint_due_ = false;
+    }
+  }
+  if (promote.has_value()) {
+    restart_pipeline(std::move(promote));
+    checkpoint = true;  // a promoted model is immediately made durable
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.promotions;
+    }
+    if (instruments_.promotions != nullptr) instruments_.promotions->add();
+  }
+  if (checkpoint && store_.has_value()) {
+    std::string error;
+    if (store_->commit(*model_, &error)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.checkpoints_committed;
+      if (instruments_.checkpoints != nullptr) instruments_.checkpoints->add();
+    }
+  }
+  if (instruments_.health != nullptr) {
+    instruments_.health->set(static_cast<std::int64_t>(health()));
+  }
+}
+
+void Supervisor::finish() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (finished_) return;
+  }
+  apply_control();
+  release_armed_gates();
+  pipe_->finish();
+  std::optional<vprofile::Model> promote;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished_ = true;
+    accumulate_counters_locked();
+    // A promotion decided by the very last frames still lands: the drain
+    // is complete, so the swap is safe without recreating the pipeline.
+    if (pending_promotion_.has_value()) {
+      promote = std::move(pending_promotion_);
+      pending_promotion_.reset();
+    }
+  }
+  if (promote.has_value()) {
+    model_ = std::make_shared<const vprofile::Model>(std::move(*promote));
+    if (instruments_.promotions != nullptr) instruments_.promotions->add();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.promotions;
+    if (health_ != HealthState::kDegraded) health_ = HealthState::kHealthy;
+  }
+  if (store_.has_value()) {
+    std::string error;
+    if (store_->commit(*model_, &error)) {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.checkpoints_committed;
+      if (instruments_.checkpoints != nullptr) instruments_.checkpoints->add();
+    }
+  }
+}
+
+HealthState Supervisor::health() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return health_;
+}
+
+SupervisorStats Supervisor::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SupervisorStats s = stats_;
+  s.gate = gate_accum_;
+  if (gated_ != nullptr) add_gate_stats(s.gate, gated_->stats());
+  return s;
+}
+
+pipeline::CountersSnapshot Supervisor::pipeline_counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  pipeline::CountersSnapshot snap = accumulated_;
+  if (pipe_ != nullptr && !finished_) add_snapshot(snap, pipe_->counters());
+  return snap;
+}
+
+std::uint64_t Supervisor::fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t h = fnv1a_u64(fingerprint_, stats_.frames_decimated);
+  h = fnv1a_u64(h, stats_.promotions);
+  h = fnv1a_u64(h, stats_.rollbacks);
+  return h;
+}
+
+}  // namespace runtime

@@ -1,0 +1,217 @@
+// Self-healing supervision around pipeline::DetectionPipeline.
+//
+// The pipeline scores frames; the supervisor keeps the *monitor* alive
+// and the *model* honest across hours of unattended operation:
+//
+//  * Watchdog — judges liveness from completed-frame progress on an
+//    externally supplied clock (poll(now_ns)); a wedged stage is released
+//    (the planned-stall gate throws into the pipeline's per-frame
+//    exception containment), the pipeline is drained and recreated, and
+//    restarts back off exponentially up to a budget.
+//  * Drift sentinel — Page–Hinkley over per-cluster distance streams;
+//    an alarm escalates healthy -> drifting and starts a retrain
+//    candidate.
+//  * Guarded retraining — gate-accepted (Algorithm 4 + verdict gate)
+//    edge sets fold into a *copy* of the live model; when the batch is
+//    full the candidate must re-classify a held-back window of recent
+//    benign frames without regressions before it is promoted.  Promotion
+//    swaps the model at a drain point; regression rolls the candidate
+//    back and degrades health instead.
+//  * Checkpointing — the live model is committed to a CheckpointStore
+//    periodically, at promotion, and at shutdown; load() recovers to
+//    last-good when the latest checkpoint is corrupt.
+//  * Overload governor — when the queue crosses the high-water mark the
+//    supervisor sheds load deterministically (keep 1 of every
+//    decimation_stride frames) until it falls below the low-water mark.
+//
+// Threading contract: one producer thread calls submit()/poll()/finish();
+// results are handled on worker threads (serialized, in capture order) and
+// forwarded to the caller's sink.  In lockstep mode submit() additionally
+// waits for the frame's result (or a visibly wedged worker), which makes
+// the entire supervised run — verdicts, promotions, restarts — a pure
+// function of (model, config, input stream): the soak harness's
+// bit-identical-fingerprint guarantee.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <condition_variable>
+
+#include "core/model.hpp"
+#include "core/online_update.hpp"
+#include "faults/runtime_fault.hpp"
+#include "pipeline/pipeline.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/drift_sentinel.hpp"
+#include "runtime/watchdog.hpp"
+
+namespace obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}  // namespace obs
+
+namespace runtime {
+
+struct SupervisorConfig {
+  /// Base pipeline tuning.  keep_edge_set is forced on while online
+  /// updates are enabled; stage_hook is owned by the supervisor (any
+  /// caller-provided hook is replaced).
+  pipeline::PipelineConfig pipeline;
+  WatchdogConfig watchdog;
+  DriftConfig drift;
+  vprofile::GatedUpdateConfig gate;
+
+  /// Checkpoint directory; empty disables checkpointing.
+  std::string checkpoint_dir;
+  /// Commit every N handled frames (0 = only at promotion and finish()).
+  std::uint64_t checkpoint_every = 0;
+
+  /// Master switch for the drift -> retrain -> promote loop.
+  bool online_update = true;
+  /// Gate-accepted edge sets per retrain candidate.
+  std::size_t retrain_batch = 128;
+  /// Held-back recent benign frames the candidate must re-classify.
+  std::size_t validation_window = 64;
+  /// 1-in-N holdout split: every N-th gate-eligible benign frame is held
+  /// back for the validation window INSTEAD of being offered to the
+  /// candidate, keeping validation disjoint from the update stream (a
+  /// window the candidate has already absorbed cannot expose it).  0 is
+  /// normalized to 1; 1 holds back everything, starving the candidate.
+  std::size_t validation_holdout_stride = 4;
+  /// Candidate anomalies allowed on that window before rollback.
+  std::size_t validation_max_regressions = 0;
+
+  /// Overload governor; high_water 0 disables.  While active, only every
+  /// decimation_stride-th offered frame is forwarded.
+  std::size_t governor_high_water = 0;
+  std::size_t governor_low_water = 0;
+  std::size_t decimation_stride = 2;
+
+  /// Deterministic mode: submit() waits for the frame's result (or a
+  /// wedged worker) before returning.
+  bool lockstep = false;
+  /// Injected runtime failures (soak harness).  Stall plans are keyed on
+  /// the supervisor's global frame index.
+  faults::RuntimeFaultPlan fault_plan;
+};
+
+struct SupervisorStats {
+  std::uint64_t frames_offered = 0;    // submit() calls
+  std::uint64_t frames_submitted = 0;  // forwarded to the pipeline
+  std::uint64_t frames_decimated = 0;  // shed by the governor
+  std::uint64_t frames_handled = 0;    // results seen (ordered)
+  std::uint64_t worker_errors = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t stalls_detected = 0;
+  std::uint64_t drift_alarms = 0;
+  std::uint64_t candidates_started = 0;
+  std::uint64_t promotions = 0;
+  std::uint64_t rollbacks = 0;
+  std::uint64_t checkpoints_committed = 0;
+  vprofile::GatedUpdateStats gate;
+};
+
+class Supervisor {
+ public:
+  /// Called (serialized, in capture order) with every handled result.
+  /// result.seq carries the supervisor's global frame index (stable
+  /// across pipeline restarts), not the pipeline-local sequence.
+  using ResultSink = std::function<void(const pipeline::FrameResult&)>;
+
+  Supervisor(vprofile::Model model, SupervisorConfig config,
+             ResultSink sink = nullptr);
+  ~Supervisor();
+
+  Supervisor(const Supervisor&) = delete;
+  Supervisor& operator=(const Supervisor&) = delete;
+
+  /// Offers one trace.  Returns the frame's global index, or std::nullopt
+  /// when the governor shed it or intake has finished.  Single producer.
+  std::optional<std::uint64_t> submit(dsp::Trace trace);
+
+  /// Supervision tick on the caller's clock (virtual or wall).  Runs the
+  /// watchdog and applies any pending promotion / checkpoint.
+  void poll(std::uint64_t now_ns);
+
+  /// Drains the pipeline, applies pending control actions, commits the
+  /// final checkpoint.  Idempotent.
+  void finish();
+
+  HealthState health() const;
+  const vprofile::Model& model() const { return *model_; }
+  SupervisorStats stats() const;
+  /// Aggregated pipeline counters across every restart generation.
+  pipeline::CountersSnapshot pipeline_counters() const;
+  /// Order-exact digest of every handled result (verdict, distance bits)
+  /// plus the shed-frame count — the soak harness's equivalence check.
+  std::uint64_t fingerprint() const;
+
+ private:
+  void create_pipeline();
+  void handle(pipeline::FrameResult&& result);
+  void stage_hook(std::uint64_t local_seq);
+  /// Applies pending promotion / checkpoint decisions.  Must be called
+  /// without mu_ held (drains the pipeline).
+  void apply_control();
+  /// Drains + recreates the pipeline; new_model empty = keep current.
+  void restart_pipeline(std::optional<vprofile::Model> new_model);
+  void accumulate_counters_locked();
+  void release_armed_gates();
+  void validate_candidate_locked();
+
+  SupervisorConfig config_;
+  ResultSink sink_;
+  std::shared_ptr<const vprofile::Model> model_;
+  std::unique_ptr<pipeline::DetectionPipeline> pipe_;
+  Watchdog watchdog_;
+  DriftSentinel sentinel_;
+  std::optional<CheckpointStore> store_;
+  std::vector<std::unique_ptr<faults::StallGate>> gates_;
+
+  mutable std::mutex mu_;
+  std::condition_variable handled_cv_;
+  /// Global index of the current pipeline's local seq 0.
+  std::atomic<std::uint64_t> base_seq_{0};
+  std::uint64_t expected_results_ = 0;  // frames forwarded to any pipeline
+  std::uint64_t total_handled_ = 0;
+  std::uint64_t wedged_ = 0;  // workers currently blocked on a stall gate
+  std::uint64_t fingerprint_ = 0xcbf29ce484222325ULL;
+  HealthState health_ = HealthState::kHealthy;
+  bool finished_ = false;
+  bool governor_active_ = false;
+  std::uint64_t decimation_counter_ = 0;
+
+  /// Retrain candidate (unique_ptr: GatedUpdater keeps a stable Model*).
+  std::unique_ptr<vprofile::Model> candidate_;
+  std::unique_ptr<vprofile::GatedUpdater> gated_;
+  std::deque<vprofile::EdgeSet> validation_window_;
+  std::uint64_t holdout_tick_ = 0;
+  std::optional<vprofile::Model> pending_promotion_;
+  bool checkpoint_due_ = false;
+
+  pipeline::CountersSnapshot accumulated_;  // finished pipeline generations
+  SupervisorStats stats_;
+  vprofile::GatedUpdateStats gate_accum_;  // completed candidates' gate stats
+
+  struct Instruments {
+    obs::Counter* decimated = nullptr;
+    obs::Counter* promotions = nullptr;
+    obs::Counter* rollbacks = nullptr;
+    obs::Counter* checkpoints = nullptr;
+    obs::Counter* drift_alarms = nullptr;
+    obs::Gauge* health = nullptr;
+    obs::Gauge* governor_active = nullptr;
+  } instruments_;
+};
+
+}  // namespace runtime

@@ -1,0 +1,58 @@
+#include "runtime/watchdog.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace runtime {
+
+Watchdog::Watchdog(WatchdogConfig config) : config_(config) {}
+
+void Watchdog::bind_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    metric_restarts_ = nullptr;
+    metric_stalls_ = nullptr;
+    return;
+  }
+  metric_restarts_ = registry->counter("runtime_restarts_total");
+  metric_stalls_ = registry->counter("runtime_stalls_total");
+}
+
+Watchdog::Action Watchdog::poll(std::uint64_t now_ns,
+                                std::uint64_t completed_frames,
+                                bool work_pending) {
+  if (gave_up_) return Action::kNone;
+  if (!primed_ || completed_frames > last_completed_ || !work_pending) {
+    // Progress (or nothing to do): the stall clock restarts here, and any
+    // completed frame proves the stage alive, ending the restart streak.
+    if (primed_ && completed_frames > last_completed_) streak_ = 0;
+    last_completed_ = completed_frames;
+    last_progress_ns_ = now_ns;
+    primed_ = true;
+    return Action::kNone;
+  }
+  if (now_ns < backoff_until_ns_) return Action::kNone;
+  if (now_ns - last_progress_ns_ < config_.stall_timeout_ns) {
+    return Action::kNone;
+  }
+  ++stalls_;
+  if (metric_stalls_ != nullptr) metric_stalls_->add();
+  if (streak_ >= config_.max_restarts) {
+    gave_up_ = true;
+    return Action::kGiveUp;
+  }
+  return Action::kRestart;
+}
+
+void Watchdog::notify_restarted(std::uint64_t now_ns) {
+  ++streak_;
+  ++restarts_total_;
+  if (metric_restarts_ != nullptr) metric_restarts_->add();
+  backoff_ns_ = backoff_ns_ == 0
+                    ? config_.initial_backoff_ns
+                    : std::min(backoff_ns_ * 2, config_.max_backoff_ns);
+  backoff_until_ns_ = now_ns + backoff_ns_;
+  last_progress_ns_ = now_ns;
+}
+
+}  // namespace runtime

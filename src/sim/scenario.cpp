@@ -72,6 +72,7 @@ std::uint64_t ScenarioMetrics::fingerprint() const {
   h = hash_u64(h, fault_stats.total_traces);
   for (std::uint64_t e : pipeline_counters.extract_errors) h = hash_u64(h, e);
   for (std::uint64_t v : pipeline_counters.verdicts) h = hash_u64(h, v);
+  h = hash_u64(h, pipeline_counters.worker_errors);
   return h;
 }
 

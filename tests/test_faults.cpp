@@ -177,6 +177,41 @@ TEST(FaultProfileTest, CleanProfileIsEmptyOthersAreNot) {
   }
 }
 
+TEST(FaultInjectorTest, SlowDriftRampAccumulatesAndSaturates) {
+  faults::FaultProfile p = faults::slow_poison();
+  p.slow_drift->step = 100.0;
+  p.slow_drift->max_shift = 250.0;
+  faults::FaultInjector inj(p, kMaxCode, 7);
+  const dsp::Trace in(64, 1000.0);
+
+  const dsp::Trace t1 = inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.slow_drift_shift(), 100.0);
+  EXPECT_DOUBLE_EQ(t1.front(), 1100.0);
+
+  const dsp::Trace t2 = inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.slow_drift_shift(), 200.0);
+  EXPECT_DOUBLE_EQ(t2.front(), 1200.0);
+
+  // The third step would reach 300 but saturates at max_shift, and every
+  // later firing stays pinned there.
+  for (int i = 0; i < 5; ++i) inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.slow_drift_shift(), 250.0);
+  EXPECT_DOUBLE_EQ(inj.apply(in).front(), 1250.0);
+
+  const auto& s = inj.stats();
+  EXPECT_EQ(s.applied[static_cast<std::size_t>(faults::FaultKind::kSlowDrift)],
+            8u);
+}
+
+TEST(FaultInjectorTest, SlowDriftClampsAtTheRails) {
+  faults::FaultProfile p = faults::slow_poison();
+  p.slow_drift->step = kMaxCode;  // one firing pushes everything past the rail
+  p.slow_drift->max_shift = 2.0 * kMaxCode;
+  faults::FaultInjector inj(p, kMaxCode, 9);
+  const dsp::Trace out = inj.apply(ramp(128));
+  for (double c : out) EXPECT_DOUBLE_EQ(c, kMaxCode);
+}
+
 TEST(FaultInjectorTest, SameSeedSameOutput) {
   const faults::FaultProfile profile = faults::harsh_environment();
   faults::FaultInjector a(profile, kMaxCode, 42);

@@ -1,11 +1,15 @@
 #include <algorithm>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <limits>
 #include <sstream>
 
 #include <gtest/gtest.h>
 
 #include "core/trainer.hpp"
+#include "io/atomic_file.hpp"
+#include "io/checksum.hpp"
 #include "io/csv.hpp"
 #include "io/model_store.hpp"
 #include "io/trace_store.hpp"
@@ -216,6 +220,112 @@ TEST(ModelStore, TruncationAtEveryByteFailsCleanly) {
     EXPECT_NE(error, "unset") << "prefix length " << len;
     EXPECT_FALSE(error.empty()) << "prefix length " << len;
   }
+}
+
+TEST(Checksum, MatchesTheStandardCheckValue) {
+  // The canonical CRC-32 test vector: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(io::crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(io::crc32("", 0), 0u);
+  EXPECT_EQ(io::crc32_hex(0xCBF43926u), "cbf43926");
+  std::uint32_t parsed = 0;
+  EXPECT_TRUE(io::parse_crc32_hex("cbf43926", &parsed));
+  EXPECT_EQ(parsed, 0xCBF43926u);
+  EXPECT_TRUE(io::parse_crc32_hex("DEADBEEF", &parsed));
+  EXPECT_EQ(parsed, 0xDEADBEEFu);
+  EXPECT_FALSE(io::parse_crc32_hex("deadbee", &parsed));
+  EXPECT_FALSE(io::parse_crc32_hex("deadbeefs", &parsed));
+  EXPECT_FALSE(io::parse_crc32_hex("deadbeeg", &parsed));
+}
+
+TEST(ModelStore, SavedFileCarriesCrcFooter) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  const std::string full = ss.str();
+  // Last line is "crc32 <8 hex>\n" and it verifies against the payload.
+  ASSERT_GE(full.size(), 15u);
+  const std::string footer = full.substr(full.size() - 15);
+  EXPECT_EQ(footer.substr(0, 6), "crc32 ");
+  std::uint32_t stored = 0;
+  ASSERT_TRUE(io::parse_crc32_hex(footer.substr(6, 8), &stored));
+  EXPECT_EQ(stored, io::crc32(full.substr(0, full.size() - 15)));
+}
+
+TEST(ModelStore, BitFlipAnywhereIsDetected) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  const std::string full = ss.str();
+  // Flip one bit at positions swept through the file (including inside
+  // the footer itself); every corruption must be refused.
+  for (std::size_t pos = 0; pos < full.size();
+       pos += std::max<std::size_t>(1, full.size() / 61)) {
+    std::string corrupted = full;
+    corrupted[pos] = static_cast<char>(corrupted[pos] ^ 0x08);
+    if (corrupted == full) continue;
+    std::stringstream in(corrupted);
+    std::string error;
+    EXPECT_FALSE(io::load_model(in, &error).has_value())
+        << "bit flip at byte " << pos << " was not detected";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(ModelStore, TruncatedFooterIsRejected) {
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  const std::string full = ss.str();
+  // Chop 1..15 bytes off the end: the footer is progressively mangled,
+  // then gone entirely.  All of it must fail, none of it crash.
+  for (std::size_t cut = 1; cut <= 15; ++cut) {
+    std::stringstream in(full.substr(0, full.size() - cut));
+    std::string error;
+    EXPECT_FALSE(io::load_model(in, &error).has_value())
+        << "footer truncated by " << cut << " bytes";
+    EXPECT_NE(error.find("footer"), std::string::npos)
+        << "unexpected error: " << error;
+  }
+}
+
+TEST(ModelStore, LegacyFooterlessVersion1StillLoads) {
+  // Files written before the integrity footer existed declare version 1
+  // and end after the last cluster; they must keep loading (with no
+  // integrity check) so a fleet upgrade does not orphan stored models.
+  const auto model = make_model(vprofile::DistanceMetric::kMahalanobis);
+  std::stringstream ss;
+  ASSERT_TRUE(io::save_model(model, ss));
+  std::string legacy = ss.str();
+  legacy.resize(legacy.size() - 15);  // strip "crc32 <8 hex>\n"
+  const std::string v2_header = "vprofile-model 2";
+  ASSERT_EQ(legacy.compare(0, v2_header.size(), v2_header), 0);
+  legacy.replace(0, v2_header.size(), "vprofile-model 1");
+  std::stringstream in(legacy);
+  std::string error;
+  const auto loaded = io::load_model(in, &error);
+  ASSERT_TRUE(loaded.has_value()) << error;
+  EXPECT_EQ(loaded->clusters().size(), model.clusters().size());
+  EXPECT_DOUBLE_EQ(loaded->clusters()[0].max_distance,
+                   model.clusters()[0].max_distance);
+}
+
+TEST(AtomicFile, ReplacesContentAtomically) {
+  const std::string path = ::testing::TempDir() + "/atomic_probe.txt";
+  std::string error;
+  ASSERT_TRUE(io::atomic_write_file(path, "first\n", &error)) << error;
+  ASSERT_TRUE(io::atomic_write_file(path, "second\n", &error)) << error;
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second\n");
+  // No temp file left behind.
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+}
+
+TEST(AtomicFile, FailureLeavesTargetUntouched) {
+  std::string error;
+  EXPECT_FALSE(io::atomic_write_file("/nonexistent-dir/x.txt", "data", &error));
+  EXPECT_FALSE(error.empty());
 }
 
 TEST(ModelStore, RoundTripPreservesExactBits) {

@@ -187,6 +187,100 @@ TEST(OnlineUpdate, StatusNamesAreStable) {
                "dimension mismatch");
 }
 
+double max_abs_mean_diff(const Model& a, const Model& b, std::size_t cluster) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.dimension(); ++i) {
+    worst = std::max(worst, std::abs(a.clusters()[cluster].mean[i] -
+                                     b.clusters()[cluster].mean[i]));
+  }
+  return worst;
+}
+
+TEST(GatedUpdate, FoldsHighMarginBenignFramesOnly) {
+  stats::Rng rng(10);
+  Model model = train_two_clusters(rng);
+  const std::size_t cluster = *model.cluster_of(1);
+  const std::size_t n_before = model.clusters()[cluster].edge_set_count;
+
+  vprofile::GatedUpdater gated(&model, {});
+  const vprofile::DetectionConfig dc;
+
+  // A frame at the cluster's own mean (distance exactly 0) passes the
+  // gate unconditionally — no dependence on a lucky draw.
+  EdgeSet benign;
+  benign.sa = 1;
+  benign.samples = model.clusters()[cluster].mean;
+  EXPECT_EQ(gated.consider(benign, vprofile::detect(model, benign, dc)),
+            vprofile::GateDecision::kAccepted);
+  EXPECT_EQ(model.clusters()[cluster].edge_set_count, n_before + 1);
+
+  // An unknown-SA frame is rejected on the verdict alone.
+  const EdgeSet foreign = gaussian_edge_set(0x55, 100.0, 1.0, rng,
+                                            model.dimension());
+  EXPECT_EQ(gated.consider(foreign, vprofile::detect(model, foreign, dc)),
+            vprofile::GateDecision::kRejectedVerdict);
+
+  // A frame near (but inside) the threshold passes detection yet fails
+  // the high-margin requirement — the slow-poisoning band.
+  vprofile::Detection near_threshold;
+  near_threshold.verdict = vprofile::Verdict::kOk;
+  near_threshold.expected_cluster = cluster;
+  near_threshold.min_distance =
+      0.95 * model.clusters()[cluster].max_distance;
+  EXPECT_EQ(gated.consider(benign, near_threshold),
+            vprofile::GateDecision::kRejectedMargin);
+
+  EXPECT_EQ(gated.stats().accepted, 1u);
+  EXPECT_EQ(gated.stats().rejected_verdict, 1u);
+  EXPECT_EQ(gated.stats().rejected_margin, 1u);
+  EXPECT_EQ(gated.stats().considered(), 3u);
+
+  EXPECT_THROW(vprofile::GatedUpdater(&model, {100, 0.0}),
+               std::invalid_argument);
+  EXPECT_STREQ(to_string(vprofile::GateDecision::kAccepted), "accepted");
+  EXPECT_STREQ(to_string(vprofile::GateDecision::kRejectedMargin),
+               "rejected-margin");
+}
+
+// The Sagong-style poisoning experiment: a masquerading attacker ramps its
+// injected signature toward the victim's operating point in sub-margin
+// steps.  An ungated updater folds every frame and walks the stored
+// profile to the attacker; the verdict gate stalls the walk — the mean can
+// only chase at (acceptance radius / N) per frame, slower than any ramp
+// that wants to stay under the margin, so the attacker runs out of
+// acceptance and the profile freezes within tolerance of the clean one.
+TEST(GatedUpdate, VerdictGateResistsSlowPoisoning) {
+  stats::Rng rng(11);
+  const Model clean = train_two_clusters(rng);
+  const std::size_t cluster = *clean.cluster_of(1);
+
+  Model poisoned = clean;  // ungated victim
+  Model guarded = clean;   // gate in front
+  OnlineUpdater ungated(&poisoned, 1000000);
+  vprofile::GatedUpdater gated(&guarded, {});
+  const vprofile::DetectionConfig dc;
+
+  const int n = 800;
+  for (int i = 0; i < n; ++i) {
+    // 100 -> 140 codes over the run: 0.05 codes per frame, far below the
+    // per-frame detection margin.
+    const double level =
+        100.0 + 40.0 * static_cast<double>(i) / static_cast<double>(n - 1);
+    const EdgeSet es = gaussian_edge_set(1, level, 1.0, rng,
+                                         clean.dimension());
+    ungated.update(es);
+    gated.consider(es, vprofile::detect(guarded, es, dc));
+  }
+
+  const double walked = max_abs_mean_diff(poisoned, clean, cluster);
+  const double held = max_abs_mean_diff(guarded, clean, cluster);
+  EXPECT_GT(walked, 10.0);  // ungated profile dragged toward the attacker
+  EXPECT_LT(held, 2.0);     // gated profile stays at the clean posture
+  // The gate visibly did the work: the ramp's tail was refused.
+  EXPECT_GT(gated.stats().rejected_margin + gated.stats().rejected_verdict,
+            static_cast<std::uint64_t>(n) / 2);
+}
+
 TEST(OnlineUpdate, MaxDistanceGrowsForOutlyingUpdate) {
   stats::Rng rng(9);
   Model model = train_two_clusters(rng);

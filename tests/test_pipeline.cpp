@@ -254,6 +254,94 @@ TEST(PipelineEquivalence, SubmitAfterFinishIsRefused) {
   EXPECT_EQ(pipe.counters().submitted.value(), f.traces.size());
 }
 
+TEST(PipelineRobustness, ThrowingStageCostsOneFrameNotTheWorker) {
+  // A stage that throws mid-stream must be contained per frame: the worker
+  // survives, the poisoned frames come back as worker_error results in
+  // order, and every other frame scores exactly as the sequential
+  // reference says.  Before containment this was std::terminate.
+  Fixture f = make_fixture(sim::vehicle_a(), 11, 900, 120);
+  ASSERT_TRUE(f.model.has_value());
+  const vprofile::DetectionConfig dc;
+  const auto reference = pipeline::score_sequential(*f.model, f.traces, dc);
+
+  for (const std::size_t workers : {1u, 4u}) {
+    PipelineConfig pc;
+    pc.num_workers = workers;
+    pc.queue_capacity = 32;
+    pc.detection = dc;
+    pc.stage_hook = [](std::uint64_t seq, const dsp::Trace&) {
+      if (seq % 7 == 3) throw std::runtime_error("injected stage failure");
+    };
+    std::vector<FrameResult> results;
+    DetectionPipeline pipe(*f.model, pc, [&](FrameResult&& r) {
+      results.push_back(std::move(r));
+    });
+    for (const dsp::Trace& t : f.traces) pipe.submit(t);
+    pipe.finish();
+
+    ASSERT_EQ(results.size(), f.traces.size());
+    std::uint64_t errors = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      SCOPED_TRACE(i);
+      EXPECT_EQ(results[i].seq, i);
+      if (i % 7 == 3) {
+        ++errors;
+        EXPECT_TRUE(results[i].worker_error);
+        EXPECT_FALSE(results[i].ok());
+        EXPECT_FALSE(results[i].detection.has_value());
+      } else {
+        EXPECT_FALSE(results[i].worker_error);
+        EXPECT_EQ(results[i].extract_error, reference[i].extract_error);
+        if (results[i].ok()) {
+          EXPECT_EQ(results[i].detection->verdict,
+                    reference[i].detection->verdict);
+          EXPECT_EQ(results[i].detection->min_distance,
+                    reference[i].detection->min_distance);
+        }
+      }
+    }
+    const pipeline::CountersSnapshot c = pipe.counters();
+    EXPECT_EQ(c.worker_errors, errors);
+    EXPECT_TRUE(c.consistent());
+  }
+}
+
+TEST(PipelineRobustness, KeepEdgeSetRetainsScoredEdgeSets) {
+  Fixture f = make_fixture(sim::vehicle_a(), 12, 900, 60);
+  ASSERT_TRUE(f.model.has_value());
+  const vprofile::DetectionConfig dc;
+  const auto reference = pipeline::score_sequential(*f.model, f.traces, dc);
+
+  PipelineConfig pc;
+  pc.num_workers = 2;
+  pc.detection = dc;
+  pc.keep_edge_set = true;
+  std::vector<FrameResult> results;
+  DetectionPipeline pipe(*f.model, pc, [&](FrameResult&& r) {
+    results.push_back(std::move(r));
+  });
+  for (const dsp::Trace& t : f.traces) pipe.submit(t);
+  pipe.finish();
+
+  ASSERT_EQ(results.size(), reference.size());
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    SCOPED_TRACE(i);
+    ASSERT_EQ(results[i].ok(), reference[i].ok());
+    if (results[i].ok()) {
+      // The retained edge set is the one that was scored: same SA, model
+      // dimensionality, and verdicts unchanged by retention.
+      ASSERT_TRUE(results[i].edge_set.has_value());
+      EXPECT_EQ(results[i].edge_set->sa, results[i].sa);
+      EXPECT_EQ(results[i].edge_set->samples.size(), f.model->dimension());
+      EXPECT_EQ(results[i].detection->verdict, reference[i].detection->verdict);
+      EXPECT_EQ(results[i].detection->min_distance,
+                reference[i].detection->min_distance);
+    } else {
+      EXPECT_FALSE(results[i].edge_set.has_value());
+    }
+  }
+}
+
 TEST(ParallelTrainer, ThreadCountDoesNotChangeTheModel) {
   sim::Vehicle vehicle(sim::vehicle_a(), 61);
   const analog::Environment env = analog::Environment::reference();

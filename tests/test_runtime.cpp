@@ -1,0 +1,534 @@
+// Unit tests for the runtime supervision layer: watchdog stall/backoff
+// discipline, Page–Hinkley drift sentinel, crash-safe checkpoint store
+// (commit/rotate/corrupt/recover), and the Supervisor's clean-path
+// equivalence, governor decimation, and lifecycle bookkeeping.  The
+// deterministic end-to-end recovery scenarios live in test_runtime_soak.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <optional>
+#include <vector>
+
+#include "core/extractor.hpp"
+#include "core/online_update.hpp"
+#include "core/trainer.hpp"
+#include "dsp/trace.hpp"
+#include "faults/runtime_fault.hpp"
+#include "pipeline/pipeline.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/drift_sentinel.hpp"
+#include "runtime/supervisor.hpp"
+#include "runtime/watchdog.hpp"
+#include "sim/attack.hpp"
+#include "sim/presets.hpp"
+#include "sim/vehicle.hpp"
+
+namespace {
+
+using runtime::DriftConfig;
+using runtime::DriftSentinel;
+using runtime::HealthState;
+using runtime::Watchdog;
+using runtime::WatchdogConfig;
+
+// ---------------------------------------------------------------- Watchdog
+
+TEST(WatchdogTest, ProgressNeverStalls) {
+  WatchdogConfig wc;
+  wc.stall_timeout_ns = 100;
+  Watchdog dog(wc);
+  for (std::uint64_t t = 0; t < 10; ++t) {
+    EXPECT_EQ(dog.poll(t * 1000, t, true), Watchdog::Action::kNone);
+  }
+  EXPECT_EQ(dog.stalls_detected(), 0u);
+}
+
+TEST(WatchdogTest, IdleQueueIsNotAStall) {
+  WatchdogConfig wc;
+  wc.stall_timeout_ns = 100;
+  Watchdog dog(wc);
+  // No completed frames, but no work pending either — forever.
+  for (std::uint64_t t = 0; t < 50; ++t) {
+    EXPECT_EQ(dog.poll(t * 1'000'000, 0, false), Watchdog::Action::kNone);
+  }
+  EXPECT_EQ(dog.stalls_detected(), 0u);
+}
+
+TEST(WatchdogTest, StallRestartBackoffThenGiveUp) {
+  WatchdogConfig wc;
+  wc.stall_timeout_ns = 100;
+  wc.initial_backoff_ns = 50;
+  wc.max_backoff_ns = 400;
+  wc.max_restarts = 2;
+  Watchdog dog(wc);
+
+  EXPECT_EQ(dog.poll(0, 0, true), Watchdog::Action::kNone);  // primes
+  EXPECT_EQ(dog.poll(99, 0, true), Watchdog::Action::kNone);
+  EXPECT_EQ(dog.poll(101, 0, true), Watchdog::Action::kRestart);
+  EXPECT_EQ(dog.stalls_detected(), 1u);
+  dog.notify_restarted(101);
+  EXPECT_EQ(dog.restart_streak(), 1u);
+  EXPECT_EQ(dog.current_backoff_ns(), 50u);
+
+  // Inside the backoff window nothing fires, even though no progress.
+  EXPECT_EQ(dog.poll(140, 0, true), Watchdog::Action::kNone);
+  // Past backoff and past the stall timeout: second restart of the streak.
+  EXPECT_EQ(dog.poll(210, 0, true), Watchdog::Action::kRestart);
+  dog.notify_restarted(210);
+  EXPECT_EQ(dog.restart_streak(), 2u);
+  EXPECT_EQ(dog.current_backoff_ns(), 100u);  // doubled
+
+  // Streak hit max_restarts: the next stall is a give-up, then silence.
+  EXPECT_EQ(dog.poll(420, 0, true), Watchdog::Action::kGiveUp);
+  EXPECT_EQ(dog.poll(10'000, 0, true), Watchdog::Action::kNone);
+  EXPECT_EQ(dog.restarts(), 2u);
+  EXPECT_EQ(dog.stalls_detected(), 3u);
+}
+
+TEST(WatchdogTest, ProgressResetsTheStreak) {
+  WatchdogConfig wc;
+  wc.stall_timeout_ns = 100;
+  wc.initial_backoff_ns = 10;
+  wc.max_restarts = 1;
+  Watchdog dog(wc);
+  EXPECT_EQ(dog.poll(0, 0, true), Watchdog::Action::kNone);
+  EXPECT_EQ(dog.poll(150, 0, true), Watchdog::Action::kRestart);
+  dog.notify_restarted(150);
+  EXPECT_EQ(dog.restart_streak(), 1u);
+  // A completed frame proves the stage alive; the streak ends.
+  EXPECT_EQ(dog.poll(200, 1, true), Watchdog::Action::kNone);
+  EXPECT_EQ(dog.restart_streak(), 0u);
+  // The budget is available again: a fresh stall restarts, not gives up.
+  EXPECT_EQ(dog.poll(400, 1, true), Watchdog::Action::kRestart);
+}
+
+TEST(WatchdogTest, BackoffClampsAtTheConfiguredMaximum) {
+  WatchdogConfig wc;
+  wc.initial_backoff_ns = 50;
+  wc.max_backoff_ns = 300;
+  Watchdog dog(wc);
+  std::uint64_t t = 0;
+  const std::uint64_t expected[] = {50, 100, 200, 300, 300};
+  for (const std::uint64_t want : expected) {
+    dog.notify_restarted(t);
+    EXPECT_EQ(dog.current_backoff_ns(), want);
+    t += 1'000'000;
+  }
+}
+
+// ----------------------------------------------------------- DriftSentinel
+
+TEST(DriftSentinelTest, StationaryStreamNeverAlarms) {
+  DriftConfig dc;
+  dc.delta = 0.05;
+  dc.lambda = 5.0;
+  dc.min_samples = 16;
+  DriftSentinel sentinel(2, dc);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(sentinel.observe(0, 1.0));
+  }
+  EXPECT_FALSE(sentinel.alarmed(0));
+  EXPECT_LT(sentinel.statistic(0), dc.lambda);
+  EXPECT_EQ(sentinel.alarms_total(), 0u);
+}
+
+TEST(DriftSentinelTest, SustainedUpwardShiftAlarmsAndLatches) {
+  DriftConfig dc;
+  dc.delta = 0.05;
+  dc.lambda = 5.0;
+  dc.min_samples = 16;
+  DriftSentinel sentinel(2, dc);
+  for (int i = 0; i < 200; ++i) sentinel.observe(0, 1.0);
+  ASSERT_FALSE(sentinel.alarmed(0));
+
+  bool fired = false;
+  int fired_at = -1;
+  for (int i = 0; i < 200 && !fired; ++i) {
+    fired = sentinel.observe(0, 2.0);
+    fired_at = i;
+  }
+  EXPECT_TRUE(fired);
+  // The running mean starts near 1.0, so each 2.0 sample contributes close
+  // to (1 - delta); the alarm lands within a small multiple of lambda.
+  EXPECT_LT(fired_at, 30);
+  EXPECT_TRUE(sentinel.alarmed(0));
+  EXPECT_EQ(sentinel.alarms_total(), 1u);
+  // Latched: further samples never re-fire until reset.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(sentinel.observe(0, 10.0));
+  EXPECT_EQ(sentinel.alarms_total(), 1u);
+  // The sibling cluster saw nothing.
+  EXPECT_FALSE(sentinel.alarmed(1));
+}
+
+TEST(DriftSentinelTest, WarmupSuppressesEarlyAlarms) {
+  DriftConfig dc;
+  dc.delta = 0.0;
+  dc.lambda = 0.5;
+  dc.min_samples = 64;
+  DriftSentinel sentinel(1, dc);
+  // Wild swings inside the warmup window must not alarm: the running mean
+  // is not yet meaningful.
+  for (int i = 0; i < 63; ++i) {
+    EXPECT_FALSE(sentinel.observe(0, i % 2 == 0 ? 0.0 : 100.0));
+  }
+  EXPECT_FALSE(sentinel.alarmed(0));
+}
+
+TEST(DriftSentinelTest, ResetRestoresAFreshRegime) {
+  DriftConfig dc;
+  dc.delta = 0.01;
+  dc.lambda = 2.0;
+  dc.min_samples = 8;
+  DriftSentinel sentinel(1, dc);
+  for (int i = 0; i < 50; ++i) sentinel.observe(0, 1.0);
+  for (int i = 0; i < 100; ++i) sentinel.observe(0, 3.0);
+  ASSERT_TRUE(sentinel.alarmed(0));
+  sentinel.reset(0);
+  EXPECT_FALSE(sentinel.alarmed(0));
+  EXPECT_EQ(sentinel.statistic(0), 0.0);
+  // The new regime (3.0 flat) is stationary: no alarm after reset.
+  for (int i = 0; i < 500; ++i) EXPECT_FALSE(sentinel.observe(0, 3.0));
+}
+
+TEST(DriftSentinelTest, HealthStateNamesAreStable) {
+  EXPECT_STREQ(to_string(HealthState::kHealthy), "healthy");
+  EXPECT_STREQ(to_string(HealthState::kDrifting), "drifting");
+  EXPECT_STREQ(to_string(HealthState::kRetraining), "retraining");
+  EXPECT_STREQ(to_string(HealthState::kDegraded), "degraded");
+}
+
+// ----------------------------------------------------- shared model fixture
+
+struct Fixture {
+  std::optional<sim::Vehicle> vehicle;
+  std::optional<vprofile::Model> model;
+  vprofile::ExtractionConfig extraction;
+  std::vector<dsp::Trace> traces;            // benign stream
+  std::vector<vprofile::EdgeSet> edge_sets;  // extracted from the stream
+};
+
+const Fixture& fixture() {
+  static const Fixture f = [] {
+    Fixture fx;
+    fx.vehicle.emplace(sim::vehicle_a(), 11);
+    const analog::Environment env = analog::Environment::reference();
+    fx.extraction = sim::default_extraction(fx.vehicle->config());
+
+    std::vector<vprofile::EdgeSet> training;
+    for (const sim::Capture& cap : fx.vehicle->capture(900, env)) {
+      if (auto es = vprofile::extract_edge_set(cap.codes, fx.extraction)) {
+        training.push_back(std::move(*es));
+      }
+    }
+    vprofile::TrainingConfig tc;
+    tc.extraction = fx.extraction;
+    auto out = vprofile::train_with_database(training, fx.vehicle->database(),
+                                             tc);
+    EXPECT_TRUE(out.ok()) << out.error;
+    if (!out.ok()) return fx;
+    fx.model = std::move(*out.model);
+
+    for (sim::LabeledCapture& lc :
+         sim::make_normal_stream(*fx.vehicle, 160, env)) {
+      if (auto es =
+              vprofile::extract_edge_set(lc.capture.codes, fx.extraction)) {
+        fx.edge_sets.push_back(std::move(*es));
+      }
+      fx.traces.push_back(std::move(lc.capture.codes));
+    }
+    return fx;
+  }();
+  return f;
+}
+
+/// A model observably different from the fixture's: one trusted edge set
+/// folded in moves the cluster mean.
+vprofile::Model variant_model() {
+  vprofile::Model m = *fixture().model;
+  vprofile::OnlineUpdater updater(&m, 100000);
+  std::size_t folded = 0;
+  for (const vprofile::EdgeSet& es : fixture().edge_sets) {
+    if (updater.update(es) == vprofile::UpdateStatus::kUpdated &&
+        ++folded == 4) {
+      break;
+    }
+  }
+  EXPECT_GE(folded, 1u);
+  return m;
+}
+
+void corrupt_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(0, std::ios::end);
+  const std::size_t size = static_cast<std::size_t>(f.tellg());
+  ASSERT_GT(size, 0u);
+  const std::size_t at = offset % size;
+  f.seekg(static_cast<std::streamoff>(at));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x08);
+  f.seekp(static_cast<std::streamoff>(at));
+  f.write(&byte, 1);
+}
+
+// --------------------------------------------------------- CheckpointStore
+
+TEST(CheckpointStoreTest, FreshDirectoryHasNothingToLoad) {
+  runtime::CheckpointStore store(::testing::TempDir() + "/ckpt_fresh");
+  EXPECT_FALSE(store.has_checkpoint());
+  const auto loaded = store.load();
+  EXPECT_FALSE(loaded.model.has_value());
+  EXPECT_FALSE(loaded.recovered_last_good);
+}
+
+TEST(CheckpointStoreTest, CommitRotateAndLoadNewest) {
+  const Fixture& fx = fixture();
+  ASSERT_TRUE(fx.model.has_value());
+  runtime::CheckpointStore store(::testing::TempDir() + "/ckpt_rotate");
+  const vprofile::Model b = variant_model();
+
+  ASSERT_TRUE(store.commit(*fx.model));
+  EXPECT_TRUE(store.has_checkpoint());
+  auto first = store.load();
+  ASSERT_TRUE(first.model.has_value());
+  EXPECT_FALSE(first.recovered_last_good);
+  EXPECT_EQ(first.model->clusters()[0].mean, fx.model->clusters()[0].mean);
+
+  ASSERT_TRUE(store.commit(b));
+  EXPECT_EQ(store.commits(), 2u);
+  auto second = store.load();
+  ASSERT_TRUE(second.model.has_value());
+  EXPECT_FALSE(second.recovered_last_good);
+  EXPECT_EQ(second.model->clusters()[0].mean, b.clusters()[0].mean);
+}
+
+TEST(CheckpointStoreTest, CorruptCurrentRecoversLastGood) {
+  const Fixture& fx = fixture();
+  ASSERT_TRUE(fx.model.has_value());
+  runtime::CheckpointStore store(::testing::TempDir() + "/ckpt_corrupt");
+  ASSERT_TRUE(store.commit(*fx.model));
+  ASSERT_TRUE(store.commit(variant_model()));
+
+  corrupt_byte(store.current_path(), 64);
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.model.has_value());
+  EXPECT_TRUE(loaded.recovered_last_good);
+  EXPECT_FALSE(loaded.error.empty());
+  // Last-good is the *first* committed model.
+  EXPECT_EQ(loaded.model->clusters()[0].mean, fx.model->clusters()[0].mean);
+}
+
+TEST(CheckpointStoreTest, CorruptCurrentIsNeverPromotedToLastGood) {
+  const Fixture& fx = fixture();
+  ASSERT_TRUE(fx.model.has_value());
+  runtime::CheckpointStore store(::testing::TempDir() + "/ckpt_gate");
+  const vprofile::Model b = variant_model();
+
+  ASSERT_TRUE(store.commit(*fx.model));  // current = A
+  ASSERT_TRUE(store.commit(b));          // prev = A, current = B
+  corrupt_byte(store.current_path(), 128);
+  // Committing C must not rotate the corrupt B into last-good.
+  ASSERT_TRUE(store.commit(*fx.model));  // current = C (== A's bytes)
+  corrupt_byte(store.current_path(), 128);
+  const auto loaded = store.load();
+  ASSERT_TRUE(loaded.model.has_value());
+  EXPECT_TRUE(loaded.recovered_last_good);
+  // Recovery lands on intact A, never on the corrupt B.
+  EXPECT_EQ(loaded.model->clusters()[0].mean, fx.model->clusters()[0].mean);
+}
+
+TEST(CheckpointStoreTest, BothCorruptReportsTheFailure) {
+  const Fixture& fx = fixture();
+  ASSERT_TRUE(fx.model.has_value());
+  runtime::CheckpointStore store(::testing::TempDir() + "/ckpt_both");
+  ASSERT_TRUE(store.commit(*fx.model));
+  ASSERT_TRUE(store.commit(*fx.model));
+  corrupt_byte(store.current_path(), 32);
+  corrupt_byte(store.previous_path(), 32);
+  const auto loaded = store.load();
+  EXPECT_FALSE(loaded.model.has_value());
+  EXPECT_FALSE(loaded.error.empty());
+}
+
+// -------------------------------------------------------------- Supervisor
+
+struct CollectedResult {
+  std::uint64_t seq = 0;
+  bool dropped = false;
+  bool worker_error = false;
+  vprofile::ExtractError extract_error = vprofile::ExtractError::kNone;
+  std::optional<vprofile::Detection> detection;
+};
+
+std::vector<CollectedResult> run_supervised(
+    const runtime::SupervisorConfig& config) {
+  const Fixture& fx = fixture();
+  std::vector<CollectedResult> results;
+  runtime::Supervisor sup(*fx.model, config,
+                          [&](const pipeline::FrameResult& r) {
+                            results.push_back({r.seq, r.dropped,
+                                               r.worker_error, r.extract_error,
+                                               r.detection});
+                          });
+  for (const dsp::Trace& t : fx.traces) sup.submit(t);
+  sup.finish();
+  return results;
+}
+
+TEST(SupervisorTest, CleanRunMatchesThePlainPipeline) {
+  const Fixture& fx = fixture();
+  ASSERT_TRUE(fx.model.has_value());
+
+  pipeline::PipelineConfig pc;
+  pc.num_workers = 3;
+  pc.queue_capacity = 32;
+  std::vector<CollectedResult> reference;
+  pipeline::DetectionPipeline pipe(*fx.model, pc,
+                                   [&](pipeline::FrameResult&& r) {
+                                     reference.push_back(
+                                         {r.seq, r.dropped, r.worker_error,
+                                          r.extract_error, r.detection});
+                                   });
+  for (const dsp::Trace& t : fx.traces) pipe.submit(t);
+  pipe.finish();
+
+  runtime::SupervisorConfig sc;
+  sc.pipeline = pc;
+  sc.online_update = false;
+  const auto supervised = run_supervised(sc);
+
+  ASSERT_EQ(supervised.size(), reference.size());
+  for (std::size_t i = 0; i < supervised.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(supervised[i].seq, reference[i].seq);
+    EXPECT_EQ(supervised[i].worker_error, reference[i].worker_error);
+    EXPECT_EQ(supervised[i].extract_error, reference[i].extract_error);
+    ASSERT_EQ(supervised[i].detection.has_value(),
+              reference[i].detection.has_value());
+    if (supervised[i].detection) {
+      EXPECT_EQ(supervised[i].detection->verdict,
+                reference[i].detection->verdict);
+      // Bit-identical: supervision must not perturb the scoring path.
+      EXPECT_EQ(supervised[i].detection->min_distance,
+                reference[i].detection->min_distance);
+    }
+  }
+}
+
+TEST(SupervisorTest, CleanRunIsHealthyAndConserved) {
+  runtime::SupervisorConfig sc;
+  sc.pipeline.num_workers = 2;
+  const Fixture& fx = fixture();
+  runtime::Supervisor sup(*fx.model, sc, nullptr);
+  for (const dsp::Trace& t : fx.traces) {
+    EXPECT_TRUE(sup.submit(t).has_value());
+  }
+  sup.poll(1'000'000);
+  sup.finish();
+  EXPECT_EQ(sup.health(), HealthState::kHealthy);
+  const runtime::SupervisorStats s = sup.stats();
+  EXPECT_EQ(s.frames_offered, fx.traces.size());
+  EXPECT_EQ(s.frames_submitted, fx.traces.size());
+  EXPECT_EQ(s.frames_handled, fx.traces.size());
+  EXPECT_EQ(s.frames_decimated, 0u);
+  EXPECT_EQ(s.restarts, 0u);
+  EXPECT_EQ(s.rollbacks, 0u);
+  const pipeline::CountersSnapshot c = sup.pipeline_counters();
+  EXPECT_TRUE(c.consistent());
+  EXPECT_EQ(c.submitted.value(), fx.traces.size());
+}
+
+TEST(SupervisorTest, SubmitAfterFinishIsRefused) {
+  runtime::SupervisorConfig sc;
+  const Fixture& fx = fixture();
+  runtime::Supervisor sup(*fx.model, sc, nullptr);
+  EXPECT_TRUE(sup.submit(fx.traces.front()).has_value());
+  sup.finish();
+  EXPECT_FALSE(sup.submit(fx.traces.front()).has_value());
+  EXPECT_EQ(sup.stats().frames_submitted, 1u);
+}
+
+TEST(SupervisorTest, GovernorShedsDeterministicallyUnderAWedgedWorker) {
+  // One worker, wedged on frame 0 by a planned stall: every further submit
+  // grows the queue, so the governor's hysteresis and stride are exercised
+  // on a fully deterministic depth sequence (lockstep hands control back
+  // as soon as the worker is visibly wedged).
+  const Fixture& fx = fixture();
+  ASSERT_GE(fx.traces.size(), 12u);
+
+  runtime::SupervisorConfig sc;
+  sc.pipeline.num_workers = 1;
+  sc.pipeline.queue_capacity = 32;
+  sc.online_update = false;
+  sc.lockstep = true;
+  sc.governor_high_water = 4;
+  sc.governor_low_water = 1;
+  sc.decimation_stride = 2;
+  sc.watchdog.stall_timeout_ns = 1'000'000;
+  sc.fault_plan.stalls.push_back({0});
+
+  std::uint64_t handled = 0;
+  std::uint64_t worker_errors = 0;
+  runtime::Supervisor sup(*fx.model, sc,
+                          [&](const pipeline::FrameResult& r) {
+                            ++handled;
+                            worker_errors += r.worker_error ? 1 : 0;
+                          });
+  // Frames 0..9: 0 wedges its worker; 1..4 queue up (depth 0..3 at submit
+  // time); 5 sees depth 4 and trips the governor; from there every other
+  // offered frame is shed (ticks 1 and 3 -> offers 6 and 8).
+  for (std::size_t i = 0; i < 10; ++i) sup.submit(fx.traces[i]);
+  EXPECT_EQ(sup.stats().frames_decimated, 2u);
+  EXPECT_EQ(sup.stats().frames_submitted, 8u);
+
+  // Virtual time: prime the watchdog, then jump past the stall timeout.
+  sup.poll(1'000);
+  sup.poll(2'002'000);
+  const runtime::SupervisorStats mid = sup.stats();
+  EXPECT_EQ(mid.stalls_detected, 1u);
+  EXPECT_EQ(mid.restarts, 1u);
+
+  // Drained: the wedged frame came back as a worker_error, the rest
+  // scored.  The queue is empty again, so the governor deactivates.
+  EXPECT_TRUE(sup.submit(fx.traces[10]).has_value());
+  sup.finish();
+  EXPECT_EQ(worker_errors, 1u);
+  EXPECT_EQ(handled, 9u);  // 8 wedge-phase frames + 1 after restart
+  const pipeline::CountersSnapshot c = sup.pipeline_counters();
+  EXPECT_TRUE(c.consistent());
+  EXPECT_EQ(c.submitted.value(), 9u);
+  EXPECT_EQ(c.worker_errors, 1u);
+  EXPECT_EQ(sup.health(), HealthState::kHealthy);
+}
+
+TEST(SupervisorTest, ResultSeqIsGlobalAcrossRestarts) {
+  const Fixture& fx = fixture();
+  runtime::SupervisorConfig sc;
+  sc.pipeline.num_workers = 1;
+  sc.online_update = false;
+  sc.lockstep = true;
+  sc.watchdog.stall_timeout_ns = 1'000'000;
+  sc.fault_plan.stalls.push_back({3});
+
+  std::vector<std::uint64_t> seqs;
+  runtime::Supervisor sup(*fx.model, sc,
+                          [&](const pipeline::FrameResult& r) {
+                            seqs.push_back(r.seq);
+                          });
+  for (std::size_t i = 0; i < 8; ++i) {
+    sup.submit(fx.traces[i]);
+    sup.poll(i * 10'000);
+  }
+  sup.poll(20'000'000);  // release the wedge
+  for (std::size_t i = 8; i < 12; ++i) sup.submit(fx.traces[i]);
+  sup.finish();
+  ASSERT_EQ(seqs.size(), 12u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], i) << "global numbering must survive the restart";
+  }
+  EXPECT_EQ(sup.stats().restarts, 1u);
+}
+
+}  // namespace

@@ -18,7 +18,15 @@
 // every N scored frames; --metrics-out / --jsonl-out dump the metrics
 // registry (Prometheus exposition / JSONL) and --trace-out writes a
 // Chrome trace_event JSON — all stamped with the RunManifest.
+//
+// --service wraps the pipeline in the runtime::Supervisor: stall watchdog
+// with restart + backoff, Page–Hinkley drift sentinel with guarded online
+// retraining, periodic crash-safe model checkpoints (--checkpoint-dir /
+// --checkpoint-every) and the overload governor.  SIGINT/SIGTERM stop
+// intake cleanly in every mode: the pipeline drains, the final checkpoint
+// commits, and the telemetry artifacts are still written.
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -33,6 +41,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
 #include "pipeline/pipeline.hpp"
+#include "runtime/supervisor.hpp"
 #include "sim/attack.hpp"
 #include "sim/presets.hpp"
 #include "sim/scenario.hpp"
@@ -40,6 +49,24 @@
 #include "stats/confusion.hpp"
 
 namespace {
+
+/// Set by SIGINT/SIGTERM; the submit loops poll it.  Async-signal-safe by
+/// construction (a single flag write).  A second signal skips the
+/// graceful drain and exits immediately — the escape hatch while a long
+/// training or stream-synthesis phase is still running.
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) {
+  if (g_stop_requested != 0) std::_Exit(130);
+  g_stop_requested = 1;
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 void usage() {
   std::fprintf(
@@ -50,6 +77,8 @@ void usage() {
       "                        [--no-gate] [--no-block] [--verbose]\n"
       "                        [--stats-every N] [--metrics-out FILE]\n"
       "                        [--jsonl-out FILE] [--trace-out FILE]\n"
+      "                        [--service] [--checkpoint-dir DIR]\n"
+      "                        [--checkpoint-every N]\n"
       "  --margin defaults to 0.0 (same as the library's DetectionConfig)\n"
       "  --fault corrupts captures with a named analog fault profile:\n");
   for (const faults::FaultProfile& p : faults::canned_profiles()) {
@@ -63,7 +92,12 @@ void usage() {
       "  --stats-every N prints pipeline telemetry every N scored frames\n"
       "  --metrics-out writes Prometheus text exposition at exit\n"
       "  --jsonl-out writes the metrics as a JSONL event stream\n"
-      "  --trace-out writes Chrome trace_event JSON (chrome://tracing)\n");
+      "  --trace-out writes Chrome trace_event JSON (chrome://tracing)\n"
+      "  --service runs under the runtime supervisor (watchdog, drift\n"
+      "  sentinel with guarded online retraining, overload governor)\n"
+      "  --checkpoint-dir enables crash-safe model checkpoints there\n"
+      "  --checkpoint-every N commits a checkpoint every N scored frames\n"
+      "  SIGINT/SIGTERM drain the pipeline and still write all artifacts\n");
 }
 
 }  // namespace
@@ -85,6 +119,9 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string jsonl_out;
   std::string trace_out;
+  bool service = false;
+  std::string checkpoint_dir;
+  std::uint64_t checkpoint_every = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -137,6 +174,12 @@ int main(int argc, char** argv) {
       jsonl_out = next();
     } else if (arg == "--trace-out") {
       trace_out = next();
+    } else if (arg == "--service") {
+      service = true;
+    } else if (arg == "--checkpoint-dir") {
+      checkpoint_dir = next();
+    } else if (arg == "--checkpoint-every") {
+      checkpoint_every = std::strtoull(next(), nullptr, 10);
     } else {
       usage();
       return 2;
@@ -147,6 +190,12 @@ int main(int argc, char** argv) {
     usage();
     return 2;
   }
+
+  // A stop signal anywhere past this point ends intake cleanly: the
+  // stream loop breaks, the pipeline drains, and the report + telemetry
+  // artifacts are written as usual.
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
 
   // One registry + tracer for the whole run; pointers stay null (and the
   // hot paths stay instrument-free) unless something will consume them.
@@ -186,9 +235,12 @@ int main(int argc, char** argv) {
   std::printf("model: %zu clusters, dim %zu\n",
               trained.model->clusters().size(), trained.model->dimension());
 
-  // Live stream with hijack attacks mixed in.
+  // Live stream with hijack attacks mixed in.  Synthesis is the
+  // expensive phase; skip it when a stop signal already arrived.
   const std::vector<sim::LabeledCapture> stream =
-      sim::make_hijack_stream(vehicle, stream_count, hijack_prob, env);
+      g_stop_requested ? std::vector<sim::LabeledCapture>{}
+                       : sim::make_hijack_stream(vehicle, stream_count,
+                                                 hijack_prob, env);
 
   pipeline::PipelineConfig pc;
   pc.num_workers = workers;
@@ -206,79 +258,138 @@ int main(int argc, char** argv) {
   std::size_t extraction_failures = 0;
   std::size_t degraded = 0;
   std::size_t sink_seen = 0;
-  pipeline::DetectionPipeline* pipe_ptr = nullptr;
   const vprofile::Model& model = *trained.model;
-  // The sink runs in capture order, so indexing the labels by seq is safe.
-  pipeline::DetectionPipeline pipe(
-      model, pc, [&](pipeline::FrameResult&& r) {
-        ++sink_seen;
-        if (stats_every != 0 && sink_seen % stats_every == 0 &&
-            pipe_ptr != nullptr) {
-          const pipeline::CountersSnapshot s = pipe_ptr->counters();
-          std::printf(
-              "[stats] frames=%llu dropped=%llu anomalies=%llu "
-              "degraded=%llu extract_fail=%llu mean_extract=%.1fus "
-              "mean_detect=%.1fus queue_hwm=%zu\n",
-              static_cast<unsigned long long>(s.completed.value()),
-              static_cast<unsigned long long>(s.dropped.value()),
-              static_cast<unsigned long long>(s.anomalies()),
-              static_cast<unsigned long long>(s.degraded()),
-              static_cast<unsigned long long>(s.extract_failures()),
-              s.mean_extract_us(), s.mean_detect_us(),
-              s.queue_high_watermark);
-        }
-        if (r.dropped) return;  // counted by the pipeline
-        if (!r.ok()) {
-          ++extraction_failures;
-          return;
-        }
-        const bool actual = stream[r.seq].is_attack;
-        if (r.detection->is_degraded()) {
-          // The capture was too mangled to classify; a deployed monitor
-          // escalates these on a separate channel instead of guessing.
-          ++degraded;
-          if (verbose) {
-            std::printf("msg %6llu  sa=0x%02X  %-18s confidence=%.2f%s\n",
-                        static_cast<unsigned long long>(r.seq), r.sa,
-                        to_string(r.detection->verdict),
-                        r.detection->confidence,
-                        actual ? "  [ATTACK FRAME]" : "");
-          }
-          return;
-        }
-        const bool flagged = r.detection->is_anomaly();
-        confusion.add(actual, flagged);
-        if (verbose && flagged) {
-          std::printf("msg %6llu  sa=0x%02X  %-18s dist=%.2f",
-                      static_cast<unsigned long long>(r.seq), r.sa,
-                      to_string(r.detection->verdict), r.detection->min_distance);
-          if (r.detection->predicted_cluster) {
-            std::printf(
-                "  origin=%s",
-                model.clusters()[*r.detection->predicted_cluster].name.c_str());
-          }
-          std::printf("%s\n", actual ? "" : "  [FALSE ALARM]");
-        }
-      });
 
-  pipe_ptr = &pipe;
+  // Verdict accounting shared by both modes.  The sinks run in capture
+  // order; `actual` is the submitted frame's attack label.
+  auto classify = [&](const pipeline::FrameResult& r, bool actual) {
+    if (r.dropped) return;  // counted by the pipeline
+    if (!r.ok()) {
+      ++extraction_failures;
+      return;
+    }
+    if (r.detection->is_degraded()) {
+      // The capture was too mangled to classify; a deployed monitor
+      // escalates these on a separate channel instead of guessing.
+      ++degraded;
+      if (verbose) {
+        std::printf("msg %6llu  sa=0x%02X  %-18s confidence=%.2f%s\n",
+                    static_cast<unsigned long long>(r.seq), r.sa,
+                    to_string(r.detection->verdict), r.detection->confidence,
+                    actual ? "  [ATTACK FRAME]" : "");
+      }
+      return;
+    }
+    const bool flagged = r.detection->is_anomaly();
+    confusion.add(actual, flagged);
+    if (verbose && flagged) {
+      std::printf("msg %6llu  sa=0x%02X  %-18s dist=%.2f",
+                  static_cast<unsigned long long>(r.seq), r.sa,
+                  to_string(r.detection->verdict), r.detection->min_distance);
+      if (r.detection->predicted_cluster) {
+        std::printf(
+            "  origin=%s",
+            model.clusters()[*r.detection->predicted_cluster].name.c_str());
+      }
+      std::printf("%s\n", actual ? "" : "  [FALSE ALARM]");
+    }
+  };
+  auto print_stats_line = [&](const pipeline::CountersSnapshot& s) {
+    std::printf(
+        "[stats] frames=%llu dropped=%llu anomalies=%llu "
+        "degraded=%llu extract_fail=%llu mean_extract=%.1fus "
+        "mean_detect=%.1fus queue_hwm=%zu\n",
+        static_cast<unsigned long long>(s.completed.value()),
+        static_cast<unsigned long long>(s.dropped.value()),
+        static_cast<unsigned long long>(s.anomalies()),
+        static_cast<unsigned long long>(s.degraded()),
+        static_cast<unsigned long long>(s.extract_failures()),
+        s.mean_extract_us(), s.mean_detect_us(), s.queue_high_watermark);
+  };
+
   faults::FaultInjector injector(fault_profile, config.adc.max_code(),
                                  seed ^ 0xfa0175eedull);
   injector.bind_metrics(metrics);
-  const auto t0 = std::chrono::steady_clock::now();
-  for (const sim::LabeledCapture& lc : stream) {
-    if (fault_profile.empty()) {
-      pipe.submit(lc.capture.codes);
-    } else {
-      pipe.submit(injector.apply(lc.capture.codes));
-    }
-  }
-  pipe.finish();
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  auto faulted = [&](const sim::LabeledCapture& lc) {
+    return fault_profile.empty() ? lc.capture.codes
+                                 : injector.apply(lc.capture.codes);
+  };
 
-  const pipeline::CountersSnapshot c = pipe.counters();
+  pipeline::CountersSnapshot c;
+  double elapsed_s = 0.0;
+  bool stopped_early = false;
+  std::optional<runtime::SupervisorStats> sup_stats;
+  runtime::HealthState sup_health = runtime::HealthState::kHealthy;
+
+  if (service) {
+    // Attack labels by the supervisor's global frame index.  The slot is
+    // written before submit() (the queue handoff orders it ahead of the
+    // sink's read); a governor-shed frame's slot is simply rewritten by
+    // the next offered frame.
+    std::vector<char> labels(stream.size(), 0);
+    std::uint64_t next_global = 0;
+
+    runtime::SupervisorConfig sc;
+    sc.pipeline = pc;
+    sc.checkpoint_dir = checkpoint_dir;
+    sc.checkpoint_every = checkpoint_every;
+    sc.governor_high_water = queue_capacity * 3 / 4;
+    sc.governor_low_water = queue_capacity / 4;
+    runtime::Supervisor sup(
+        model, sc, [&](const pipeline::FrameResult& r) {
+          ++sink_seen;
+          if (stats_every != 0 && sink_seen % stats_every == 0) {
+            print_stats_line(sup.pipeline_counters());
+          }
+          classify(r, labels[r.seq] != 0);
+        });
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const sim::LabeledCapture& lc : stream) {
+      if (g_stop_requested) break;
+      labels[next_global] = lc.is_attack ? 1 : 0;
+      if (sup.submit(faulted(lc))) ++next_global;
+      if (next_global % 64 == 0) sup.poll(steady_now_ns());
+    }
+    // Graceful shutdown: drain in-flight frames, apply pending control
+    // actions, commit the final checkpoint.
+    sup.finish();
+    elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    c = sup.pipeline_counters();
+    sup_stats = sup.stats();
+    sup_health = sup.health();
+  } else {
+    pipeline::DetectionPipeline* pipe_ptr = nullptr;
+    pipeline::DetectionPipeline pipe(
+        model, pc, [&](pipeline::FrameResult&& r) {
+          ++sink_seen;
+          if (stats_every != 0 && sink_seen % stats_every == 0 &&
+              pipe_ptr != nullptr) {
+            print_stats_line(pipe_ptr->counters());
+          }
+          classify(r, stream[r.seq].is_attack);
+        });
+    pipe_ptr = &pipe;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const sim::LabeledCapture& lc : stream) {
+      if (g_stop_requested) break;
+      pipe.submit(faulted(lc));
+    }
+    pipe.finish();
+    elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    c = pipe.counters();
+  }
+
+  stopped_early = g_stop_requested != 0;
+  if (stopped_early) {
+    std::printf("\nstop signal received: drained after %llu frames\n",
+                static_cast<unsigned long long>(c.submitted.value()));
+  }
   std::printf("\n%s\n", confusion.to_table("monitor verdicts").c_str());
   std::printf("precision %.4f  recall %.4f  f-score %.4f  accuracy %.4f\n",
               confusion.precision(), confusion.recall(), confusion.f_score(),
@@ -326,6 +437,37 @@ int main(int argc, char** argv) {
   std::printf("  latency     extract %.1f us/frame, detect %.1f us/frame\n",
               c.mean_extract_us(), c.mean_detect_us());
   std::printf("  queue depth high watermark %zu\n", c.queue_high_watermark);
+  if (sup_stats) {
+    const runtime::SupervisorStats& ss = *sup_stats;
+    std::printf("\nsupervisor: health=%s\n", runtime::to_string(sup_health));
+    std::printf(
+        "  lifecycle   restarts=%llu stalls=%llu drift_alarms=%llu "
+        "candidates=%llu promotions=%llu rollbacks=%llu checkpoints=%llu\n",
+        static_cast<unsigned long long>(ss.restarts),
+        static_cast<unsigned long long>(ss.stalls_detected),
+        static_cast<unsigned long long>(ss.drift_alarms),
+        static_cast<unsigned long long>(ss.candidates_started),
+        static_cast<unsigned long long>(ss.promotions),
+        static_cast<unsigned long long>(ss.rollbacks),
+        static_cast<unsigned long long>(ss.checkpoints_committed));
+    std::printf(
+        "  intake      offered=%llu submitted=%llu shed=%llu "
+        "worker_errors=%llu\n",
+        static_cast<unsigned long long>(ss.frames_offered),
+        static_cast<unsigned long long>(ss.frames_submitted),
+        static_cast<unsigned long long>(ss.frames_decimated),
+        static_cast<unsigned long long>(ss.worker_errors));
+    std::printf(
+        "  update gate accepted=%llu rejected_verdict=%llu "
+        "rejected_margin=%llu refused=%llu\n",
+        static_cast<unsigned long long>(ss.gate.accepted),
+        static_cast<unsigned long long>(ss.gate.rejected_verdict),
+        static_cast<unsigned long long>(ss.gate.rejected_margin),
+        static_cast<unsigned long long>(ss.gate.refused_by_updater));
+    if (!checkpoint_dir.empty()) {
+      std::printf("  checkpoints -> %s\n", checkpoint_dir.c_str());
+    }
+  }
 
   if (want_metrics || trace != nullptr) {
     obs::RunManifest manifest = obs::RunManifest::create("vprofile_monitor");
@@ -339,6 +481,7 @@ int main(int argc, char** argv) {
         {"fault", fault_profile.name},
         {"mode", block_when_full ? "backpressure" : "drop"},
         {"gate", quality_gate ? "on" : "off"},
+        {"service", service ? "on" : "off"},
     };
     const std::vector<obs::MetricSample> samples = registry.samples();
     std::string err;
