@@ -8,12 +8,16 @@
 // full detection, online update, and training.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.hpp"
+#include "core/batch_scorer.hpp"
 #include "core/detector.hpp"
 #include "core/extractor.hpp"
 #include "core/online_update.hpp"
 #include "core/trainer.hpp"
 #include "linalg/mahalanobis.hpp"
+#include "linalg/simd_dispatch.hpp"
 #include "sim/presets.hpp"
 #include "sim/vehicle.hpp"
 
@@ -117,6 +121,47 @@ void BM_Detection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Detection);
+
+/// SoA batch scoring over the whole capture set, one backend per arm.
+/// The benchmark name carries the backend label and the batch-size Arg,
+/// so BENCH_latency.json sections read e.g. BM_BatchDetect/avx2/batch:32.
+/// Compare against BM_Detection (the per-frame path) at batch:1-era cost.
+void BM_BatchDetect(benchmark::State& state,
+                    linalg::simd::Backend requested) {
+  Shared& s = Shared::get();
+  const vprofile::ScoringPlan plan(s.model, requested);
+  if (plan.backend() != requested) {
+    state.SkipWithError("requested backend unavailable on this host");
+    return;
+  }
+  const std::size_t batch = static_cast<std::size_t>(state.range(0));
+  vprofile::BatchScorer scorer(plan);
+  std::vector<const vprofile::EdgeSet*> ptrs;
+  ptrs.reserve(s.edge_sets.size());
+  for (const vprofile::EdgeSet& es : s.edge_sets) ptrs.push_back(&es);
+  std::vector<vprofile::Detection> out(ptrs.size());
+  const vprofile::DetectionConfig dc{4.0};
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < ptrs.size(); i += batch) {
+      const std::size_t chunk = std::min(batch, ptrs.size() - i);
+      scorer.detect(ptrs.data() + i, chunk, dc, out.data() + i);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(
+      state.iterations() * static_cast<std::int64_t>(ptrs.size())));
+}
+BENCHMARK_CAPTURE(BM_BatchDetect, scalar, linalg::simd::Backend::kScalar)
+    ->ArgName("batch")
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_BatchDetect, avx2, linalg::simd::Backend::kAvx2)
+    ->ArgName("batch")
+    ->Arg(8)
+    ->Arg(32);
+BENCHMARK_CAPTURE(BM_BatchDetect, fixed, linalg::simd::Backend::kFixed)
+    ->ArgName("batch")
+    ->Arg(32);
 
 void BM_DetectionEndToEnd(benchmark::State& state) {
   // Extraction + detection: the full per-message cost a deployment pays.

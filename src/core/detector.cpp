@@ -22,9 +22,10 @@ double clamp01(double x) { return std::clamp(x, 0.0, 1.0); }
 
 }  // namespace
 
-Detection detect(const Model& model, const EdgeSet& edge_set,
-                 const DetectionConfig& config) {
-  Detection result;
+bool detect_prescore(const Model& model, const EdgeSet& edge_set,
+                     const DetectionConfig& config, Detection* out) {
+  Detection& result = *out;
+  result = Detection{};
 
   // Quality gate first: a mangled capture makes every downstream quantity
   // (including the decoded SA) untrustworthy, so no confident verdict can
@@ -77,35 +78,49 @@ Detection detect(const Model& model, const EdgeSet& edge_set,
             ? 0.0
             : clamp01(1.0 - static_cast<double>(unreliable) /
                                 static_cast<double>(dim));
-    return result;
+    return false;
   }
 
   if (!result.expected_cluster) {
     result.verdict = Verdict::kUnknownSa;
-    return result;
+    return false;
   }
+  return true;
+}
 
-  const auto [predicted, min_dist] = model.nearest_cluster(edge_set.samples);
+void detect_postscore(const Model& model, const DetectionConfig& config,
+                      std::size_t predicted, double min_distance,
+                      Detection* out) {
+  Detection& result = *out;
   result.predicted_cluster = predicted;
-  result.min_distance = min_dist;
+  result.min_distance = min_distance;
 
   if (predicted != *result.expected_cluster) {
     result.verdict = Verdict::kClusterMismatch;
-    return result;
+    return;
   }
   const double threshold =
       model.clusters()[predicted].max_distance + config.margin;
-  if (min_dist > threshold) {
+  if (min_distance > threshold) {
     result.verdict = Verdict::kDistanceExceeded;
     // Far beyond the threshold -> confident anomaly; barely over -> weak.
-    result.confidence =
-        min_dist > 0.0 ? clamp01((min_dist - threshold) / min_dist) : 0.0;
-    return result;
+    result.confidence = min_distance > 0.0
+                            ? clamp01((min_distance - threshold) / min_distance)
+                            : 0.0;
+    return;
   }
   result.verdict = Verdict::kOk;
   // Deep inside the threshold -> confident pass; close to it -> weak.
   result.confidence =
-      threshold > 0.0 ? clamp01((threshold - min_dist) / threshold) : 1.0;
+      threshold > 0.0 ? clamp01((threshold - min_distance) / threshold) : 1.0;
+}
+
+Detection detect(const Model& model, const EdgeSet& edge_set,
+                 const DetectionConfig& config) {
+  Detection result;
+  if (!detect_prescore(model, edge_set, config, &result)) return result;
+  const auto [predicted, min_dist] = model.nearest_cluster(edge_set.samples);
+  detect_postscore(model, config, predicted, min_dist, &result);
   return result;
 }
 

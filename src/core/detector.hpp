@@ -87,4 +87,21 @@ struct Detection {
 Detection detect(const Model& model, const EdgeSet& edge_set,
                  const DetectionConfig& config);
 
+/// First half of detect(): quality gate + SA lookup.  Returns true when
+/// the edge set still needs distance scoring (dimensionality is then
+/// guaranteed to match the model); returns false when `out` already holds
+/// a final kDegraded / kUnknownSa verdict.  detect() and the batch scorer
+/// (core/batch_scorer.hpp) are both composed from this split, which is
+/// what makes batched scoring bit-identical to the one-frame oracle by
+/// construction rather than by testing alone.
+bool detect_prescore(const Model& model, const EdgeSet& edge_set,
+                     const DetectionConfig& config, Detection* out);
+
+/// Second half of detect(): folds a nearest-cluster result into the final
+/// verdict and confidence.  `out` must come from a detect_prescore() call
+/// that returned true.
+void detect_postscore(const Model& model, const DetectionConfig& config,
+                      std::size_t predicted, double min_distance,
+                      Detection* out);
+
 }  // namespace vprofile

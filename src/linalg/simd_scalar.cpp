@@ -1,0 +1,47 @@
+// Scalar reference kernels — the bit-identity oracle every other backend
+// is held against.  The loops mirror linalg::euclidean_distance and
+// linalg::mahalanobis_distance_inv operation-for-operation; this file is
+// built with -ffp-contract=off so the compiler cannot fuse a*b+c into an
+// FMA and silently change the rounding the oracle is defined by.
+#include "linalg/simd_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace linalg::simd {
+
+void euclidean_scalar(const BatchView& batch, const double* mu, double* out,
+                      std::size_t begin, std::size_t end) {
+  for (std::size_t e = begin; e < end; ++e) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < batch.dim; ++i) {
+      const double d = batch.soa[i * batch.stride + e] - mu[i];
+      s += d * d;
+    }
+    out[e] = std::sqrt(s);
+  }
+}
+
+void mahalanobis_scalar(const BatchView& batch, const double* mu,
+                        const double* inv_cov, double* dscratch, double* out,
+                        std::size_t begin, std::size_t end) {
+  const std::size_t dim = batch.dim;
+  for (std::size_t e = begin; e < end; ++e) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      dscratch[i] = batch.soa[i * batch.stride + e] - mu[i];
+    }
+    // Same association as mahalanobis_distance_inv: each row's inner
+    // product completes (c ascending) before it joins the quadratic form
+    // (r ascending).
+    double q = 0.0;
+    for (std::size_t r = 0; r < dim; ++r) {
+      double s = 0.0;
+      const double* row = inv_cov + r * dim;
+      for (std::size_t c = 0; c < dim; ++c) s += row[c] * dscratch[c];
+      q += dscratch[r] * s;
+    }
+    out[e] = std::sqrt(std::max(0.0, q));
+  }
+}
+
+}  // namespace linalg::simd

@@ -1,10 +1,12 @@
 #include "pipeline/pipeline.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/trace_span.hpp"
@@ -50,6 +52,7 @@ DetectionPipeline::DetectionPipeline(const vprofile::Model& model,
                                      PipelineConfig config, ResultSink sink)
     : model_(model),
       config_(config),
+      plan_(model, config.backend),
       queue_(config.queue_capacity),
       collector_(std::move(sink)) {
   if (config_.num_workers == 0) {
@@ -162,55 +165,131 @@ obs::Histogram* DetectionPipeline::sa_histogram(std::uint8_t sa) {
 }
 
 void DetectionPipeline::worker_loop() {
-  while (auto job = queue_.pop()) {
-    obs::Tracer* const tracer = config_.tracer;
-    const std::uint64_t t_start =
-        tracer != nullptr ? tracer->now_ns() : 0;
-    if (tracer != nullptr && job->submit_ns != 0) {
-      tracer->record("pipeline.queue", job->submit_ns,
-                     t_start - job->submit_ns);
-    }
+  vprofile::BatchScorer scorer(plan_);
+  // Per-batch workspace; reserve once so steady state never allocates for
+  // batch bookkeeping (the EdgeSets themselves still come from extraction).
+  struct Slot {
+    FrameResult result;
+    std::optional<vprofile::EdgeSet> edge_set;
     std::uint64_t extract_ns = 0;
     std::uint64_t detect_ns = 0;
-    FrameResult result;
-    // Contain per-frame failures: a throwing stage (extractor bug, hostile
-    // input, injected fault) must cost exactly one frame, not the worker —
-    // an escaped exception from a std::thread is std::terminate for the
-    // whole monitor.
-    try {
-      if (config_.stage_hook) config_.stage_hook(job->seq, job->trace);
-      result = score_frame(model_, job->trace, config_.detection,
-                           config_.keep_edge_set, &extract_ns, &detect_ns);
-    } catch (...) {
-      result = FrameResult{};
-      result.worker_error = true;
-      extract_ns = 0;
-      detect_ns = 0;
+  };
+  const std::size_t batch_max = std::max<std::size_t>(1, config_.batch_size);
+  std::vector<Job> jobs;
+  std::vector<Slot> slots;
+  std::vector<const vprofile::EdgeSet*> to_score;
+  std::vector<std::size_t> score_slot;  // slot index per to_score entry
+  std::vector<vprofile::Detection> detections;
+  jobs.reserve(batch_max);
+  slots.reserve(batch_max);
+  to_score.reserve(batch_max);
+  score_slot.reserve(batch_max);
+  detections.reserve(batch_max);
+
+  while (queue_.pop_some(&jobs, batch_max) > 0) {
+    obs::Tracer* const tracer = config_.tracer;
+    const std::uint64_t t_start = tracer != nullptr ? tracer->now_ns() : 0;
+
+    // Stage 1 — per frame: hook + extraction, individually contained.  A
+    // throwing stage (extractor bug, hostile input, injected fault) must
+    // cost exactly one frame, not the worker — an escaped exception from a
+    // std::thread is std::terminate for the whole monitor.
+    slots.clear();
+    slots.resize(jobs.size());
+    to_score.clear();
+    score_slot.clear();
+    for (std::size_t k = 0; k < jobs.size(); ++k) {
+      Job& job = jobs[k];
+      Slot& slot = slots[k];
+      slot.result.seq = job.seq;
+      if (tracer != nullptr && job.submit_ns != 0) {
+        tracer->record("pipeline.queue", job.submit_ns,
+                       t_start - job.submit_ns);
+      }
+      try {
+        if (config_.stage_hook) config_.stage_hook(job.seq, job.trace);
+        const auto t0 = Clock::now();
+        vprofile::ExtractError err = vprofile::ExtractError::kNone;
+        slot.edge_set =
+            vprofile::extract_edge_set(job.trace, model_.extraction(), &err);
+        slot.extract_ns = ns_between(t0, Clock::now());
+        if (slot.edge_set) {
+          slot.result.sa = slot.edge_set->sa;
+          to_score.push_back(&*slot.edge_set);
+          score_slot.push_back(k);
+        } else {
+          slot.result.extract_error = err;
+        }
+      } catch (...) {
+        slot = Slot{};
+        slot.result.seq = job.seq;
+        slot.result.worker_error = true;
+      }
     }
-    result.seq = job->seq;
-    counters_.add_completed(extract_ns, detect_ns);
-    if (result.worker_error) {
-      counters_.add_worker_error();
-    } else {
-      counters_.add_outcome(result.extract_error, result.detection);
+
+    // Stage 2 — the batch: every surviving edge set scored through the
+    // shared plan in one SoA pass.  Detection cost is attributed evenly
+    // across the batch (remainder to the first frame) — telemetry only,
+    // verdicts never depend on timing.
+    if (!to_score.empty()) {
+      detections.clear();
+      detections.resize(to_score.size());
+      const auto td0 = Clock::now();
+      bool batch_failed = false;
+      try {
+        scorer.detect(to_score.data(), to_score.size(), config_.detection,
+                      detections.data());
+      } catch (...) {
+        batch_failed = true;
+      }
+      const std::uint64_t batch_ns = ns_between(td0, Clock::now());
+      const std::uint64_t share = batch_ns / to_score.size();
+      const std::uint64_t remainder = batch_ns % to_score.size();
+      for (std::size_t k = 0; k < to_score.size(); ++k) {
+        Slot& slot = slots[score_slot[k]];
+        if (batch_failed) {
+          const std::uint64_t seq = slot.result.seq;
+          slot = Slot{};
+          slot.result.seq = seq;
+          slot.result.worker_error = true;
+          continue;
+        }
+        slot.detect_ns = share + (k == 0 ? remainder : 0);
+        slot.result.detection = detections[k];
+        if (config_.keep_edge_set) {
+          slot.result.edge_set = std::move(*slot.edge_set);
+        }
+      }
     }
-    if (obs_.completed != nullptr) {
-      obs_.completed->add();
-      if (result.worker_error) obs_.errors->add();
-      obs_.extract_latency->observe(extract_ns);
-      obs_.detect_latency->observe(detect_ns);
-      if (result.ok()) sa_histogram(result.sa)->observe(detect_ns);
-      obs_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+
+    // Stage 3 — per frame, in batch order: accounting, instruments, emit.
+    for (std::size_t k = 0; k < slots.size(); ++k) {
+      Slot& slot = slots[k];
+      FrameResult& result = slot.result;
+      counters_.add_completed(slot.extract_ns, slot.detect_ns);
+      if (result.worker_error) {
+        counters_.add_worker_error();
+      } else {
+        counters_.add_outcome(result.extract_error, result.detection);
+      }
+      if (obs_.completed != nullptr) {
+        obs_.completed->add();
+        if (result.worker_error) obs_.errors->add();
+        obs_.extract_latency->observe(slot.extract_ns);
+        obs_.detect_latency->observe(slot.detect_ns);
+        if (result.ok()) sa_histogram(result.sa)->observe(slot.detect_ns);
+        obs_.queue_depth->set(static_cast<std::int64_t>(queue_.size()));
+      }
+      if (tracer != nullptr) {
+        // Durations are the worker's own measurements; start offsets are
+        // approximate (stages of one batch interleave).
+        tracer->record("pipeline.extract", t_start, slot.extract_ns);
+        tracer->record("pipeline.detect", t_start + slot.extract_ns,
+                       slot.detect_ns);
+      }
+      obs::TraceSpan collect_span(tracer, "pipeline.collect");
+      collector_.submit(result.seq, std::move(result));
     }
-    if (tracer != nullptr) {
-      // Re-use score_frame's own measurements: the spans are exact in
-      // duration and only approximate in the (negligible) gap between
-      // the two stages.
-      tracer->record("pipeline.extract", t_start, extract_ns);
-      tracer->record("pipeline.detect", t_start + extract_ns, detect_ns);
-    }
-    obs::TraceSpan collect_span(tracer, "pipeline.collect");
-    collector_.submit(job->seq, std::move(result));
   }
 }
 

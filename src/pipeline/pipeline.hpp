@@ -6,17 +6,25 @@
 // bounded queue and re-orders verdicts back into capture order:
 //
 //   submit(trace)                    worker pool                sink
-//   ------------- > RingQueue > extract_edge_set + detect > OrderedCollector
-//    (seq assigned)  (bounded,        (parallel)              (capture order)
+//   ------------- > RingQueue > extract + batched detect > OrderedCollector
+//    (seq assigned)  (bounded,        (parallel)            (capture order)
 //                    backpressure)
+//
+// Workers drain the queue in batches (PipelineConfig::batch_size): each
+// frame is still extracted (and fault-contained) individually, but the
+// surviving edge sets are scored together through a vprofile::BatchScorer
+// over one shared ScoringPlan — the SIMD/batched hot path.
 //
 // Guarantees:
 //  * Every submitted frame produces exactly one FrameResult at the sink,
 //    in submission order, even when workers finish out of order and even
 //    for frames dropped by a full queue in non-blocking mode.
-//  * Scoring is bit-identical to calling extract_edge_set() + detect()
-//    sequentially: workers share the (immutable) model and config and
-//    nothing about a frame's result depends on scheduling.
+//  * For the float backends (kAuto/kScalar/kAvx2), scoring is bit-identical
+//    to calling extract_edge_set() + detect() sequentially: the batch
+//    scorer's kernels mirror the one-frame reference operation-for-
+//    operation, so nothing about a frame's result depends on scheduling,
+//    batch boundaries, or the resolved backend.  (kFixed is the explicit
+//    quantized profile and diverges within its documented error bound.)
 //  * finish() drains: it stops intake, waits for every accepted frame to
 //    be scored and emitted, then joins the workers.
 #pragma once
@@ -30,9 +38,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/batch_scorer.hpp"
 #include "core/detector.hpp"
 #include "core/extractor.hpp"
 #include "core/model.hpp"
+#include "linalg/simd_dispatch.hpp"
 #include "dsp/trace.hpp"
 #include "pipeline/counters.hpp"
 #include "pipeline/ordered_collector.hpp"
@@ -58,6 +68,14 @@ struct PipelineConfig {
   /// scoring).  false: submit() drops the frame and records it (live
   /// monitor that must never stall the tap).
   bool block_when_full = true;
+  /// Frames a worker pulls from the queue per wait and scores as one SoA
+  /// batch.  1 degrades to the per-frame path; larger batches amortize the
+  /// queue hand-off and feed the SIMD kernels full quads.  Verdicts do not
+  /// depend on this value (see the bit-identity guarantee above).
+  std::size_t batch_size = 8;
+  /// Scoring backend request, resolved once at pipeline construction
+  /// against the CPU and VPROFILE_FORCE_SCALAR (linalg/simd_dispatch.hpp).
+  linalg::simd::Backend backend = linalg::simd::Backend::kAuto;
   vprofile::DetectionConfig detection;
   /// Attach the extracted edge set to each ok() FrameResult.  Off by
   /// default (results stay small); the supervised runtime turns it on so
@@ -169,6 +187,10 @@ class DetectionPipeline {
 
   const vprofile::Model& model_;
   PipelineConfig config_;
+  /// Immutable scoring operands (resolved backend, cached Cholesky
+  /// factors, fixed-point quants), shared read-only by every worker's
+  /// BatchScorer.  Built once here — "model load" time.
+  vprofile::ScoringPlan plan_;
   Counters counters_;
   Instruments obs_;
   RingQueue<Job> queue_;

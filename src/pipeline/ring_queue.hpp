@@ -72,6 +72,29 @@ class RingQueue {
     return value;
   }
 
+  /// Batched pop: blocks for the first value like pop(), then drains up to
+  /// `max` values total without further waiting — the hand-off for batched
+  /// scoring (one wait buys a whole SoA batch when the producer is ahead,
+  /// and degrades to per-item behavior when it is not).  Clears and fills
+  /// `*out`; returns the number popped, 0 only once closed and drained.
+  std::size_t pop_some(std::vector<T>* out, std::size_t max) {
+    out->clear();
+    if (max == 0) max = 1;
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (count_ == 0) return 0;  // closed and drained
+    const std::size_t take = std::min(max, count_);
+    for (std::size_t k = 0; k < take; ++k) {
+      out->push_back(std::move(slots_[head_]));
+      head_ = (head_ + 1) % slots_.size();
+    }
+    count_ -= take;
+    lock.unlock();
+    // Several slots may have freed at once; wake every blocked producer.
+    not_full_.notify_all();
+    return take;
+  }
+
   /// Stops intake.  Queued values remain poppable; blocked producers and
   /// (once drained) blocked consumers wake up.
   void close() {

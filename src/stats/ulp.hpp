@@ -1,0 +1,20 @@
+// ULP (units-in-the-last-place) distance between doubles.
+//
+// The differential scoring harness asserts bit-identity between float
+// backends; when that ever fails, "how far apart" matters more than "not
+// equal".  ULP distance turns a pair of doubles into the number of
+// representable values between them — 0 means bit-identical (up to +0/-0,
+// which compare as 1 apart so sign drift is visible), small numbers mean
+// reassociation or contraction, huge numbers mean a real logic bug.
+#pragma once
+
+#include <cstdint>
+
+namespace stats {
+
+/// Number of representable doubles strictly between a and b, plus one when
+/// they differ (so 0 <=> identical bit patterns).  Returns UINT64_MAX when
+/// either argument is NaN.
+std::uint64_t ulp_distance(double a, double b);
+
+}  // namespace stats

@@ -263,6 +263,63 @@ TEST(LintMetricName, AllowCommentSuppresses) {
 }
 
 // ---------------------------------------------------------------------
+// simd-boundary
+// ---------------------------------------------------------------------
+
+TEST(LintSimdBoundary, FlagsIntrinsicsAndVectorTypesOutsideKernelDir) {
+  const std::string src = R"cpp(
+void hot_loop(const double* a, const double* b, double* out) {
+  __m256d x = _mm256_loadu_pd(a);
+  __m256d y = _mm256_loadu_pd(b);
+  _mm256_storeu_pd(out, _mm256_add_pd(x, y));
+  __m128i small = _mm_setzero_si128();
+  (void)small;
+}
+)cpp";
+  const auto findings = lint_source("src/core/fast_path.cpp", src);
+  ASSERT_GE(findings.size(), 6u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "simd-boundary");
+  EXPECT_TRUE(std::any_of(findings.begin(), findings.end(),
+                          [](const Finding& f) {
+                            return f.message.find("__m256d") !=
+                                   std::string::npos;
+                          }));
+  EXPECT_NE(findings[0].message.find("simd_dispatch"), std::string::npos);
+}
+
+TEST(LintSimdBoundary, AllowedInsideTheKernelDirectory) {
+  const std::string src =
+      "__m256d q = _mm256_setzero_pd();\n"
+      "_mm256_storeu_pd(out, q);\n";
+  EXPECT_TRUE(lint_source("src/linalg/simd_avx2.cpp", src).empty());
+  EXPECT_TRUE(lint_source("src/linalg/simd_kernels.hpp", src).empty());
+  // Anywhere else the same text is a violation.
+  EXPECT_TRUE(has_rule(lint_source("src/linalg/matrix.cpp", src),
+                       "simd-boundary"));
+}
+
+TEST(LintSimdBoundary, CleanOnLookalikesCommentsAndStrings) {
+  const std::string src = R"cpp(
+// _mm256_add_pd in a comment is documentation, not a violation.
+const char* doc = "_mm256_loadu_pd";
+int my_mm256_helper = 0;
+double warm_mm = 0.0;
+)cpp";
+  EXPECT_TRUE(lint_source("src/core/detector.cpp", src).empty());
+}
+
+TEST(LintSimdBoundary, AllowCommentSuppresses) {
+  const std::string src =
+      "// vprofile-lint: allow(simd-boundary)\n"
+      "__m256d q = _mm256_setzero_pd();\n"
+      "__m256d r = _mm256_setzero_pd();\n";
+  const auto findings = lint_source("src/core/fast.cpp", src);
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_EQ(findings[0].line, 3u);
+  for (const auto& f : findings) EXPECT_EQ(f.rule, "simd-boundary");
+}
+
+// ---------------------------------------------------------------------
 // Suppressions and scrubbing
 // ---------------------------------------------------------------------
 

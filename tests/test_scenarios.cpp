@@ -14,6 +14,7 @@
 
 #include <gtest/gtest.h>
 
+#include "linalg/simd_dispatch.hpp"
 #include "scenario_harness.hpp"
 
 namespace {
@@ -147,6 +148,46 @@ TEST(ScenarioMatrix, DeterministicAcrossRunnersAndExecutionOrder) {
                             std::to_string(c.scenario.margin);
     EXPECT_EQ(r.metrics.fingerprint(), first_prints.at(key))
         << c.scenario.name();
+  }
+}
+
+// The golden matrix, scored once with dispatch pinned to the scalar
+// kernels and once with the runtime-dispatched backend (AVX2 on capable
+// hosts): every cell must produce an identical metric fingerprint.  This
+// is the end-to-end closure of the kernel-level bit-identity contract in
+// tests/test_simd_differential.cpp — if any SIMD lane ever rounded
+// differently, a verdict would drift and a fingerprint would split.
+TEST(ScenarioMatrix, FingerprintsIdenticalUnderBothDispatchPaths) {
+  if (!linalg::simd::cpu_has_avx2()) {
+    GTEST_SKIP() << "no AVX2: both dispatch paths resolve to scalar, the "
+                    "comparison would be vacuous";
+  }
+  struct OverrideGuard {
+    ~OverrideGuard() { linalg::simd::set_force_scalar_override(-1); }
+  } guard;
+
+  linalg::simd::set_force_scalar_override(1);
+  ScenarioRunner forced(harness::kMatrixSeed);
+  std::map<std::string, std::uint64_t> scalar_prints;
+  for (const ScenarioCase& c : harness::default_scenario_matrix()) {
+    ScenarioResult r = forced.run(c.scenario);
+    ASSERT_TRUE(r.ok()) << c.scenario.name() << ": " << r.error;
+    scalar_prints[c.scenario.name() + "/" +
+                  std::to_string(c.scenario.overdrive) + "/" +
+                  std::to_string(c.scenario.margin)] =
+        r.metrics.fingerprint();
+  }
+
+  linalg::simd::set_force_scalar_override(0);
+  ScenarioRunner dispatched(harness::kMatrixSeed);
+  for (const ScenarioCase& c : harness::default_scenario_matrix()) {
+    ScenarioResult r = dispatched.run(c.scenario);
+    ASSERT_TRUE(r.ok()) << c.scenario.name() << ": " << r.error;
+    const std::string key = c.scenario.name() + "/" +
+                            std::to_string(c.scenario.overdrive) + "/" +
+                            std::to_string(c.scenario.margin);
+    EXPECT_EQ(r.metrics.fingerprint(), scalar_prints.at(key))
+        << c.scenario.name() << ": scalar and AVX2 dispatch disagree";
   }
 }
 

@@ -443,6 +443,29 @@ void check_metric_name(const RuleContext& ctx, const std::string& original) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Rule: simd-boundary
+// ---------------------------------------------------------------------
+
+void check_simd_boundary(const RuleContext& ctx) {
+  // Intrinsic calls (_mm_*, _mm256_*, _mm512_*) and vector register types
+  // (__m128/__m256/__m512 with their d/i suffixes).  Word boundaries on
+  // the left keep identifiers like `my_mm256_helper` out.
+  static const std::regex kSimdToken(
+      R"((_mm(?:256|512)?_\w+|__m(?:128|256|512)[a-z]?))");
+  for (auto it = std::sregex_iterator(ctx.code.begin(), ctx.code.end(),
+                                      kSimdToken);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t offset = static_cast<std::size_t>(it->position(0));
+    if (offset > 0 && ident_char(ctx.code[offset - 1])) continue;
+    ctx.add(offset, "simd-boundary",
+            "raw SIMD token " + (*it)[1].str() +
+                " outside src/linalg/simd_*; vector code must live behind "
+                "the runtime dispatch boundary (linalg/simd_dispatch.hpp) "
+                "so unsupported ISAs can never execute");
+  }
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------
@@ -577,6 +600,11 @@ std::vector<Finding> lint_source(const std::string& path,
     if (path.find(allow) != std::string::npos) determinism_exempt = true;
   }
   if (!determinism_exempt) check_determinism(ctx);
+  bool simd_exempt = false;
+  for (const auto& allow : opts.simd_allowlist) {
+    if (path.find(allow) != std::string::npos) simd_exempt = true;
+  }
+  if (!simd_exempt) check_simd_boundary(ctx);
   check_raw_new_delete(ctx);
   check_unordered_iteration(ctx);
   check_float_eq(ctx);

@@ -25,6 +25,13 @@
 //                        snake_case with a unit suffix (_ns, _bytes,
 //                        _total), keeping the exported series greppable
 //                        and unit-unambiguous.
+//   simd-boundary        no raw SIMD intrinsics (_mm_*/_mm256_*/_mm512_*)
+//                        or vector register types (__m128/__m256/__m512)
+//                        outside src/linalg/simd_* — all vector code goes
+//                        through the runtime dispatch boundary
+//                        (linalg/simd_dispatch.hpp) so a binary never
+//                        executes an ISA the CPU check did not approve and
+//                        the scalar oracle stays the single reference.
 //
 // Scanning is token-level over comment- and string-stripped source: no
 // libclang, no compiler dependency. A finding can be suppressed where a
@@ -58,6 +65,9 @@ struct Options {
   /// determinism rule: the seeded-stream helper legitimately names the
   /// engine machinery it wraps.
   std::vector<std::string> determinism_allowlist = {"src/stats/rng.hpp"};
+  /// Files whose path contains one of these substrings may use raw SIMD
+  /// intrinsics: the dispatched kernel implementations themselves.
+  std::vector<std::string> simd_allowlist = {"src/linalg/simd_"};
 };
 
 /// Source text with comments and string/char-literal bodies blanked out.
