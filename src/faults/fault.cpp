@@ -16,6 +16,9 @@ const char* to_string(FaultKind kind) {
     case FaultKind::kClockDrift: return "clock-drift";
     case FaultKind::kTruncation: return "truncation";
     case FaultKind::kSlowDrift: return "slow-drift";
+    case FaultKind::kOvercurrent: return "overcurrent";
+    case FaultKind::kCorruptionBurst: return "corruption-burst";
+    case FaultKind::kDriftMasquerade: return "drift-masquerade";
   }
   return "unknown";
 }
@@ -24,7 +27,8 @@ bool FaultProfile::empty() const {
   const auto active = [](const auto& f) { return f && f->probability > 0.0; };
   return !(active(clipping) || active(dropout) || active(dc_shift) ||
            active(emi_burst) || active(clock_drift) || active(truncation) ||
-           active(slow_drift));
+           active(slow_drift) || active(overcurrent) ||
+           active(corruption_burst) || active(drift_masquerade));
 }
 
 FaultProfile clean_profile() { return FaultProfile{}; }
@@ -206,6 +210,49 @@ dsp::Trace apply_slow_drift(const dsp::Trace& trace, double shift,
   return out;
 }
 
+dsp::Trace apply_overcurrent(const dsp::Trace& trace,
+                             const OvercurrentFault& f, double max_code) {
+  const double dominant_level = f.dominant_fraction * max_code;
+  dsp::Trace out = trace;
+  for (double& c : out) {
+    // With gain 0 the factor is exactly 1.0 and with offset 0 the addend
+    // is exactly 0.0, so the zero-parameter transform is bit-exact
+    // identity for in-range codes (the no-op property the adversary
+    // search and the tests rely on).
+    const double driven = c >= dominant_level ? c * (1.0 + f.gain) : c;
+    c = clamp_code(driven + f.offset, max_code);
+  }
+  return out;
+}
+
+dsp::Trace apply_corruption_burst(const dsp::Trace& trace,
+                                  const CorruptionBurstFault& f,
+                                  double max_code) {
+  const double period = std::max(1.0, f.period_samples);
+  const double duty = std::clamp(f.duty, 0.0, 1.0);
+  dsp::Trace out = trace;
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double cycles = static_cast<double>(i) / period + f.phase;
+    const double frac = cycles - std::floor(cycles);
+    if (frac < duty) {
+      const double corruption =
+          f.amplitude * std::sin(2.0 * 3.14159265358979323846 * cycles);
+      out[i] = clamp_code(out[i] + corruption, max_code);
+    }
+  }
+  return out;
+}
+
+bool duty_cycle_fires(std::uint64_t tick, double duty) {
+  const double d = std::clamp(duty, 0.0, 1.0);
+  // Fire when the running quota floor(tick * duty) advances over the
+  // previous tick's quota — the classic Bresenham spacing, exact in
+  // double for any realistic tick count.
+  const double quota = std::floor(static_cast<double>(tick) * d);
+  const double prev = std::floor(static_cast<double>(tick - 1) * d);
+  return quota > prev;
+}
+
 FaultInjector::FaultInjector(FaultProfile profile, double max_code,
                              units::Seed64 seed)
     : profile_(std::move(profile)), max_code_(max_code), rng_(seed) {}
@@ -263,6 +310,23 @@ dsp::Trace FaultInjector::apply(const dsp::Trace& trace) {
          slow_drift_shift_ = std::clamp(slow_drift_shift_ + f.step,
                                         -f.max_shift, f.max_shift);
          return apply_slow_drift(out, slow_drift_shift_, max_code_);
+       });
+  fire(profile_.overcurrent, FaultKind::kOvercurrent,
+       [&](const OvercurrentFault& f) {
+         return apply_overcurrent(out, f, max_code_);
+       });
+  fire(profile_.corruption_burst, FaultKind::kCorruptionBurst,
+       [&](const CorruptionBurstFault& f) {
+         return apply_corruption_burst(out, f, max_code_);
+       });
+  fire(profile_.drift_masquerade, FaultKind::kDriftMasquerade,
+       [&](const DriftMasqueradeFault& f) {
+         ++masquerade_ticks_;
+         if (duty_cycle_fires(masquerade_ticks_, f.duty)) {
+           masquerade_shift_ = std::clamp(masquerade_shift_ + f.ramp_rate,
+                                          -f.max_shift, f.max_shift);
+         }
+         return apply_slow_drift(out, masquerade_shift_, max_code_);
        });
   if (any) ++stats_.faulted_traces;
   return out;

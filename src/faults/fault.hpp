@@ -38,9 +38,17 @@ enum class FaultKind {
   kClockDrift,  // sampling clock runs fast/slow, stretching the trace
   kTruncation,  // capture window ends before the message does
   kSlowDrift,   // cumulative ramping offset (thermal creep / slow poisoning)
+  // IDS-aware attack transforms (Sagong et al.): shaped on purpose to
+  // search for detector blind spots, not to model accidental damage.
+  // They are appended after the environmental kinds so existing profiles
+  // draw bit-identical random streams (the injector only consumes RNG
+  // for faults a profile actually configures).
+  kOvercurrent,      // second driver: dominant-level gain + offset shaping
+  kCorruptionBurst,  // periodic additive voltage-corruption burst
+  kDriftMasquerade,  // duty-cycled cumulative masquerade ramp
 };
 
-inline constexpr std::size_t kNumFaultKinds = 7;
+inline constexpr std::size_t kNumFaultKinds = 10;
 
 const char* to_string(FaultKind kind);
 
@@ -106,6 +114,44 @@ struct SlowDriftFault {
   double max_shift = 3000.0;  // |cumulative shift| saturates here
 };
 
+/// Sagong-style overcurrent shaping: the attacker drives the bus on top
+/// of the legitimate transmitter, boosting the dominant-level samples by
+/// `gain` and offsetting the whole trace by `offset` codes.  Unlike the
+/// environmental faults this transform is parameter-deterministic (no
+/// RNG draw inside the transform) so an adversary search can evaluate a
+/// parameter point reproducibly.
+struct OvercurrentFault {
+  double probability = 0.0;
+  double gain = 0.25;              // extra drive on dominant-level samples
+  double dominant_fraction = 0.6;  // samples >= this fraction of full scale
+                                   // count as dominant
+  double offset = 0.0;             // codes added to every sample
+};
+
+/// Sagong-style voltage-corruption burst: an additive sinusoid of
+/// `amplitude` codes with period `period_samples`, applied only during the
+/// first `duty` fraction of each period (phase in cycles shifts where the
+/// corrupted windows land).  amplitude 0 is a bit-exact no-op.
+struct CorruptionBurstFault {
+  double probability = 0.0;
+  double amplitude = 2000.0;
+  double period_samples = 64.0;
+  double phase = 0.0;  // cycles, [0, 1)
+  double duty = 0.5;   // corrupted fraction of each period
+};
+
+/// Drift-exploiting slow masquerade: like kSlowDrift the injector keeps a
+/// cumulative shift, but the ramp only advances on a `duty` fraction of
+/// firings (deterministic Bresenham schedule, no RNG) — the adversary's
+/// knob for staying under a drift sentinel's per-sample tolerance while
+/// still reaching `max_shift` eventually.
+struct DriftMasqueradeFault {
+  double probability = 0.0;
+  double ramp_rate = 25.0;    // codes added to the shift per advancing firing
+  double max_shift = 1500.0;  // |cumulative shift| saturates here
+  double duty = 1.0;          // fraction of firings that advance the ramp
+};
+
 /// A named, composable set of faults.  Faults are applied in the fixed
 /// order of the FaultKind enum so a profile + seed is reproducible.
 struct FaultProfile {
@@ -117,6 +163,9 @@ struct FaultProfile {
   std::optional<ClockDriftFault> clock_drift;
   std::optional<TruncationFault> truncation;
   std::optional<SlowDriftFault> slow_drift;
+  std::optional<OvercurrentFault> overcurrent;
+  std::optional<CorruptionBurstFault> corruption_burst;
+  std::optional<DriftMasqueradeFault> drift_masquerade;
 
   /// True when no fault can ever fire.
   bool empty() const;
@@ -177,6 +226,10 @@ class FaultInjector {
   /// fault first fires).  Exposed so tests can assert the ramp's shape.
   double slow_drift_shift() const { return slow_drift_shift_; }
 
+  /// Current cumulative drift-masquerade offset in codes (independent of
+  /// the slow-drift state; the two ramps compose).
+  double masquerade_shift() const { return masquerade_shift_; }
+
   /// Mirrors activations into `fault_activations_total{kind=...}` (plus
   /// `fault_traces_total`) on top of the local stats.  Null detaches.
   /// Injection itself stays bit-identical — the RNG never sees this.
@@ -188,6 +241,8 @@ class FaultInjector {
   stats::Rng rng_;
   FaultStats stats_;
   double slow_drift_shift_ = 0.0;
+  double masquerade_shift_ = 0.0;
+  std::uint64_t masquerade_ticks_ = 0;
   std::array<obs::Counter*, kNumFaultKinds> metric_applied_{};
   obs::Counter* metric_traces_ = nullptr;
 };
@@ -211,5 +266,18 @@ dsp::Trace apply_truncation(const dsp::Trace& trace, const TruncationFault& f,
 /// injector advances its own state before calling this.
 dsp::Trace apply_slow_drift(const dsp::Trace& trace, double shift,
                             double max_code);
+/// Parameter-deterministic overcurrent shaping (no RNG): gain 0 and
+/// offset 0 return the input bit-exactly.
+dsp::Trace apply_overcurrent(const dsp::Trace& trace,
+                             const OvercurrentFault& f, double max_code);
+/// Parameter-deterministic corruption burst (no RNG): amplitude 0 returns
+/// the input bit-exactly.
+dsp::Trace apply_corruption_burst(const dsp::Trace& trace,
+                                  const CorruptionBurstFault& f,
+                                  double max_code);
+/// True when the `tick`-th firing (1-based) of a duty-cycled schedule
+/// advances: the deterministic Bresenham spacing DriftMasqueradeFault and
+/// the adversary harness share.  duty is clamped to [0, 1].
+bool duty_cycle_fires(std::uint64_t tick, double duty);
 
 }  // namespace faults

@@ -31,17 +31,15 @@ std::uint64_t hash_u64(std::uint64_t hash, std::uint64_t value) {
   return fnv1a(hash, &value, sizeof(value));
 }
 
-/// Derives a stream seed from the runner seed and a purpose string, so
-/// every scenario (and every stage within it) draws from an independent,
-/// order-independent random stream.
-units::Seed64 derive_seed(units::Seed64 seed, const std::string& purpose) {
+}  // namespace
+
+units::Seed64 derive_stream_seed(units::Seed64 seed,
+                                 const std::string& purpose) {
   std::uint64_t h = hash_u64(fnv1a_init(), seed.value());
   h = fnv1a(h, purpose.data(), purpose.size());
   // Avoid the degenerate all-zero mt19937 seed.
   return units::Seed64{h == 0 ? 0x9e3779b97f4a7c15ULL : h};
 }
-
-}  // namespace
 
 const char* to_string(AttackKind kind) {
   switch (kind) {
@@ -117,7 +115,7 @@ const ScenarioRunner::CachedModel& ScenarioRunner::model_for(
 
   CachedModel cached;
   const VehicleConfig config = scenario_vehicle(scenario);
-  Vehicle vehicle(config, derive_seed(seed_, "train/" + key));
+  Vehicle vehicle(config, derive_stream_seed(seed_, "train/" + key));
   const vprofile::ExtractionConfig extraction = default_extraction(config);
 
   std::vector<vprofile::EdgeSet> edge_sets;
@@ -144,6 +142,13 @@ const ScenarioRunner::CachedModel& ScenarioRunner::model_for(
   return model_cache_.emplace(key, std::move(cached)).first->second;
 }
 
+std::shared_ptr<const vprofile::Model> ScenarioRunner::trained_model(
+    const Scenario& scenario, std::string* error) {
+  const CachedModel& cached = model_for(scenario);
+  if (error != nullptr) *error = cached.error;
+  return cached.model;
+}
+
 ScenarioResult ScenarioRunner::run(const Scenario& scenario) {
   ScenarioResult result;
   const CachedModel& cached = model_for(scenario);
@@ -154,7 +159,8 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) {
   const vprofile::Model& model = *cached.model;
 
   const VehicleConfig config = scenario_vehicle(scenario);
-  Vehicle vehicle(config, derive_seed(seed_, "stream/" + scenario.name()));
+  Vehicle vehicle(config,
+                  derive_stream_seed(seed_, "stream/" + scenario.name()));
 
   std::vector<LabeledCapture> stream;
   switch (scenario.attack) {
@@ -190,7 +196,7 @@ ScenarioResult ScenarioRunner::run(const Scenario& scenario) {
   // carried: labels stay attached to the original transmissions.
   faults::FaultInjector injector(
       scenario.faults, static_cast<double>(config.adc.max_code()),
-      derive_seed(seed_, "faults/" + scenario.name()));
+      derive_stream_seed(seed_, "faults/" + scenario.name()));
   injector.bind_metrics(metrics_);
   {
     obs::TraceSpan fault_span(tracer_, "scenario.inject_faults");

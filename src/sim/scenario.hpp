@@ -101,6 +101,14 @@ struct ScenarioResult {
 /// otherwise).
 VehicleConfig scenario_vehicle(const Scenario& scenario);
 
+/// The runner's FNV-1a seed derivation: hashes a base seed with a purpose
+/// string ("stream/<name>", "faults/<name>", "train/<key>") so every
+/// stage draws from an independent, order-independent random stream.
+/// Exposed so sibling harnesses (sim/adversary.hpp) reuse the exact
+/// discipline instead of inventing parallel seeding schemes.
+units::Seed64 derive_stream_seed(units::Seed64 seed,
+                                 const std::string& purpose);
+
 /// Detection config a deployed monitor would run this vehicle with:
 /// the scenario margin plus quality gating matched to the digitizer
 /// (rails at the ADC limits, flat-run detection on).  Clean captures
@@ -128,6 +136,14 @@ class ScenarioRunner {
   /// bit-identical (tests/test_obs.cpp holds this against the golden
   /// matrix).  Null detaches; sinks must outlive the runner.
   void set_observability(obs::MetricsRegistry* metrics, obs::Tracer* tracer);
+
+  /// The model a scenario's training key resolves to, trained on first use
+  /// and cached like run() does (the two share one cache, so a harness
+  /// that scores the model through a custom detector stack still trains
+  /// exactly once per key).  Null when training failed; `error`, when
+  /// non-null, receives the diagnosis.
+  std::shared_ptr<const vprofile::Model> trained_model(
+      const Scenario& scenario, std::string* error = nullptr);
 
   units::Seed64 seed() const { return seed_; }
 

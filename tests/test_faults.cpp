@@ -297,4 +297,166 @@ TEST(FaultInjectorTest, OutputAlwaysWithinAdcRange) {
   }
 }
 
+// --- Sagong-style attack transforms (kOvercurrent, kCorruptionBurst,
+// kDriftMasquerade). ---
+
+TEST(AttackTransformTest, OvercurrentZeroParametersIsBitExactNoOp) {
+  // The adversary search's grid includes the all-zero point; it must
+  // reproduce the clean trace bit for bit, or the search's baseline cell
+  // would differ from clean traffic.
+  const dsp::Trace in = ramp(1024);
+  faults::OvercurrentFault f;
+  f.gain = 0.0;
+  f.offset = 0.0;
+  f.dominant_fraction = 0.6;
+  EXPECT_EQ(faults::apply_overcurrent(in, f, kMaxCode), in);
+}
+
+TEST(AttackTransformTest, OvercurrentBoostsOnlyDominantSamples) {
+  const dsp::Trace in = ramp(1000);
+  faults::OvercurrentFault f;
+  f.gain = 0.25;
+  f.dominant_fraction = 0.6;
+  f.offset = 0.0;
+  const double level = f.dominant_fraction * kMaxCode;
+  const dsp::Trace out = faults::apply_overcurrent(in, f, kMaxCode);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (in[i] < level) {
+      EXPECT_DOUBLE_EQ(out[i], in[i]) << "recessive sample " << i;
+    } else {
+      EXPECT_DOUBLE_EQ(out[i], std::min(in[i] * 1.25, kMaxCode))
+          << "dominant sample " << i;
+    }
+  }
+}
+
+TEST(AttackTransformTest, CorruptionBurstZeroAmplitudeIsBitExactNoOp) {
+  const dsp::Trace in = ramp(1024);
+  faults::CorruptionBurstFault f;
+  f.amplitude = 0.0;
+  f.duty = 1.0;  // every sample is inside the corruption window
+  EXPECT_EQ(faults::apply_corruption_burst(in, f, kMaxCode), in);
+}
+
+TEST(AttackTransformTest, CorruptionBurstTouchesOnlyTheDutyWindow) {
+  const dsp::Trace in(256, kMaxCode / 2);
+  faults::CorruptionBurstFault f;
+  f.amplitude = 5000.0;
+  f.period_samples = 64.0;
+  f.phase = 0.0;
+  f.duty = 0.25;
+  const dsp::Trace out = faults::apply_corruption_burst(in, f, kMaxCode);
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double frac = static_cast<double>(i % 64) / 64.0;
+    if (frac >= f.duty) {
+      EXPECT_DOUBLE_EQ(out[i], in[i]) << "sample " << i << " outside window";
+    }
+    EXPECT_GE(out[i], 0.0);
+    EXPECT_LE(out[i], kMaxCode);
+  }
+  EXPECT_NE(out, in) << "a nonzero burst must corrupt something";
+}
+
+TEST(AttackTransformTest, DutyCycleScheduleIsExactBresenham) {
+  // duty 1 fires every tick, duty 0 never; duty 0.5 fires on exactly the
+  // even ticks (the quota floor(tick/2) advances there and nowhere else).
+  for (std::uint64_t tick = 1; tick <= 16; ++tick) {
+    EXPECT_TRUE(faults::duty_cycle_fires(tick, 1.0)) << tick;
+    EXPECT_FALSE(faults::duty_cycle_fires(tick, 0.0)) << tick;
+    EXPECT_EQ(faults::duty_cycle_fires(tick, 0.5), tick % 2 == 0) << tick;
+  }
+  // Any duty's firing count over N ticks is exactly floor(N * duty).
+  for (double duty : {0.1, 0.3, 0.37, 0.75, 0.9}) {
+    std::uint64_t fired = 0;
+    for (std::uint64_t tick = 1; tick <= 1000; ++tick) {
+      fired += faults::duty_cycle_fires(tick, duty) ? 1u : 0u;
+    }
+    EXPECT_EQ(fired, static_cast<std::uint64_t>(std::floor(1000.0 * duty)))
+        << "duty " << duty;
+  }
+}
+
+TEST(FaultInjectorTest, DriftMasqueradeRampSaturatesAtMaxShift) {
+  faults::FaultProfile p;
+  p.name = "masquerade";
+  p.drift_masquerade = faults::DriftMasqueradeFault{
+      .probability = 1.0, .ramp_rate = 100.0, .max_shift = 250.0,
+      .duty = 1.0};
+  faults::FaultInjector inj(p, kMaxCode, 11);
+  const dsp::Trace in(64, 1000.0);
+
+  EXPECT_DOUBLE_EQ(inj.apply(in).front(), 1100.0);
+  EXPECT_DOUBLE_EQ(inj.masquerade_shift(), 100.0);
+  EXPECT_DOUBLE_EQ(inj.apply(in).front(), 1200.0);
+  // The third firing would reach 300 but saturates at max_shift; later
+  // firings stay pinned.
+  for (int i = 0; i < 5; ++i) inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.masquerade_shift(), 250.0);
+  EXPECT_DOUBLE_EQ(inj.apply(in).front(), 1250.0);
+}
+
+TEST(FaultInjectorTest, DriftMasqueradeClampsAtTheAdcRails) {
+  faults::FaultProfile p;
+  p.name = "masquerade-rails";
+  p.drift_masquerade = faults::DriftMasqueradeFault{
+      .probability = 1.0, .ramp_rate = kMaxCode, .max_shift = 2.0 * kMaxCode,
+      .duty = 1.0};
+  faults::FaultInjector inj(p, kMaxCode, 13);
+  // One firing pushes the whole ramp past the upper rail.
+  for (double c : inj.apply(ramp(128))) EXPECT_DOUBLE_EQ(c, kMaxCode);
+}
+
+TEST(FaultInjectorTest, DriftMasqueradeDutyGatesTheRamp) {
+  faults::FaultProfile p;
+  p.name = "masquerade-duty";
+  p.drift_masquerade = faults::DriftMasqueradeFault{
+      .probability = 1.0, .ramp_rate = 10.0, .max_shift = 1000.0,
+      .duty = 0.5};
+  faults::FaultInjector inj(p, kMaxCode, 17);
+  const dsp::Trace in(32, 1000.0);
+  // Ticks 1..4 at duty 0.5: advance on the even ticks only.
+  inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.masquerade_shift(), 0.0);
+  inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.masquerade_shift(), 10.0);
+  inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.masquerade_shift(), 10.0);
+  inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.masquerade_shift(), 20.0);
+}
+
+TEST(FaultInjectorTest, SlowDriftComposesWithMasqueradeInEnumOrder) {
+  // Both ramps configured: kSlowDrift (enum order) applies first, then
+  // kDriftMasquerade stacks its own shift on the already-shifted trace.
+  // The two cumulative states are independent and the result equals the
+  // manual composition of the two transforms.
+  faults::FaultProfile p;
+  p.name = "both-ramps";
+  p.slow_drift = faults::SlowDriftFault{
+      .probability = 1.0, .step = 100.0, .max_shift = 300.0};
+  p.drift_masquerade = faults::DriftMasqueradeFault{
+      .probability = 1.0, .ramp_rate = 40.0, .max_shift = 500.0, .duty = 1.0};
+  faults::FaultInjector inj(p, kMaxCode, 19);
+  const dsp::Trace in(64, 1000.0);
+
+  const dsp::Trace t1 = inj.apply(in);
+  EXPECT_DOUBLE_EQ(inj.slow_drift_shift(), 100.0);
+  EXPECT_DOUBLE_EQ(inj.masquerade_shift(), 40.0);
+  const dsp::Trace manual = faults::apply_slow_drift(
+      faults::apply_slow_drift(in, 100.0, kMaxCode), 40.0, kMaxCode);
+  EXPECT_EQ(t1, manual);
+  EXPECT_DOUBLE_EQ(t1.front(), 1140.0);
+
+  const dsp::Trace t2 = inj.apply(in);
+  EXPECT_DOUBLE_EQ(t2.front(), 1280.0);  // 1000 + 200 + 80
+  const auto& applied = inj.stats().applied;
+  EXPECT_EQ(applied[static_cast<std::size_t>(faults::FaultKind::kSlowDrift)],
+            2u);
+  EXPECT_EQ(
+      applied[static_cast<std::size_t>(faults::FaultKind::kDriftMasquerade)],
+      2u);
+}
+
 }  // namespace

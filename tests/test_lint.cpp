@@ -57,8 +57,8 @@ TEST(LintDeterminism, FlagsRandomDevice) {
 TEST(LintDeterminism, CleanOnSeededRngAndUnrelatedNames) {
   const std::string src = R"cpp(
 #include "stats/rng.hpp"
-double g(const Frame& frame) {
-  stats::Rng rng(units::Seed64{42});   // seeded stream: fine
+double g(const Frame& frame, units::Seed64 seed) {
+  stats::Rng rng(seed);                // seeded stream: fine
   double start_time(double);           // _time suffix is a different token
   return rng.uniform(0.0, 1.0) + frame.time() + clk->clock();
 }
@@ -260,6 +260,57 @@ TEST(LintMetricName, AllowCommentSuppresses) {
   ASSERT_EQ(findings.size(), 1u);
   EXPECT_EQ(findings[0].line, 3u);
   EXPECT_EQ(findings[0].rule, "metric-name");
+}
+
+// ---------------------------------------------------------------------
+// seed-literal
+// ---------------------------------------------------------------------
+
+TEST(LintSeedLiteral, FlagsLiteralSeedsAtSeededEntryPoints) {
+  const std::string src = R"cpp(
+void f() {
+  units::Seed64 s{1234};
+  stats::Rng rng(42);
+  sim::ScenarioRunner runner(0xf407e2);
+  auto t = units::Seed64{0xBEEF};
+}
+)cpp";
+  const auto findings = lint_source("src/sim/adversary.cpp", src);
+  EXPECT_EQ(rules_of(findings),
+            (std::vector<std::string>{"seed-literal", "seed-literal",
+                                      "seed-literal", "seed-literal"}));
+  EXPECT_NE(findings[0].message.find("bench::bench_seed"), std::string::npos);
+}
+
+TEST(LintSeedLiteral, CleanOnDerivedAndNamedSeeds) {
+  const std::string src = R"cpp(
+void f(units::Seed64 seed, std::uint64_t raw) {
+  stats::Rng rng(seed);
+  sim::ScenarioRunner runner(bench::bench_seed("frontier"));
+  units::Seed64 derived = sim::derive_stream_seed(seed, "stream/adversary");
+  units::Seed64 wrapped{raw};
+  units::Seed64 fallback{h == 0 ? 0x9e3779b97f4a7c15ULL : h};
+}
+)cpp";
+  EXPECT_TRUE(lint_source("src/sim/adversary.cpp", src).empty());
+}
+
+TEST(LintSeedLiteral, BenchSeedCatalogIsExempt) {
+  const std::string src = "units::Seed64 s{4400};\n";
+  EXPECT_TRUE(has_rule(lint_source("src/sim/adversary.cpp", src),
+                       "seed-literal"));
+  EXPECT_TRUE(lint_source("bench/bench_common.cpp", src).empty());
+}
+
+TEST(LintSeedLiteral, AllowCommentSuppresses) {
+  const std::string src =
+      "// vprofile-lint: allow(seed-literal)\n"
+      "units::Seed64 s{99};\n"
+      "units::Seed64 t{99};\n";
+  const auto findings = lint_source("src/sim/x.cpp", src);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_EQ(findings[0].rule, "seed-literal");
 }
 
 // ---------------------------------------------------------------------

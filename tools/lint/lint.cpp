@@ -444,6 +444,37 @@ void check_metric_name(const RuleContext& ctx, const std::string& original) {
 }
 
 // ---------------------------------------------------------------------
+// Rule: seed-literal
+// ---------------------------------------------------------------------
+
+/// Flags seeded entry points constructed straight from an integer
+/// literal: `units::Seed64{1234}`, `stats::Rng rng(42)`,
+/// `ScenarioRunner runner(7)`.  A literal there detaches the stream from
+/// the audited bench seed catalog; seeds must come from
+/// bench::bench_seed or be derived from an upstream seed
+/// (sim::derive_stream_seed).  Only the single-argument pure-literal
+/// form is matched — expressions and named values pass, because they
+/// trace back to something reviewable.
+void check_seed_literal(const RuleContext& ctx) {
+  static const std::regex kSeedLiteral(
+      R"(\b(Seed64|Rng|ScenarioRunner)(?:\s+\w+)?\s*[({]\s*)"
+      R"((0[xX][0-9a-fA-F']+|[0-9][0-9']*)[uUlL]*\s*[})])");
+  for (auto it = std::sregex_iterator(ctx.code.begin(), ctx.code.end(),
+                                      kSeedLiteral);
+       it != std::sregex_iterator(); ++it) {
+    const std::size_t offset = static_cast<std::size_t>(it->position(0));
+    if (offset > 0 && ident_char(ctx.code[offset - 1])) continue;
+    ctx.add(offset, "seed-literal",
+            "literal seed " + (*it)[2].str() + " handed to " +
+                (*it)[1].str() +
+                "; draw seeds from the bench catalog (bench::bench_seed) "
+                "or derive them from an upstream seed "
+                "(sim::derive_stream_seed) so published artifacts trace "
+                "to one audited entry");
+  }
+}
+
+// ---------------------------------------------------------------------
 // Rule: simd-boundary
 // ---------------------------------------------------------------------
 
@@ -521,7 +552,11 @@ ScrubbedSource scrub(const std::string& source) {
           // Raw string literal: R"delim( ... )delim".
           std::size_t d = i + 2;
           while (d < source.size() && source[d] != '(') ++d;
-          raw_delim = ")" + source.substr(i + 2, d - (i + 2)) + "\"";
+          // Built up in pieces: GCC 12's -Wrestrict false-positives on the
+          // `const char* + std::string&&` chain under heavy inlining.
+          raw_delim = ")";
+          raw_delim += source.substr(i + 2, d - (i + 2));
+          raw_delim += '"';
           state = State::kRawString;
           i = d;  // everything from R through ( is stripped
         } else if (c == '"') {
@@ -605,6 +640,11 @@ std::vector<Finding> lint_source(const std::string& path,
     if (path.find(allow) != std::string::npos) simd_exempt = true;
   }
   if (!simd_exempt) check_simd_boundary(ctx);
+  bool seed_literal_exempt = false;
+  for (const auto& allow : opts.seed_literal_allowlist) {
+    if (path.find(allow) != std::string::npos) seed_literal_exempt = true;
+  }
+  if (!seed_literal_exempt) check_seed_literal(ctx);
   check_raw_new_delete(ctx);
   check_unordered_iteration(ctx);
   check_float_eq(ctx);

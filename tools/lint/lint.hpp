@@ -32,6 +32,14 @@
 //                        (linalg/simd_dispatch.hpp) so a binary never
 //                        executes an ISA the CPU check did not approve and
 //                        the scalar oracle stays the single reference.
+//   seed-literal         no integer-literal seeds at the seeded entry
+//                        points (units::Seed64{1234}, stats::Rng(42),
+//                        ScenarioRunner(7)) — seeds must come from the
+//                        bench seed catalog (bench::bench_seed) or be
+//                        derived from an upstream seed
+//                        (sim::derive_stream_seed), so every random
+//                        stream in a published artifact traces back to
+//                        one audited catalog entry.
 //
 // Scanning is token-level over comment- and string-stripped source: no
 // libclang, no compiler dependency. A finding can be suppressed where a
@@ -68,6 +76,10 @@ struct Options {
   /// Files whose path contains one of these substrings may use raw SIMD
   /// intrinsics: the dispatched kernel implementations themselves.
   std::vector<std::string> simd_allowlist = {"src/linalg/simd_"};
+  /// Files whose path contains one of these substrings may construct
+  /// seeds from integer literals: the bench seed catalog is the one
+  /// sanctioned home for them.
+  std::vector<std::string> seed_literal_allowlist = {"bench/bench_common.cpp"};
 };
 
 /// Source text with comments and string/char-literal bodies blanked out.
