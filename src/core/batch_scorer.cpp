@@ -70,6 +70,7 @@ ScoringPlan::ScoringPlan(const Model& model, linalg::simd::Backend requested)
   }
 }
 
+// vprofile-lint: hot
 void BatchScorer::detect(const EdgeSet* const* sets, std::size_t count,
                          const DetectionConfig& config, Detection* out) {
   // Stage 1: the per-edge quality gate + SA lookup, unchanged from the
@@ -115,6 +116,7 @@ std::vector<Detection> BatchScorer::detect(const std::vector<EdgeSet>& sets,
   return out;
 }
 
+// vprofile-lint: hot
 void BatchScorer::score_batch(const EdgeSet* const* sets,
                               const std::uint32_t* indices, std::size_t n,
                               std::size_t stride) {

@@ -85,6 +85,7 @@ double ClusterQuant::distance_error_bound(double radius) const {
   return std::sqrt(dq);
 }
 
+// vprofile-lint: hot
 void euclidean_fixed(const FixedBatchView& batch, const ClusterQuant& cq,
                      double* out, std::size_t begin, std::size_t end) {
   for (std::size_t e = begin; e < end; ++e) {
@@ -99,6 +100,7 @@ void euclidean_fixed(const FixedBatchView& batch, const ClusterQuant& cq,
   }
 }
 
+// vprofile-lint: hot
 void mahalanobis_fixed(const FixedBatchView& batch, const ClusterQuant& cq,
                        double* out, std::size_t begin, std::size_t end) {
   const std::size_t dim = batch.dim;

@@ -198,6 +198,7 @@ inline void mahalanobis_block1(const BatchView& batch, const double* mu,
 
 }  // namespace
 
+// vprofile-lint: hot
 void euclidean_avx2(const BatchView& batch, const double* mu, double* out,
                     std::size_t begin, std::size_t end) {
   std::size_t e = begin;
@@ -206,6 +207,7 @@ void euclidean_avx2(const BatchView& batch, const double* mu, double* out,
   for (; e + 4 <= end; e += 4) euclidean_block1(batch, mu, out, e);
 }
 
+// vprofile-lint: hot
 void mahalanobis_avx2(const BatchView& batch, const double* mu,
                       const double* inv_cov, double* dscratch, double* out,
                       std::size_t begin, std::size_t end) {

@@ -11,6 +11,9 @@ namespace {
 int g_force_override = -1;
 
 bool env_force_scalar() {
+  // Read exactly once per process (static init in force_scalar), before
+  // any frame is scored: a CI knob, not steady-state entropy.
+  // vprofile-lint: allow(hot-path-purity)
   const char* v = std::getenv("VPROFILE_FORCE_SCALAR");
   return v != nullptr && *v != '\0' && std::strcmp(v, "0") != 0;
 }
@@ -44,6 +47,7 @@ bool force_scalar() {
 
 void set_force_scalar_override(int forced) { g_force_override = forced; }
 
+// vprofile-lint: hot
 Backend resolve(Backend requested) {
   switch (requested) {
     case Backend::kScalar:

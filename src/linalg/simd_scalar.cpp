@@ -10,6 +10,7 @@
 
 namespace linalg::simd {
 
+// vprofile-lint: hot
 void euclidean_scalar(const BatchView& batch, const double* mu, double* out,
                       std::size_t begin, std::size_t end) {
   for (std::size_t e = begin; e < end; ++e) {
@@ -22,6 +23,7 @@ void euclidean_scalar(const BatchView& batch, const double* mu, double* out,
   }
 }
 
+// vprofile-lint: hot
 void mahalanobis_scalar(const BatchView& batch, const double* mu,
                         const double* inv_cov, double* dscratch, double* out,
                         std::size_t begin, std::size_t end) {

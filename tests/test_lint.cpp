@@ -3,12 +3,15 @@
 // suppressions must be honored, and the scrubber must keep comments and
 // string literals from producing findings.
 #include <algorithm>
+#include <map>
+#include <set>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "lint/lint.hpp"
+#include "lint/project.hpp"
 
 namespace {
 
@@ -439,6 +442,253 @@ TEST(LintCompileCommands, ExtractsSortedUniqueFiles) {
   const auto files = vplint::files_from_compile_commands(json);
   EXPECT_EQ(files, (std::vector<std::string>{"/repo/src/a.cpp",
                                              "/repo/src/b.cpp"}));
+}
+
+// ---------------------------------------------------------------------
+// project analyzer: architecture layering
+// ---------------------------------------------------------------------
+
+using vplint::ProjectFinding;
+using vplint::ProjectOptions;
+using vplint::run_project;
+
+constexpr const char* kTwoLayers =
+    "layer base: src/core\nlayer services: src/pipeline\n";
+
+std::vector<ProjectFinding> with_rule(
+    const std::vector<ProjectFinding>& findings, const std::string& rule) {
+  std::vector<ProjectFinding> out;
+  for (const auto& f : findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+TEST(LintLayering, FlagsUpwardIncludeOnly) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/low.hpp", "int low();\n"},
+      {"src/core/bad.cpp", "#include \"pipeline/high.hpp\"\n"},
+      {"src/pipeline/high.hpp", "#include \"core/low.hpp\"\nint high();\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  const auto findings = run_project(sources, opts, &error);
+  EXPECT_TRUE(error.empty());
+  const auto layering = with_rule(findings, "architecture-layering");
+  ASSERT_EQ(layering.size(), 1u);  // downward services->base stays legal
+  EXPECT_EQ(layering[0].file, "src/core/bad.cpp");
+  EXPECT_EQ(layering[0].line, 1u);
+  EXPECT_EQ(layering[0].key, "layering:src/core/bad.cpp->src/pipeline");
+}
+
+TEST(LintLayering, SystemIncludesAndUnlayeredFilesAreIgnored) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/a.cpp", "#include <vector>\n#include \"misc/b.hpp\"\n"},
+      {"misc/b.hpp", "int b();\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  EXPECT_TRUE(
+      with_rule(run_project(sources, opts, &error), "architecture-layering")
+          .empty());
+}
+
+TEST(LintLayering, MalformedSpecReportsErrorAndNoFindings) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/a.cpp", "int a();\n"}};
+  ProjectOptions opts;
+  opts.layer_spec = "this is not a layer line\n";
+  std::string error;
+  EXPECT_TRUE(run_project(sources, opts, &error).empty());
+  EXPECT_FALSE(error.empty());
+}
+
+// ---------------------------------------------------------------------
+// project analyzer: hot-path purity
+// ---------------------------------------------------------------------
+
+TEST(LintPurity, FlagsForbiddenTokenReachableFromHotRoot) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/hot.cpp",
+       "// vprofile-lint: hot\n"
+       "void kernel() { helper(); }\n"
+       "void helper() { std::mutex m; }\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  const auto purity =
+      with_rule(run_project(sources, opts, &error), "hot-path-purity");
+  ASSERT_EQ(purity.size(), 1u);
+  EXPECT_EQ(purity[0].line, 3u);
+  EXPECT_EQ(purity[0].key, "purity:src/core/hot.cpp:helper:mutex");
+  EXPECT_NE(purity[0].message.find("hot entry `kernel`"), std::string::npos);
+}
+
+TEST(LintPurity, ColdBoundaryStopsTraversal) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/hot.cpp",
+       "// vprofile-lint: hot\n"
+       "void kernel() { handoff(); }\n"
+       "// vprofile-lint: cold\n"
+       "void handoff() { std::mutex m; locked(); }\n"
+       "void locked() { std::lock_guard<std::mutex> g(mu); }\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  EXPECT_TRUE(
+      with_rule(run_project(sources, opts, &error), "hot-path-purity")
+          .empty());
+}
+
+TEST(LintPurity, UnreachableViolationsAndMemberShadowsStayClean) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/hot.cpp",
+       "// vprofile-lint: hot\n"
+       "void kernel(const Trace& t) { double x = t.time(); }\n"
+       "void never_called() { std::mutex m; }\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  EXPECT_TRUE(
+      with_rule(run_project(sources, opts, &error), "hot-path-purity")
+          .empty());
+}
+
+TEST(LintPurity, AllowSuppressesAndIsNotReportedStale) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/hot.cpp",
+       "// vprofile-lint: hot\n"
+       "void kernel() {\n"
+       "  // vprofile-lint: allow(hot-path-purity)\n"
+       "  const char* v = getenv(\"KNOB\");\n"
+       "  (void)v;\n"
+       "}\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  const auto findings = run_project(sources, opts, &error);
+  EXPECT_TRUE(with_rule(findings, "hot-path-purity").empty());
+  EXPECT_TRUE(with_rule(findings, "stale-suppression").empty());
+}
+
+// ---------------------------------------------------------------------
+// project analyzer: cross-file consistency
+// ---------------------------------------------------------------------
+
+TEST(LintConsistency, MetricContractChecksBothDirections) {
+  const std::map<std::string, std::string> sources = {
+      {"src/obs/use.cpp",
+       "void wire(Reg& reg) { auto* c = reg.counter(\"foo_total\"); }\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  opts.metrics_spec = "# contract\nbar_total\n";
+  std::string error;
+  const auto metric =
+      with_rule(run_project(sources, opts, &error), "metric-export");
+  ASSERT_EQ(metric.size(), 2u);
+  EXPECT_EQ(metric[0].key, "consistency:metric-unexported:foo_total");
+  EXPECT_EQ(metric[0].file, "src/obs/use.cpp");
+  EXPECT_EQ(metric[1].key, "consistency:metric-orphan:bar_total");
+  EXPECT_EQ(metric[1].file, "tools/lint/metrics.spec");
+  EXPECT_EQ(metric[1].line, 2u);
+}
+
+TEST(LintConsistency, SeedCatalogChecksBothDirections) {
+  const std::map<std::string, std::string> sources = {
+      {"bench/bench_common.cpp",
+       "static constexpr std::array<std::pair<std::string_view, int>, 2>\n"
+       "    kSeeds{{\n"
+       "        {\"used\", 1},\n"
+       "        {\"dead\", 2},\n"
+       "    }};\n"},
+      {"bench/bench_use.cpp",
+       "auto a = bench_seed(\"used\");\n"
+       "auto b = bench_seed(\"ghost\");\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  const auto seeds =
+      with_rule(run_project(sources, opts, &error), "seed-catalog");
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_EQ(seeds[0].key, "consistency:seed-unused:dead");
+  EXPECT_EQ(seeds[0].file, "bench/bench_common.cpp");
+  EXPECT_EQ(seeds[0].line, 4u);
+  EXPECT_EQ(seeds[1].key, "consistency:seed-undefined:ghost");
+  EXPECT_EQ(seeds[1].file, "bench/bench_use.cpp");
+  EXPECT_EQ(seeds[1].line, 2u);
+}
+
+TEST(LintConsistency, StaleSuppressionIsFlaggedLiveOneIsNot) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/mixed.cpp",
+       "// vprofile-lint: allow(raw-new-delete)\n"
+       "int* p = new int;\n"
+       "// vprofile-lint: allow(float-eq)\n"
+       "int q = 1;\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  const auto findings = run_project(sources, opts, &error);
+  const auto stale = with_rule(findings, "stale-suppression");
+  ASSERT_EQ(stale.size(), 1u);
+  EXPECT_EQ(stale[0].line, 3u);
+  EXPECT_EQ(stale[0].key,
+            "consistency:stale-allow:src/core/mixed.cpp:float-eq");
+  // The live suppression masked its finding and is not re-reported.
+  EXPECT_TRUE(with_rule(findings, "raw-new-delete").empty());
+}
+
+// ---------------------------------------------------------------------
+// project analyzer: ratchet + report
+// ---------------------------------------------------------------------
+
+TEST(LintRatchet, SplitsFreshAndStaleKeys) {
+  std::vector<ProjectFinding> findings(2);
+  findings[0].key = "layering:a->b";
+  findings[1].key = "purity:f:g:new";
+  const std::set<std::string> baseline = {"purity:f:g:new", "paid:off"};
+  const auto delta = vplint::ratchet(findings, baseline);
+  EXPECT_EQ(delta.fresh, std::vector<std::string>{"layering:a->b"});
+  EXPECT_EQ(delta.stale, std::vector<std::string>{"paid:off"});
+  EXPECT_FALSE(delta.empty());
+  EXPECT_TRUE(vplint::ratchet(findings, vplint::parse_baseline(
+                                            vplint::baseline_json(findings)))
+                  .empty());
+}
+
+TEST(LintReport, ByteIdenticalAcrossRunsAndVersioned) {
+  const std::map<std::string, std::string> sources = {
+      {"src/core/bad.cpp", "#include \"pipeline/high.hpp\"\n"},
+      {"src/pipeline/high.hpp", "int high();\n"},
+  };
+  ProjectOptions opts;
+  opts.layer_spec = kTwoLayers;
+  std::string error;
+  const auto run1 = run_project(sources, opts, &error);
+  const auto run2 = run_project(sources, opts, &error);
+  const std::set<std::string> baseline;
+  const std::string report1 = vplint::report_json(run1, baseline);
+  const std::string report2 = vplint::report_json(run2, baseline);
+  EXPECT_EQ(report1, report2);
+  EXPECT_NE(report1.find("\"schema\": \"vprofile-lint-v1\""),
+            std::string::npos);
+  EXPECT_NE(report1.find("layering:src/core/bad.cpp->src/pipeline"),
+            std::string::npos);
+  // Baselining the key flips it from fresh to baselined byte-stably.
+  const std::set<std::string> accepted = {
+      "layering:src/core/bad.cpp->src/pipeline"};
+  const std::string report3 = vplint::report_json(run1, accepted);
+  EXPECT_NE(report3.find("\"fresh\": 0"), std::string::npos);
+  EXPECT_NE(report3.find("\"baselined\": true"), std::string::npos);
 }
 
 }  // namespace

@@ -1,0 +1,391 @@
+#include "lint/graph.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <regex>
+#include <string_view>
+
+namespace vplint {
+namespace {
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+std::size_t line_of(const std::vector<std::size_t>& starts,
+                    std::size_t offset) {
+  const auto it = std::upper_bound(starts.begin(), starts.end(), offset);
+  return static_cast<std::size_t>(it - starts.begin());
+}
+
+/// Control-flow and expression keywords: a brace whose head starts with
+/// one of these is a statement, never a function definition.
+bool is_control_keyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",    "while",        "switch",   "catch",
+      "return", "sizeof", "alignof",      "decltype", "static_assert",
+      "assert", "defined"};
+  return kKeywords.count(name) != 0;
+}
+
+/// Names never followed as call edges: ubiquitous std:: member/utility
+/// names that would conflate every container with any project function
+/// that happens to share the name (RingQueue::size vs. vector::size).
+/// The purity pass still scans the *project* functions of these names if
+/// something else reaches them by a unique name.
+bool is_generic_call_name(const std::string& name) {
+  static const std::set<std::string> kGeneric = {
+      "size",    "empty",   "clear",     "begin",    "end",     "cbegin",
+      "cend",    "rbegin",  "rend",      "data",     "at",      "front",
+      "back",    "reserve", "resize",    "push",     "pop",     "push_back",
+      "pop_back", "emplace", "emplace_back", "insert", "erase",  "find",
+      "count",   "contains", "value",    "value_or", "has_value", "get",
+      "reset",   "release", "swap",      "str",      "c_str",   "substr",
+      "append",  "compare", "length",    "first",    "second",  "now",
+      "min",     "max",     "abs",       "move",     "forward", "to_string",
+      "load",    "store",   "exchange",  "fetch_add", "fetch_sub", "add",
+      "set",     "observe", "duration_cast", "time_since_epoch", "submit"};
+  return kGeneric.count(name) != 0;
+}
+
+/// Matches a balanced paren run starting at the opener `text[pos]`;
+/// returns the offset one past the closer, or npos when unbalanced.
+std::size_t skip_parens(const std::string& text, std::size_t pos) {
+  int depth = 0;
+  for (; pos < text.size(); ++pos) {
+    if (text[pos] == '(') {
+      ++depth;
+    } else if (text[pos] == ')') {
+      if (--depth == 0) return pos + 1;
+    }
+  }
+  return std::string::npos;
+}
+
+/// What the extractor learned about one candidate `name(...)` in a brace
+/// head.
+struct SignatureMatch {
+  std::string qualified;
+  std::string last;
+  std::size_t name_offset = 0;  // into the segment
+};
+
+/// Function-name candidates in a brace head: optionally qualified
+/// identifier (destructors and operator tokens included) directly
+/// followed by '('.
+const std::regex& signature_regex() {
+  static const std::regex kSig(
+      R"(((?:[A-Za-z_]\w*\s*::\s*)*(?:operator\s*[^\s\w(]+|~?[A-Za-z_]\w*))\s*\()");
+  return kSig;
+}
+
+/// Everything legal between a function's parameter list and its opening
+/// brace: cv/ref qualifiers, noexcept (with or without a condition),
+/// override/final, a trailing return type, a constructor init list.
+bool valid_signature_tail(const std::string& tail) {
+  static const std::regex kTail(
+      R"(^\s*(?:(?:const|noexcept|override|final|mutable|try|&&?)\b\s*|noexcept\s*\([^{}]*\)\s*)*(?:->\s*[^;={}]+?)?\s*(?::[^;{}]*)?$)");
+  return std::regex_match(tail, kTail);
+}
+
+/// Tries to read a function definition out of the text between the last
+/// statement boundary and an opening brace.  Returns true and fills
+/// `*out` when the head parses as a signature; a head opening with a
+/// control keyword is definitively not a function.
+bool match_function(const std::string& segment, SignatureMatch* out) {
+  auto begin = std::sregex_iterator(segment.begin(), segment.end(),
+                                    signature_regex());
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    std::string name = (*it)[1].str();
+    // Normalize whitespace around :: and operator tokens.
+    name.erase(std::remove_if(name.begin(), name.end(),
+                              [](char c) {
+                                return std::isspace(
+                                           static_cast<unsigned char>(c)) != 0;
+                              }),
+               name.end());
+    const std::size_t name_pos = static_cast<std::size_t>(it->position(1));
+    std::string last = name;
+    const std::size_t sep = last.rfind("::");
+    if (sep != std::string::npos) last = last.substr(sep + 2);
+    if (is_control_keyword(last)) return false;
+    // The '(' the regex anchored on.
+    const std::size_t paren =
+        static_cast<std::size_t>(it->position(0) + it->length(0)) - 1;
+    const std::size_t after = skip_parens(segment, paren);
+    if (after == std::string::npos) continue;  // spans past the brace head
+    if (!valid_signature_tail(segment.substr(after))) continue;
+    out->qualified = name;
+    out->last = last;
+    out->name_offset = name_pos;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string component_of(const std::string& path) {
+  const std::size_t first = path.find('/');
+  if (first == std::string::npos) return path;
+  const std::string head = path.substr(0, first);
+  if (head != "src") return head;
+  const std::size_t second = path.find('/', first + 1);
+  if (second == std::string::npos) return path;
+  return path.substr(0, second);
+}
+
+std::size_t ProjectGraph::file_index(const std::string& path) const {
+  const auto it = std::lower_bound(
+      files.begin(), files.end(), path,
+      [](const ProjectFile& f, const std::string& p) { return f.path < p; });
+  if (it != files.end() && it->path == path) {
+    return static_cast<std::size_t>(it - files.begin());
+  }
+  return IncludeEdge::npos;
+}
+
+ProjectGraph ProjectGraph::build(
+    const std::map<std::string, std::string>& sources) {
+  ProjectGraph g;
+  g.files.reserve(sources.size());
+  for (const auto& [path, text] : sources) {  // std::map: sorted by path
+    ProjectFile f;
+    f.path = path;
+    f.source = text;
+    f.scrubbed = scrub(text);
+    g.files.push_back(std::move(f));
+  }
+
+  // --- include graph (from original text: the scrubber blanks the
+  // quoted path) ---
+  static const std::regex kInclude(R"re(^\s*#\s*include\s*"([^"]+)")re");
+  static constexpr std::array<std::string_view, 5> kPrefixes = {
+      "", "src/", "tools/", "bench/", "tests/"};
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    const std::string& text = g.files[fi].source;
+    std::size_t pos = 0;
+    std::size_t line = 1;
+    while (pos < text.size()) {
+      std::size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      const std::string line_text = text.substr(pos, eol - pos);
+      std::smatch m;
+      if (std::regex_search(line_text, m, kInclude)) {
+        IncludeEdge edge;
+        edge.file = fi;
+        edge.line = line;
+        edge.target = m[1].str();
+        for (const auto prefix : kPrefixes) {
+          const std::size_t hit =
+              g.file_index(std::string(prefix) + edge.target);
+          if (hit != IncludeEdge::npos) {
+            edge.resolved = hit;
+            break;
+          }
+        }
+        g.includes.push_back(std::move(edge));
+      }
+      pos = eol + 1;
+      ++line;
+    }
+  }
+
+  // --- function extraction, file by file ---
+  for (std::size_t fi = 0; fi < g.files.size(); ++fi) {
+    const std::string& code = g.files[fi].scrubbed.code;
+    const std::vector<std::size_t> starts = line_starts(code);
+
+    struct Frame {
+      bool is_function = false;
+      std::size_t fn = 0;
+    };
+    std::vector<Frame> stack;
+    std::size_t boundary = 0;  // one past the last ';', '{' or '}'
+    for (std::size_t i = 0; i < code.size(); ++i) {
+      const char c = code[i];
+      if (c == ';') {
+        boundary = i + 1;
+      } else if (c == '{') {
+        const std::string segment = code.substr(boundary, i - boundary);
+        SignatureMatch m;
+        Frame frame;
+        if (match_function(segment, &m)) {
+          FunctionDef fn;
+          fn.file = fi;
+          fn.qualified = m.qualified;
+          fn.name = m.last;
+          fn.line = line_of(starts, boundary + m.name_offset);
+          fn.body_begin = i;
+          frame.is_function = true;
+          frame.fn = g.functions.size();
+          g.functions.push_back(std::move(fn));
+        }
+        stack.push_back(frame);
+        boundary = i + 1;
+      } else if (c == '}') {
+        if (!stack.empty()) {
+          const Frame frame = stack.back();
+          stack.pop_back();
+          if (frame.is_function) g.functions[frame.fn].body_end = i + 1;
+        }
+        boundary = i + 1;
+      }
+    }
+    // Unterminated bodies (truncated input): close at end of file so the
+    // passes still see the text.
+    while (!stack.empty()) {
+      const Frame frame = stack.back();
+      stack.pop_back();
+      if (frame.is_function && g.functions[frame.fn].body_end == 0) {
+        g.functions[frame.fn].body_end = code.size();
+      }
+    }
+
+    // --- hot/cold markers: a marker line L claims the function whose
+    // signature starts at L or L+1 (standalone comment above), or whose
+    // opening-brace line carries the trailing marker. ---
+    const ScrubbedSource& scrubbed = g.files[fi].scrubbed;
+    if (!scrubbed.hot_lines.empty() || !scrubbed.cold_lines.empty()) {
+      for (FunctionDef& fn : g.functions) {
+        if (fn.file != fi) continue;
+        const std::size_t open_line = line_of(starts, fn.body_begin);
+        for (std::size_t l = fn.line == 0 ? 0 : fn.line - 1; l <= open_line;
+             ++l) {
+          if (scrubbed.hot_lines.count(l) != 0) fn.hot = true;
+          if (scrubbed.cold_lines.count(l) != 0) fn.cold = true;
+        }
+      }
+    }
+  }
+
+  // --- name index ---
+  for (std::size_t i = 0; i < g.functions.size(); ++i) {
+    g.functions_by_name[g.functions[i].name].push_back(i);
+  }
+
+  // --- call edges: every `name(` token in a body that matches a known
+  // project function, minus keywords and the generic-name stoplist ---
+  static const std::regex kCall(R"(([A-Za-z_]\w*)\s*\()");
+  for (std::size_t i = 0; i < g.functions.size(); ++i) {
+    FunctionDef& fn = g.functions[i];
+    const std::string& code = g.files[fn.file].scrubbed.code;
+    if (fn.body_end <= fn.body_begin) continue;
+    const std::string body =
+        code.substr(fn.body_begin + 1, fn.body_end - fn.body_begin - 2);
+    std::set<std::size_t> callees;
+    auto begin = std::sregex_iterator(body.begin(), body.end(), kCall);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::string name = (*it)[1].str();
+      const std::size_t pos = static_cast<std::size_t>(it->position(1));
+      // `::name(` and `.name(` stay edges (qualified and member calls);
+      // a preceding identifier character means mid-token.
+      if (pos > 0 && ident_char(body[pos - 1])) continue;
+      if (is_control_keyword(name) || is_generic_call_name(name)) continue;
+      const auto hit = g.functions_by_name.find(name);
+      if (hit == g.functions_by_name.end()) continue;
+      for (const std::size_t target : hit->second) {
+        if (target != i) callees.insert(target);
+      }
+    }
+    fn.callees.assign(callees.begin(), callees.end());
+  }
+
+  return g;
+}
+
+bool LayerSpec::parse(const std::string& text, std::string* error) {
+  layers.clear();
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    // Trim.
+    const auto is_space = [](char c) {
+      return std::isspace(static_cast<unsigned char>(c)) != 0;
+    };
+    while (!line.empty() && is_space(line.back())) line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() && is_space(line[start])) ++start;
+    line = line.substr(start);
+    if (line.empty()) {
+      if (pos > text.size()) break;
+      continue;
+    }
+    static const std::regex kLayer(R"(^layer\s+([\w-]+)\s*:\s*(.+)$)");
+    std::smatch m;
+    if (!std::regex_match(line, m, kLayer)) {
+      if (error != nullptr) {
+        *error = "layers.spec line " + std::to_string(line_no) +
+                 ": expected `layer <name>: <dir> <dir>...`";
+      }
+      return false;
+    }
+    Layer layer;
+    layer.name = m[1].str();
+    const std::string dirs = m[2].str();
+    std::size_t d = 0;
+    while (d < dirs.size()) {
+      while (d < dirs.size() && is_space(dirs[d])) ++d;
+      std::size_t e = d;
+      while (e < dirs.size() && !is_space(dirs[e])) ++e;
+      if (e > d) layer.dirs.push_back(dirs.substr(d, e - d));
+      d = e;
+    }
+    if (layer.dirs.empty()) {
+      if (error != nullptr) {
+        *error = "layers.spec line " + std::to_string(line_no) +
+                 ": layer `" + layer.name + "` lists no directories";
+      }
+      return false;
+    }
+    layers.push_back(std::move(layer));
+    if (pos > text.size()) break;
+  }
+  if (layers.empty()) {
+    if (error != nullptr) *error = "layers.spec: no layers defined";
+    return false;
+  }
+  return true;
+}
+
+int LayerSpec::layer_of(const std::string& path) const {
+  int best = -1;
+  std::size_t best_len = 0;
+  for (std::size_t li = 0; li < layers.size(); ++li) {
+    for (const std::string& dir : layers[li].dirs) {
+      const bool match =
+          path == dir ||
+          (path.size() > dir.size() && path.compare(0, dir.size(), dir) == 0 &&
+           path[dir.size()] == '/');
+      if (match && dir.size() >= best_len) {
+        best = static_cast<int>(li);
+        best_len = dir.size();
+      }
+    }
+  }
+  return best;
+}
+
+const std::string& LayerSpec::layer_name(std::size_t index) const {
+  static const std::string kUnknown = "?";
+  if (index >= layers.size()) return kUnknown;
+  return layers[index].name;
+}
+
+}  // namespace vplint

@@ -1,0 +1,111 @@
+// Project-graph construction for the vprofile_lint `--project` analyzer.
+//
+// The single-file rules in lint.hpp catch what one translation unit can
+// show; the invariants this repository actually sells — a layered
+// architecture, a zero-allocation scoring hot path, one audited seed
+// catalog — are properties of the *whole tree*.  This header builds the
+// two graphs the project passes need from nothing but source text:
+//
+//   include graph    every `#include "..."` edge, resolved against the
+//                    project file set and mapped onto the declarative
+//                    layer spec (tools/lint/layers.spec);
+//   call graph       an approximate, token-level function/call graph
+//                    seeded from `// vprofile-lint: hot` annotations,
+//                    over which passes_purity.cpp forbids allocation,
+//                    locking, I/O and non-determinism.
+//
+// Both are deliberately approximate: no libclang, no compiler.  The
+// function extractor recognizes the project's house style (one
+// definition per brace pair, signatures on adjacent lines); calls are
+// matched by name, so same-named functions conflate.  Over-approximation
+// is the safe direction for an invariant checker — a spurious edge can
+// be silenced with a `cold` boundary or an allow(), a missing edge is a
+// hole — and every heuristic here errs that way.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lint.hpp"
+
+namespace vplint {
+
+/// One project source file, scrubbed once and shared by every pass.
+struct ProjectFile {
+  std::string path;    // repo-relative, forward slashes
+  std::string source;  // original text (string literals intact)
+  ScrubbedSource scrubbed;
+};
+
+/// One `#include "..."` directive.
+struct IncludeEdge {
+  std::size_t file = 0;  // index into ProjectGraph::files
+  std::size_t line = 0;  // 1-based
+  std::string target;    // include path as written, e.g. "core/units.hpp"
+  /// Index of the project file the include resolves to, or npos for
+  /// system/external headers (which no pass constrains).
+  std::size_t resolved = npos;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+};
+
+/// One function definition found by the token-level extractor.
+struct FunctionDef {
+  std::size_t file = 0;
+  std::string qualified;  // as written, e.g. "BatchScorer::detect"
+  std::string name;       // last component, e.g. "detect"
+  std::size_t line = 0;   // 1-based line of the signature's identifier
+  std::size_t body_begin = 0;  // offset of the opening '{'
+  std::size_t body_end = 0;    // offset one past the closing '}'
+  bool hot = false;   // purity root (`// vprofile-lint: hot`)
+  bool cold = false;  // traversal boundary (`// vprofile-lint: cold`)
+  /// Indices of every function a call token in this body may refer to.
+  std::vector<std::size_t> callees;
+};
+
+/// The whole-project view shared by the passes.
+struct ProjectGraph {
+  std::vector<ProjectFile> files;          // sorted by path
+  std::vector<IncludeEdge> includes;       // in (file, line) order
+  std::vector<FunctionDef> functions;      // in (file, body_begin) order
+  /// name -> indices into `functions`; multi-target by design.
+  std::map<std::string, std::vector<std::size_t>> functions_by_name;
+
+  /// Index of the file with exactly this path, or IncludeEdge::npos.
+  std::size_t file_index(const std::string& path) const;
+
+  /// Builds every graph layer from repo-relative path -> source text.
+  static ProjectGraph build(const std::map<std::string, std::string>& sources);
+};
+
+/// The declarative architecture spec (tools/lint/layers.spec): one layer
+/// per line, bottom first, `layer <name>: <dir> <dir>...`.  A file may
+/// include project headers only from its own or a lower layer.
+struct LayerSpec {
+  struct Layer {
+    std::string name;
+    std::vector<std::string> dirs;  // e.g. "src/core", "tools"
+  };
+  std::vector<Layer> layers;  // index 0 = bottom
+
+  /// Parses the spec text; returns false and fills *error on a malformed
+  /// line (everything after '#' is a comment).
+  bool parse(const std::string& text, std::string* error);
+
+  /// Layer index owning `path`, or -1 when no layer claims it.  The
+  /// longest matching dir prefix wins, so "src/core" beats "src".
+  int layer_of(const std::string& path) const;
+
+  /// Name of layer `index` ("?" when out of range).
+  const std::string& layer_name(std::size_t index) const;
+};
+
+/// Directory component used in layering messages and ratchet keys:
+/// "src/core/model.hpp" -> "src/core", "tools/lint/graph.cpp" -> "tools",
+/// "bench/bench_common.cpp" -> "bench".
+std::string component_of(const std::string& path);
+
+}  // namespace vplint

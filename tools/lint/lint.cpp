@@ -13,23 +13,33 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-/// Parses `vprofile-lint: allow(rule, rule2)` out of one comment body and
-/// records the named rules against `line`.
+/// Parses `vprofile-lint: allow(rule, rule2)` plus the `hot`/`cold`
+/// function markers out of one comment body and records them against
+/// `line`.
 void parse_allow(const std::string& comment, std::size_t line,
-                 std::map<std::size_t, std::set<std::string>>& allowed) {
+                 ScrubbedSource& out) {
   static const std::regex kAllow(
       R"(vprofile-lint:\s*allow\(([A-Za-z0-9_,\- ]+)\))");
   std::smatch m;
-  if (!std::regex_search(comment, m, kAllow)) return;
-  const std::string rules = m[1].str();
-  std::size_t start = 0;
-  while (start < rules.size()) {
-    std::size_t end = rules.find(',', start);
-    if (end == std::string::npos) end = rules.size();
-    std::string rule = rules.substr(start, end - start);
-    rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
-    if (!rule.empty()) allowed[line].insert(rule);
-    start = end + 1;
+  if (std::regex_search(comment, m, kAllow)) {
+    const std::string rules = m[1].str();
+    std::size_t start = 0;
+    while (start < rules.size()) {
+      std::size_t end = rules.find(',', start);
+      if (end == std::string::npos) end = rules.size();
+      std::string rule = rules.substr(start, end - start);
+      rule.erase(std::remove(rule.begin(), rule.end(), ' '), rule.end());
+      if (!rule.empty()) out.allowed[line].insert(rule);
+      start = end + 1;
+    }
+  }
+  static const std::regex kMarker(R"(vprofile-lint:\s*(hot|cold)\b)");
+  if (std::regex_search(comment, m, kMarker)) {
+    if (m[1].str() == "hot") {
+      out.hot_lines.insert(line);
+    } else {
+      out.cold_lines.insert(line);
+    }
   }
 }
 
@@ -528,7 +538,7 @@ ScrubbedSource scrub(const std::string& source) {
       out.code[i] = '\n';
       ++line;
       if (state == State::kLineComment) {
-        parse_allow(comment, comment_line, out.allowed);
+        parse_allow(comment, comment_line, out);
         comment.clear();
         state = State::kCode;
       }
@@ -580,7 +590,7 @@ ScrubbedSource scrub(const std::string& source) {
         break;
       case State::kBlockComment:
         if (c == '*' && next == '/') {
-          parse_allow(comment, comment_line, out.allowed);
+          parse_allow(comment, comment_line, out);
           comment.clear();
           state = State::kCode;
           ++i;
@@ -612,7 +622,7 @@ ScrubbedSource scrub(const std::string& source) {
     }
   }
   if (state == State::kLineComment || state == State::kBlockComment) {
-    parse_allow(comment, comment_line, out.allowed);
+    parse_allow(comment, comment_line, out);
   }
   return out;
 }
@@ -621,9 +631,9 @@ ScrubbedSource scrub(const std::string& source) {
 // Driver
 // ---------------------------------------------------------------------
 
-std::vector<Finding> lint_source(const std::string& path,
-                                 const std::string& source,
-                                 const Options& opts) {
+std::vector<Finding> lint_source_raw(const std::string& path,
+                                     const std::string& source,
+                                     const Options& opts) {
   const ScrubbedSource scrubbed = scrub(source);
   const std::vector<std::size_t> starts = line_starts(scrubbed.code);
 
@@ -651,9 +661,20 @@ std::vector<Finding> lint_source(const std::string& path,
   check_unit_cast(ctx);
   check_metric_name(ctx, source);
 
-  // Drop findings covered by an allow() on the same line, or on a
-  // preceding standalone comment line (one with no code of its own —
-  // a trailing comment covers only its own statement).
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+void apply_suppressions(
+    std::vector<Finding>& findings, const ScrubbedSource& scrubbed,
+    std::set<std::pair<std::size_t, std::string>>* used) {
+  const std::vector<std::size_t> starts = line_starts(scrubbed.code);
+  // A suppression covers its own line, or the next line when the comment
+  // stands alone (a trailing comment covers only its own statement).
   auto line_has_code = [&](std::size_t line) {
     if (line == 0 || line > starts.size()) return false;
     const std::size_t begin = starts[line - 1];
@@ -666,25 +687,43 @@ std::vector<Finding> lint_source(const std::string& path,
     }
     return false;
   };
-  auto allows = [&](std::size_t line, const std::string& rule) {
+  auto allows = [&](std::size_t line, const std::string& rule,
+                    std::string* matched) {
     const auto it = scrubbed.allowed.find(line);
-    return it != scrubbed.allowed.end() &&
-           (it->second.count(rule) != 0 || it->second.count("all") != 0);
+    if (it == scrubbed.allowed.end()) return false;
+    if (it->second.count(rule) != 0) {
+      *matched = rule;
+      return true;
+    }
+    if (it->second.count("all") != 0) {
+      *matched = "all";
+      return true;
+    }
+    return false;
   };
   auto suppressed = [&](const Finding& f) {
-    if (allows(f.line, f.rule)) return true;
-    return f.line > 1 && !line_has_code(f.line - 1) &&
-           allows(f.line - 1, f.rule);
+    std::string matched;
+    if (allows(f.line, f.rule, &matched)) {
+      if (used != nullptr) used->insert({f.line, matched});
+      return true;
+    }
+    if (f.line > 1 && !line_has_code(f.line - 1) &&
+        allows(f.line - 1, f.rule, &matched)) {
+      if (used != nullptr) used->insert({f.line - 1, matched});
+      return true;
+    }
+    return false;
   };
   findings.erase(
       std::remove_if(findings.begin(), findings.end(), suppressed),
       findings.end());
+}
 
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& source,
+                                 const Options& opts) {
+  std::vector<Finding> findings = lint_source_raw(path, source, opts);
+  apply_suppressions(findings, scrub(source));
   return findings;
 }
 

@@ -55,6 +55,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace vplint {
@@ -91,6 +92,13 @@ struct ScrubbedSource {
   /// `vprofile-lint: allow(rule, ...)`. A suppression covers the comment's
   /// own line and the line after it (for standalone suppression lines).
   std::map<std::size_t, std::set<std::string>> allowed;
+  /// Lines carrying a `vprofile-lint: hot` marker: the next function
+  /// definition is a hot-path purity root (see passes_purity.cpp).
+  std::set<std::size_t> hot_lines;
+  /// Lines carrying a `vprofile-lint: cold` marker: the next function
+  /// definition is a sanctioned boundary — the purity traversal neither
+  /// descends into it nor scans its body.
+  std::set<std::size_t> cold_lines;
 };
 
 /// Strips comments, string literals (including raw strings) and character
@@ -101,6 +109,21 @@ ScrubbedSource scrub(const std::string& source);
 std::vector<Finding> lint_source(const std::string& path,
                                  const std::string& source,
                                  const Options& opts = Options{});
+
+/// Like lint_source, but before `allow(...)` suppressions are applied.
+/// The project analyzer uses this to tell live suppressions from stale
+/// ones (tools/lint/passes_consistency.cpp).
+std::vector<Finding> lint_source_raw(const std::string& path,
+                                     const std::string& source,
+                                     const Options& opts = Options{});
+
+/// Erases findings covered by an `allow(...)` on their own line or on a
+/// preceding standalone comment line.  When `used` is non-null, every
+/// (line, rule) suppression entry that actually fired is recorded there —
+/// an entry of `scrubbed.allowed` absent from `used` afterwards is stale.
+void apply_suppressions(
+    std::vector<Finding>& findings, const ScrubbedSource& scrubbed,
+    std::set<std::pair<std::size_t, std::string>>* used = nullptr);
 
 /// Extracts the "file" entries from a compile_commands.json document
 /// (sorted, deduplicated). Tolerates the subset of JSON CMake emits.

@@ -1,0 +1,278 @@
+// Cross-file consistency passes: facts no single translation unit can
+// witness.
+//
+//   metric-export      every metric name registered on the
+//                      obs::MetricsRegistry must appear in the export
+//                      contract (tools/lint/metrics.spec), and every
+//                      contract entry must still be registered somewhere.
+//                      Exporters walk the registry dynamically, so a
+//                      missing contract line is the only place a renamed
+//                      or dropped series becomes visible before a
+//                      dashboard goes dark.
+//   seed-catalog       every entry in the bench seed catalog
+//                      (bench/bench_common.cpp kSeeds) must be drawn by
+//                      some `bench_seed("...")` call site, and every call
+//                      site must name a catalog entry — dead entries are
+//                      unreproducible-artifact bait, missing ones abort
+//                      at run time.
+//   stale-suppression  every `vprofile-lint: allow(rule)` comment must
+//                      still mask a live finding; once the underlying
+//                      code is fixed, the suppression is dead weight that
+//                      would silently swallow the next real violation on
+//                      that line.
+//
+// Metric and seed names live inside string literals, which the scrubber
+// blanks, so both passes use the same two-step read as the per-file
+// metric-name rule: locate the call in scrubbed code (comments and
+// strings cannot fake a hit), then read the literal out of the original
+// text at that offset.
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/project.hpp"
+#include "lint/text.hpp"
+
+namespace vplint {
+namespace {
+
+using text::find_word;
+using text::line_of;
+using text::line_starts;
+using text::next_nonspace;
+using text::prev_nonspace;
+
+/// Reads the string literal opening at or after `from` in the original
+/// text (skipping whitespace); returns false when the next
+/// non-whitespace character is not a quote (dynamic name).
+bool read_literal(const std::string& original, std::size_t from,
+                  std::string* out) {
+  std::size_t cursor = from;
+  while (cursor < original.size() &&
+         std::isspace(static_cast<unsigned char>(original[cursor]))) {
+    ++cursor;
+  }
+  if (cursor >= original.size() || original[cursor] != '"') return false;
+  out->clear();
+  for (std::size_t i = cursor + 1; i < original.size() && original[i] != '"';
+       ++i) {
+    out->push_back(original[i]);
+  }
+  return true;
+}
+
+/// Parses a spec of one name per line with '#' comments:
+/// name -> 1-based line.
+std::map<std::string, std::size_t> parse_name_spec(const std::string& text) {
+  std::map<std::string, std::size_t> names;
+  std::size_t line = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    ++line;
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string entry = text.substr(pos, eol - pos);
+    const std::size_t hash = entry.find('#');
+    if (hash != std::string::npos) entry.resize(hash);
+    std::size_t b = 0;
+    std::size_t e = entry.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(entry[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(entry[e - 1]))) {
+      --e;
+    }
+    if (e > b) names.emplace(entry.substr(b, e - b), line);
+    pos = eol + 1;
+  }
+  return names;
+}
+
+struct Site {
+  std::size_t file = 0;
+  std::size_t line = 0;
+};
+
+/// First site wins (files are sorted by path, scans run front to back),
+/// so messages and report bytes are stable.
+void record(std::map<std::string, Site>* sites, const std::string& name,
+            std::size_t file, std::size_t line) {
+  sites->emplace(name, Site{file, line});
+}
+
+}  // namespace
+
+void pass_export_consistency(const ProjectGraph& graph,
+                             const ProjectOptions& opts,
+                             std::vector<ProjectFinding>* out) {
+  // --- metric names: registry factory calls vs. the export contract ---
+  static constexpr std::string_view kFactories[] = {"counter", "gauge",
+                                                    "histogram"};
+  std::map<std::string, Site> registered;
+  for (std::size_t fi = 0; fi < graph.files.size(); ++fi) {
+    const ProjectFile& file = graph.files[fi];
+    const std::string& code = file.scrubbed.code;
+    const std::vector<std::size_t> starts = line_starts(code);
+    for (const std::string_view word : kFactories) {
+      std::size_t pos = 0;
+      while ((pos = find_word(code, word, pos, code.size())) !=
+             std::string::npos) {
+        const std::size_t after = pos + word.size();
+        const char prev = prev_nonspace(code, pos);
+        const bool member = prev == '.' || prev == '>';
+        std::string name;
+        if (member && next_nonspace(code, after) == '(' &&
+            read_literal(file.source, code.find('(', after) + 1, &name)) {
+          record(&registered, name, fi, line_of(starts, pos));
+        }
+        pos = after;
+      }
+    }
+  }
+  const std::map<std::string, std::size_t> contract =
+      parse_name_spec(opts.metrics_spec);
+  for (const auto& [name, site] : registered) {
+    if (contract.count(name) != 0) continue;
+    ProjectFinding f;
+    f.pass = "consistency";
+    f.rule = "metric-export";
+    f.file = graph.files[site.file].path;
+    f.line = site.line;
+    f.key = "consistency:metric-unexported:" + name;
+    f.message = "metric \"" + name +
+                "\" is registered here but missing from the export "
+                "contract (tools/lint/metrics.spec); add it to the spec "
+                "or drop the registration";
+    out->push_back(std::move(f));
+  }
+  for (const auto& [name, line] : contract) {
+    if (registered.count(name) != 0) continue;
+    ProjectFinding f;
+    f.pass = "consistency";
+    f.rule = "metric-export";
+    f.file = "tools/lint/metrics.spec";
+    f.line = line;
+    f.key = "consistency:metric-orphan:" + name;
+    f.message = "metric \"" + name +
+                "\" is promised by the export contract but no code "
+                "registers it; the exported series would never appear — "
+                "remove the spec line or restore the registration";
+    out->push_back(std::move(f));
+  }
+
+  // --- bench seeds: catalog entries vs. bench_seed("...") draws ---
+  const std::size_t catalog = graph.file_index(opts.seed_catalog_path);
+  if (catalog == IncludeEdge::npos) return;  // no catalog, nothing to check
+  std::map<std::string, Site> entries;
+  {
+    const ProjectFile& file = graph.files[catalog];
+    const std::string& code = file.scrubbed.code;
+    const std::vector<std::size_t> starts = line_starts(code);
+    // Catalog entries are the `{"name", seed}` pairs inside the kSeeds
+    // initializer; scanning is clamped to that brace span so other
+    // string-keyed aggregates in the file (report rows, counters) do not
+    // masquerade as seeds.
+    std::size_t begin = find_word(code, "kSeeds", 0, code.size());
+    std::size_t end = 0;
+    if (begin != std::string::npos) {
+      begin = code.find('{', begin);
+    }
+    if (begin != std::string::npos) {
+      std::size_t depth = 0;
+      for (end = begin; end < code.size(); ++end) {
+        if (code[end] == '{') ++depth;
+        if (code[end] == '}' && --depth == 0) break;
+      }
+    }
+    if (begin != std::string::npos) {
+      for (std::size_t i = begin + 1; i < end; ++i) {
+        if (code[i] != '{') continue;
+        std::string name;
+        if (read_literal(file.source, i + 1, &name) && !name.empty()) {
+          record(&entries, name, catalog, line_of(starts, i));
+        }
+      }
+    }
+  }
+  std::map<std::string, Site> draws;
+  for (std::size_t fi = 0; fi < graph.files.size(); ++fi) {
+    if (fi == catalog) continue;  // the lookup loop itself is not a draw
+    const ProjectFile& file = graph.files[fi];
+    const std::string& code = file.scrubbed.code;
+    const std::vector<std::size_t> starts = line_starts(code);
+    std::size_t pos = 0;
+    while ((pos = find_word(code, "bench_seed", pos, code.size())) !=
+           std::string::npos) {
+      const std::size_t after = pos + std::string_view("bench_seed").size();
+      std::string name;
+      if (next_nonspace(code, after) == '(' &&
+          read_literal(file.source, code.find('(', after) + 1, &name)) {
+        record(&draws, name, fi, line_of(starts, pos));
+      }
+      pos = after;
+    }
+  }
+  for (const auto& [name, site] : entries) {
+    if (draws.count(name) != 0) continue;
+    ProjectFinding f;
+    f.pass = "consistency";
+    f.rule = "seed-catalog";
+    f.file = graph.files[site.file].path;
+    f.line = site.line;
+    f.key = "consistency:seed-unused:" + name;
+    f.message = "seed catalog entry \"" + name +
+                "\" is never drawn by any bench_seed(\"...\") call site; "
+                "dead entries drift out of audit — delete it or wire up "
+                "the bench that should use it";
+    out->push_back(std::move(f));
+  }
+  for (const auto& [name, site] : draws) {
+    if (entries.count(name) != 0) continue;
+    ProjectFinding f;
+    f.pass = "consistency";
+    f.rule = "seed-catalog";
+    f.file = graph.files[site.file].path;
+    f.line = site.line;
+    f.key = "consistency:seed-undefined:" + name;
+    f.message = "bench_seed(\"" + name +
+                "\") names no entry in the seed catalog (" +
+                opts.seed_catalog_path + ") and would abort at run time";
+    out->push_back(std::move(f));
+  }
+}
+
+void pass_stale_suppressions(
+    const ProjectGraph& graph, const ProjectOptions& opts,
+    const std::map<std::string,
+                   std::set<std::pair<std::size_t, std::string>>>& used,
+    std::vector<ProjectFinding>* out) {
+  static const std::set<std::pair<std::size_t, std::string>> kNone;
+  for (const ProjectFile& file : graph.files) {
+    bool exempt = false;
+    for (const std::string& sub : opts.stale_suppression_exempt) {
+      exempt = exempt || file.path.find(sub) != std::string::npos;
+    }
+    if (exempt) continue;  // the linter documents allow() in comments
+    const auto it = used.find(file.path);
+    const auto& live = it == used.end() ? kNone : it->second;
+    for (const auto& [line, rules] : file.scrubbed.allowed) {
+      for (const std::string& rule : rules) {
+        if (live.count({line, rule}) != 0) continue;
+        ProjectFinding f;
+        f.pass = "consistency";
+        f.rule = "stale-suppression";
+        f.file = file.path;
+        f.line = line;
+        f.key = "consistency:stale-allow:" + file.path + ":" + rule;
+        f.message = "suppression allow(" + rule +
+                    ") no longer masks any finding; delete the comment so "
+                    "it cannot silently swallow the next real violation";
+        out->push_back(std::move(f));
+      }
+    }
+  }
+}
+
+}  // namespace vplint

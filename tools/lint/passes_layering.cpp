@@ -1,0 +1,48 @@
+// Architecture-layering pass: every resolved project include must stay
+// within the including file's layer or point below it.  The layer order
+// comes from the declarative spec (tools/lint/layers.spec); the pass
+// itself knows nothing about vProfile's directories.
+//
+// Ratchet keys are file -> component (not line numbers), so a legacy
+// upward edge stays one baseline entry however often the file includes
+// headers from that component, and moving code around inside the file
+// never churns the baseline.
+#include <string>
+#include <vector>
+
+#include "lint/project.hpp"
+
+namespace vplint {
+
+void pass_layering(const ProjectGraph& graph, const LayerSpec& spec,
+                   std::vector<ProjectFinding>* out) {
+  for (const IncludeEdge& edge : graph.includes) {
+    if (edge.resolved == IncludeEdge::npos) continue;  // system header
+    const std::string& from_path = graph.files[edge.file].path;
+    const std::string& to_path = graph.files[edge.resolved].path;
+    const int from_layer = spec.layer_of(from_path);
+    const int to_layer = spec.layer_of(to_path);
+    // Files no layer claims are outside the architecture contract
+    // (generated code, stray fixtures); the spec is the source of truth.
+    if (from_layer < 0 || to_layer < 0) continue;
+    if (to_layer <= from_layer) continue;
+    const std::string from_component = component_of(from_path);
+    const std::string to_component = component_of(to_path);
+    ProjectFinding f;
+    f.pass = "layering";
+    f.rule = "architecture-layering";
+    f.file = from_path;
+    f.line = edge.line;
+    f.key = "layering:" + from_path + "->" + to_component;
+    f.message = "#include \"" + edge.target + "\" reaches up from layer `" +
+                spec.layer_name(static_cast<std::size_t>(from_layer)) +
+                "` (" + from_component + ") into layer `" +
+                spec.layer_name(static_cast<std::size_t>(to_layer)) + "` (" +
+                to_component +
+                "); dependencies must point down the layer spec "
+                "(tools/lint/layers.spec)";
+    out->push_back(std::move(f));
+  }
+}
+
+}  // namespace vplint

@@ -1,0 +1,169 @@
+// Hot-path purity pass: from every function annotated
+// `// vprofile-lint: hot` (the BatchScorer batch kernels, the pipeline
+// worker loop, the SIMD dispatch decision), walk the approximate call
+// graph and forbid heap allocation, locking, I/O and non-deterministic
+// calls anywhere reachable.  The zero-allocation SoA scoring contract
+// and the bit-identical scenario fingerprints both die quietly the day
+// a `new`, a mutex or a getenv() creeps into that cone — this pass makes
+// the creep loud.
+//
+// Two escape hatches, both spelled in the source where a reviewer sees
+// them:
+//   // vprofile-lint: cold      on a function definition: a sanctioned
+//                               boundary (queue handoff, once-per-key
+//                               registry resolution); traversal stops,
+//                               the body is not scanned;
+//   // vprofile-lint: allow(hot-path-purity)  on the offending line,
+//                               for a single judged-safe token.
+#include <algorithm>
+#include <array>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lint/project.hpp"
+#include "lint/text.hpp"
+
+namespace vplint {
+namespace {
+
+using text::find_word;
+using text::line_of;
+using text::line_starts;
+using text::next_nonspace;
+using text::prev_nonspace;
+using text::prev_token;
+
+struct ForbiddenToken {
+  std::string_view word;
+  std::string_view category;
+  /// Skip `x.word(` / `p->word(` member calls (unrelated APIs sharing
+  /// the name, e.g. Trace::time()).
+  bool member_exempt = false;
+  /// Only flag call-like uses (`word` followed by '(').
+  bool call_only = false;
+};
+
+constexpr std::array<ForbiddenToken, 36> kForbidden = {{
+    // Heap allocation: the hot cone runs on pre-reserved scratch.
+    {"new", "allocation", false, false},
+    {"malloc", "allocation", true, true},
+    {"calloc", "allocation", true, true},
+    {"realloc", "allocation", true, true},
+    {"free", "allocation", true, true},
+    {"strdup", "allocation", true, true},
+    {"make_unique", "allocation", false, false},
+    {"make_shared", "allocation", false, false},
+    // Locking / blocking: handoffs live behind `cold` boundaries.
+    {"mutex", "locking", false, false},
+    {"lock_guard", "locking", false, false},
+    {"unique_lock", "locking", false, false},
+    {"scoped_lock", "locking", false, false},
+    {"shared_lock", "locking", false, false},
+    {"condition_variable", "locking", false, false},
+    {"sleep_for", "locking", false, false},
+    {"sleep_until", "locking", false, false},
+    // I/O: a scoring kernel has no business touching a stream.
+    {"printf", "io", true, true},
+    {"fprintf", "io", true, true},
+    {"puts", "io", true, true},
+    {"fputs", "io", true, true},
+    {"fopen", "io", true, true},
+    {"fclose", "io", true, true},
+    {"fread", "io", true, true},
+    {"fwrite", "io", true, true},
+    {"fflush", "io", true, true},
+    {"cout", "io", false, false},
+    {"cerr", "io", false, false},
+    {"clog", "io", false, false},
+    {"ofstream", "io", false, false},
+    {"ifstream", "io", false, false},
+    {"getline", "io", true, true},
+    {"system", "io", true, true},
+    // Non-determinism: verdicts are pure functions of inputs.
+    {"rand", "non-determinism", true, true},
+    {"getenv", "non-determinism", true, true},
+    {"time", "non-determinism", true, true},
+    {"random_device", "non-determinism", false, false},
+}};
+
+}  // namespace
+
+void pass_purity(const ProjectGraph& graph,
+                 std::vector<ProjectFinding>* out) {
+  const std::size_t n = graph.functions.size();
+  if (n == 0) return;
+
+  // Deterministic root attribution: roots in (qualified, file, line)
+  // order; the first root to reach a function owns it in messages.
+  std::vector<std::size_t> roots;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (graph.functions[i].hot && !graph.functions[i].cold) roots.push_back(i);
+  }
+  std::sort(roots.begin(), roots.end(), [&](std::size_t a, std::size_t b) {
+    const FunctionDef& fa = graph.functions[a];
+    const FunctionDef& fb = graph.functions[b];
+    if (fa.qualified != fb.qualified) return fa.qualified < fb.qualified;
+    if (fa.file != fb.file) return fa.file < fb.file;
+    return fa.line < fb.line;
+  });
+
+  std::vector<std::size_t> owner(n, IncludeEdge::npos);
+  for (const std::size_t root : roots) {
+    std::vector<std::size_t> stack{root};
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      if (owner[cur] != IncludeEdge::npos) continue;
+      if (graph.functions[cur].cold) continue;  // sanctioned boundary
+      owner[cur] = root;
+      for (const std::size_t callee : graph.functions[cur].callees) {
+        if (owner[callee] == IncludeEdge::npos) stack.push_back(callee);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (owner[i] == IncludeEdge::npos) continue;
+    const FunctionDef& fn = graph.functions[i];
+    const FunctionDef& root = graph.functions[owner[i]];
+    const ProjectFile& file = graph.files[fn.file];
+    const std::string& code = file.scrubbed.code;
+    const std::vector<std::size_t> starts = line_starts(code);
+    const std::size_t begin = fn.body_begin;
+    const std::size_t end = fn.body_end;
+    for (const ForbiddenToken& t : kForbidden) {
+      std::size_t pos = begin;
+      while ((pos = find_word(code, t.word, pos, end)) != std::string::npos &&
+             pos < end) {
+        const std::size_t after = pos + t.word.size();
+        const char prev = prev_nonspace(code, pos);
+        const bool member = prev == '.' || prev == '>';
+        const bool call = next_nonspace(code, after) == '(';
+        const bool op_shim =
+            t.word == "new" && prev_token(code, pos) == "operator";
+        if (!(t.member_exempt && member) && !(t.call_only && !call) &&
+            !op_shim) {
+          ProjectFinding f;
+          f.pass = "purity";
+          f.rule = "hot-path-purity";
+          f.file = file.path;
+          f.line = line_of(starts, pos);
+          f.key = "purity:" + file.path + ":" + fn.qualified + ":" +
+                  std::string(t.word);
+          f.message = "`" + std::string(t.word) + "` (" +
+                      std::string(t.category) + ") in `" + fn.qualified +
+                      "`, reachable from hot entry `" + root.qualified +
+                      "`; the hot cone may not allocate, lock, do I/O or "
+                      "draw entropy — mark a sanctioned boundary with "
+                      "`// vprofile-lint: cold` or suppress the line with "
+                      "allow(hot-path-purity)";
+          out->push_back(std::move(f));
+        }
+        pos = after;
+      }
+    }
+  }
+}
+
+}  // namespace vplint

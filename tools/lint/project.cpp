@@ -1,0 +1,214 @@
+// run_project orchestration, the baseline ratchet and the byte-stable
+// JSON report for `vprofile_lint --project`.  See project.hpp for the
+// contract; the one ordering rule that matters here is that the
+// stale-suppression pass runs after every other finding has been through
+// apply_suppressions, because "stale" is defined as "masked nothing".
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lint/project.hpp"
+
+namespace vplint {
+namespace {
+
+/// Minimal JSON string escaping: quotes, backslashes and control bytes.
+/// UTF-8 passes through untouched — the report is byte-stable, not
+/// ASCII-clean.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(c >> 4) & 0xf]);
+          out.push_back(kHex[c & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool finding_order(const ProjectFinding& a, const ProjectFinding& b) {
+  if (a.file != b.file) return a.file < b.file;
+  if (a.line != b.line) return a.line < b.line;
+  if (a.rule != b.rule) return a.rule < b.rule;
+  if (a.key != b.key) return a.key < b.key;
+  return a.message < b.message;
+}
+
+std::set<std::string> finding_keys(
+    const std::vector<ProjectFinding>& findings) {
+  std::set<std::string> keys;
+  for (const ProjectFinding& f : findings) keys.insert(f.key);
+  return keys;
+}
+
+void append_key_array(std::string* out, const std::string& label,
+                      const std::vector<std::string>& keys,
+                      const std::string& indent) {
+  *out += indent + "\"" + label + "\": [";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    *out += i == 0 ? "\n" : ",\n";
+    *out += indent + "  \"" + json_escape(keys[i]) + "\"";
+  }
+  if (!keys.empty()) *out += "\n" + indent;
+  *out += "]";
+}
+
+}  // namespace
+
+std::vector<ProjectFinding> run_project(
+    const std::map<std::string, std::string>& sources,
+    const ProjectOptions& opts, std::string* error) {
+  LayerSpec spec;
+  if (!spec.parse(opts.layer_spec, error)) return {};
+  const ProjectGraph graph = ProjectGraph::build(sources);
+
+  std::vector<ProjectFinding> all;
+  for (const ProjectFile& file : graph.files) {
+    for (const Finding& f :
+         lint_source_raw(file.path, file.source, opts.file_options)) {
+      ProjectFinding pf;
+      pf.pass = "file";
+      pf.rule = f.rule;
+      pf.file = f.file;
+      pf.line = f.line;
+      pf.message = f.message;
+      all.push_back(std::move(pf));  // ratchet key assigned post-filter
+    }
+  }
+  pass_layering(graph, spec, &all);
+  pass_purity(graph, &all);
+  pass_export_consistency(graph, opts, &all);
+
+  // Uniform suppression: any finding located in a project file can be
+  // allow()ed there; what each suppression actually masked feeds the
+  // stale check.
+  std::map<std::string, std::set<std::pair<std::size_t, std::string>>> used;
+  std::vector<ProjectFinding> kept;
+  for (ProjectFinding& f : all) {
+    const std::size_t fi = graph.file_index(f.file);
+    if (fi != IncludeEdge::npos) {
+      std::vector<Finding> probe{{f.file, f.line, f.rule, std::string{}}};
+      apply_suppressions(probe, graph.files[fi].scrubbed, &used[f.file]);
+      if (probe.empty()) continue;
+    }
+    kept.push_back(std::move(f));
+  }
+  pass_stale_suppressions(graph, opts, used, &kept);
+
+  std::sort(kept.begin(), kept.end(), finding_order);
+  // Per-file rule keys, assigned in final order so they are stable
+  // across unrelated edits: file:<path>:<rule>, with #2, #3... only when
+  // one file trips the same rule more than once.
+  std::map<std::string, std::size_t> seen;
+  for (ProjectFinding& f : kept) {
+    if (f.pass != "file") continue;
+    f.key = "file:" + f.file + ":" + f.rule;
+    const std::size_t n = ++seen[f.key];
+    if (n > 1) f.key += "#" + std::to_string(n);
+  }
+  return kept;
+}
+
+RatchetDelta ratchet(const std::vector<ProjectFinding>& findings,
+                     const std::set<std::string>& baseline) {
+  RatchetDelta delta;
+  const std::set<std::string> keys = finding_keys(findings);
+  for (const std::string& key : keys) {
+    if (baseline.count(key) == 0) delta.fresh.push_back(key);
+  }
+  for (const std::string& key : baseline) {
+    if (keys.count(key) == 0) delta.stale.push_back(key);
+  }
+  return delta;
+}
+
+std::set<std::string> parse_baseline(const std::string& text) {
+  std::set<std::string> keys;
+  std::size_t pos = text.find("\"keys\"");
+  if (pos == std::string::npos) return keys;
+  pos = text.find('[', pos);
+  if (pos == std::string::npos) return keys;
+  const std::size_t close = text.find(']', pos);
+  while (pos < text.size()) {
+    const std::size_t open = text.find('"', pos);
+    if (open == std::string::npos || open > close) break;
+    const std::size_t end = text.find('"', open + 1);
+    if (end == std::string::npos) break;
+    keys.insert(text.substr(open + 1, end - open - 1));
+    pos = end + 1;
+  }
+  return keys;
+}
+
+std::string baseline_json(const std::vector<ProjectFinding>& findings) {
+  const std::set<std::string> keys = finding_keys(findings);
+  std::string out = "{\n  \"schema\": \"vprofile-lint-baseline-v1\",\n";
+  append_key_array(&out, "keys",
+                   std::vector<std::string>(keys.begin(), keys.end()), "  ");
+  out += "\n}\n";
+  return out;
+}
+
+std::string report_json(const std::vector<ProjectFinding>& findings,
+                        const std::set<std::string>& baseline) {
+  const RatchetDelta delta = ratchet(findings, baseline);
+  std::size_t baselined = 0;
+  for (const ProjectFinding& f : findings) {
+    if (baseline.count(f.key) != 0) ++baselined;
+  }
+  std::string out = "{\n  \"schema\": \"vprofile-lint-v1\",\n";
+  out += "  \"summary\": {\n";
+  out += "    \"findings\": " + std::to_string(findings.size()) + ",\n";
+  out += "    \"baselined\": " + std::to_string(baselined) + ",\n";
+  out += "    \"fresh\": " + std::to_string(delta.fresh.size()) + ",\n";
+  out += "    \"stale\": " + std::to_string(delta.stale.size()) + "\n";
+  out += "  },\n";
+  out += "  \"findings\": [";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const ProjectFinding& f = findings[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\n";
+    out += "      \"pass\": \"" + json_escape(f.pass) + "\",\n";
+    out += "      \"rule\": \"" + json_escape(f.rule) + "\",\n";
+    out += "      \"file\": \"" + json_escape(f.file) + "\",\n";
+    out += "      \"line\": " + std::to_string(f.line) + ",\n";
+    out += "      \"key\": \"" + json_escape(f.key) + "\",\n";
+    out += "      \"baselined\": " +
+           std::string(baseline.count(f.key) != 0 ? "true" : "false") + ",\n";
+    out += "      \"message\": \"" + json_escape(f.message) + "\"\n";
+    out += "    }";
+  }
+  if (!findings.empty()) out += "\n  ";
+  out += "],\n";
+  out += "  \"ratchet\": {\n";
+  append_key_array(&out, "fresh", delta.fresh, "    ");
+  out += ",\n";
+  append_key_array(&out, "stale", delta.stale, "    ");
+  out += "\n  }\n}\n";
+  return out;
+}
+
+}  // namespace vplint

@@ -1,0 +1,128 @@
+// Whole-project passes for `vprofile_lint --project`.
+//
+// Three pass families run over the ProjectGraph (lint/graph.hpp), next
+// to the per-file token rules of lint/lint.hpp:
+//
+//   architecture-layering   every resolved project include must point at
+//                           the including file's own layer or a lower
+//                           one, per the declarative spec in
+//                           tools/lint/layers.spec;
+//   hot-path-purity         from every `// vprofile-lint: hot` entry
+//                           point, the reachable call graph must be free
+//                           of heap allocation, locking, I/O and
+//                           non-deterministic calls.  A function marked
+//                           `// vprofile-lint: cold` is a sanctioned
+//                           boundary the traversal stops at;
+//   consistency             cross-file facts that no single file can
+//                           witness: stale `allow(...)` suppressions
+//                           that no longer mask a finding, metric names
+//                           registered in code but missing from the
+//                           export contract (tools/lint/metrics.spec) or
+//                           vice versa, and bench-seed catalog entries
+//                           defined in bench/bench_common.cpp but never
+//                           drawn (or drawn but undefined).
+//
+// Output discipline: every finding carries a line-independent ratchet
+// `key`.  The checked-in baseline (tools/lint/lint_baseline.json) is the
+// set of keys the tree is allowed to keep for now; anything new gates,
+// anything fixed must leave the baseline (run --update-baseline), so the
+// legacy debt only burns down.  The JSON report (schema vprofile-lint-v1)
+// is byte-stable: no timestamps, fully sorted, same tree -> same bytes.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/graph.hpp"
+#include "lint/lint.hpp"
+
+namespace vplint {
+
+/// One finding from any pass (the per-file rules are folded in with
+/// pass = "file").
+struct ProjectFinding {
+  std::string pass;   // "file" | "layering" | "purity" | "consistency"
+  std::string rule;   // e.g. "architecture-layering", "hot-path-purity"
+  std::string file;
+  std::size_t line = 0;
+  /// Line-independent identity for the baseline ratchet.
+  std::string key;
+  std::string message;
+};
+
+/// Everything the project passes need besides the sources.
+struct ProjectOptions {
+  /// Text of tools/lint/layers.spec.
+  std::string layer_spec;
+  /// Text of tools/lint/metrics.spec (export contract, one name per
+  /// line, '#' comments).
+  std::string metrics_spec;
+  /// File that owns the bench seed catalog.
+  std::string seed_catalog_path = "bench/bench_common.cpp";
+  /// Path substrings exempt from the stale-suppression check: the
+  /// linter's own sources document `allow(...)` in comments.
+  std::vector<std::string> stale_suppression_exempt = {"tools/lint/"};
+  /// Per-file rule knobs, forwarded to lint_source_raw.
+  Options file_options;
+};
+
+/// Runs the per-file rules plus every project pass over the given
+/// repo-relative path -> source map.  Returns findings sorted by
+/// (file, line, rule, key); on a malformed spec returns empty and fills
+/// *error.
+std::vector<ProjectFinding> run_project(
+    const std::map<std::string, std::string>& sources,
+    const ProjectOptions& opts, std::string* error);
+
+/// The ratchet comparison: which finding keys are new relative to the
+/// baseline, and which baseline keys no longer fire (stale — the debt
+/// was paid, the baseline must shrink).
+struct RatchetDelta {
+  std::vector<std::string> fresh;  // finding keys not in the baseline
+  std::vector<std::string> stale;  // baseline keys with no finding
+  bool empty() const { return fresh.empty() && stale.empty(); }
+};
+
+RatchetDelta ratchet(const std::vector<ProjectFinding>& findings,
+                     const std::set<std::string>& baseline);
+
+/// Parses a baseline file: JSON of the form {"schema":...,"keys":[...]}
+/// written by baseline_json (tolerates the exact subset it emits).
+std::set<std::string> parse_baseline(const std::string& text);
+
+/// Serializes the current findings as a baseline (sorted unique keys).
+std::string baseline_json(const std::vector<ProjectFinding>& findings);
+
+/// The byte-stable report: schema vprofile-lint-v1, findings plus the
+/// ratchet split against `baseline`.  No timestamps, no absolute paths.
+std::string report_json(const std::vector<ProjectFinding>& findings,
+                        const std::set<std::string>& baseline);
+
+// --- individual passes (exposed for tests; run_project calls all) ---
+
+void pass_layering(const ProjectGraph& graph, const LayerSpec& spec,
+                   std::vector<ProjectFinding>* out);
+
+void pass_purity(const ProjectGraph& graph,
+                 std::vector<ProjectFinding>* out);
+
+/// Metric-name export contract + bench-seed catalog cross-checks.
+void pass_export_consistency(const ProjectGraph& graph,
+                             const ProjectOptions& opts,
+                             std::vector<ProjectFinding>* out);
+
+/// Stale `allow(...)` detection.  Runs after every other finding has
+/// been through apply_suppressions: `used` maps file path -> (line,
+/// rule) suppression entries some finding consumed; any other allow()
+/// entry is dead weight masking nothing.  These findings are themselves
+/// never suppressible — the fix is deleting the comment.
+void pass_stale_suppressions(
+    const ProjectGraph& graph, const ProjectOptions& opts,
+    const std::map<std::string,
+                   std::set<std::pair<std::size_t, std::string>>>& used,
+    std::vector<ProjectFinding>* out);
+
+}  // namespace vplint

@@ -1,0 +1,89 @@
+// Token-level text helpers shared by the project passes
+// (passes_purity.cpp, passes_consistency.cpp).  All operate on scrubbed
+// source (lint.hpp), where offsets still map 1:1 onto the original text.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vplint::text {
+
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Offset of the first whole-word occurrence of `word` in
+/// text[from, until), or npos.
+inline std::size_t find_word(const std::string& text, std::string_view word,
+                             std::size_t from, std::size_t until) {
+  std::size_t pos = from;
+  while (pos < until &&
+         (pos = text.find(word.data(), pos, word.size())) != std::string::npos) {
+    if (pos >= until) break;
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t after = pos + word.size();
+    const bool right_ok = after >= text.size() || !ident_char(text[after]);
+    if (left_ok && right_ok) return pos;
+    pos = after;
+  }
+  return std::string::npos;
+}
+
+inline char prev_nonspace(const std::string& text, std::size_t pos) {
+  while (pos > 0) {
+    --pos;
+    const char c = text[pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return c;
+  }
+  return '\0';
+}
+
+inline char next_nonspace(const std::string& text, std::size_t pos) {
+  while (pos < text.size()) {
+    const char c = text[pos];
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return c;
+    ++pos;
+  }
+  return '\0';
+}
+
+/// The identifier ending at the last non-space before `pos` ("" if the
+/// preceding token is not an identifier).
+inline std::string prev_token(const std::string& text, std::size_t pos) {
+  while (pos > 0 && std::isspace(static_cast<unsigned char>(text[pos - 1]))) {
+    --pos;
+  }
+  std::size_t end = pos;
+  while (pos > 0 && ident_char(text[pos - 1])) --pos;
+  return text.substr(pos, end - pos);
+}
+
+/// Byte offset of the start of each line (index 0 = line 1).
+inline std::vector<std::size_t> line_starts(const std::string& text) {
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+/// 1-based line containing byte `offset`.
+inline std::size_t line_of(const std::vector<std::size_t>& starts,
+                           std::size_t offset) {
+  std::size_t lo = 0;
+  std::size_t hi = starts.size();
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (starts[mid] <= offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace vplint::text

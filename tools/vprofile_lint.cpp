@@ -3,7 +3,10 @@
 //
 // Usage:
 //   vprofile_lint [--compile-commands FILE] [--filter SUBSTR]... [PATH...]
+//   vprofile_lint --project [--root DIR] [--baseline FILE] [--report FILE]
+//                 [--layers FILE] [--metrics-spec FILE] [--update-baseline]
 //
+// Per-file mode:
 //   --compile-commands FILE  lint every "file" entry in the database
 //   --filter SUBSTR          keep only database entries whose path contains
 //                            SUBSTR (repeatable; explicit PATHs are always
@@ -11,16 +14,30 @@
 //   PATH                     a file, or a directory recursed for
 //                            .hpp/.h/.cpp/.cc/.cxx sources
 //
-// Exit status: 0 clean, 1 findings reported, 2 usage or I/O error.
+// Project mode (--project) loads every source under <root>/{src,tools,bench}
+// and runs the whole-tree passes (architecture layering, hot-path purity,
+// cross-file consistency; tools/lint/project.hpp) plus the per-file rules,
+// then diffs the findings against the checked-in baseline ratchet:
+//   --root DIR            repository root (default ".")
+//   --baseline FILE       ratchet file   (default <root>/tools/lint/lint_baseline.json)
+//   --report FILE         write the byte-stable vprofile-lint-v1 JSON here
+//   --layers FILE         layer spec     (default <root>/tools/lint/layers.spec)
+//   --metrics-spec FILE   export contract(default <root>/tools/lint/metrics.spec)
+//   --update-baseline     rewrite the baseline to the current findings
+//
+// Exit status: 0 clean (project mode: ratchet delta empty), 1 findings
+// (project mode: fresh or stale ratchet keys), 2 usage or I/O error.
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "lint/lint.hpp"
+#include "lint/project.hpp"
 
 namespace {
 
@@ -58,9 +75,133 @@ void collect_path(const std::string& arg, std::set<std::string>& files) {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--compile-commands FILE] [--filter SUBSTR]... "
-               "[PATH...]\n",
-               argv0);
+               "[PATH...]\n"
+               "       %s --project [--root DIR] [--baseline FILE] "
+               "[--report FILE]\n"
+               "                 [--layers FILE] [--metrics-spec FILE] "
+               "[--update-baseline]\n",
+               argv0, argv0);
   return 2;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out);
+}
+
+/// Repo-relative forward-slash path of `p` under `root`.
+std::string relative_path(const fs::path& p, const fs::path& root) {
+  return p.lexically_relative(root).generic_string();
+}
+
+int run_project_mode(const std::string& root_arg, std::string baseline_path,
+                     std::string report_path, std::string layers_path,
+                     std::string metrics_path, bool update_baseline) {
+  const fs::path root = fs::path(root_arg).lexically_normal();
+  if (baseline_path.empty()) {
+    baseline_path = (root / "tools/lint/lint_baseline.json").string();
+  }
+  if (layers_path.empty()) {
+    layers_path = (root / "tools/lint/layers.spec").string();
+  }
+  if (metrics_path.empty()) {
+    metrics_path = (root / "tools/lint/metrics.spec").string();
+  }
+
+  vplint::ProjectOptions opts;
+  if (!read_file(layers_path, opts.layer_spec)) {
+    std::fprintf(stderr, "vprofile_lint: cannot read %s\n",
+                 layers_path.c_str());
+    return 2;
+  }
+  if (!read_file(metrics_path, opts.metrics_spec)) {
+    std::fprintf(stderr, "vprofile_lint: cannot read %s\n",
+                 metrics_path.c_str());
+    return 2;
+  }
+
+  // tests/ are deliberately out of scope: fixture strings there seed
+  // violations on purpose (tests/test_lint.cpp).
+  std::map<std::string, std::string> sources;
+  for (const char* dir : {"src", "tools", "bench", "examples"}) {
+    const fs::path base = root / dir;
+    std::error_code ec;
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (!it->is_regular_file() || !is_cpp_source(it->path())) continue;
+      std::string text;
+      if (!read_file(it->path().string(), text)) {
+        std::fprintf(stderr, "vprofile_lint: cannot read %s\n",
+                     it->path().string().c_str());
+        return 2;
+      }
+      sources.emplace(relative_path(it->path(), root), std::move(text));
+    }
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "vprofile_lint: no sources under %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  std::string error;
+  const std::vector<vplint::ProjectFinding> findings =
+      vplint::run_project(sources, opts, &error);
+  if (!error.empty()) {
+    std::fprintf(stderr, "vprofile_lint: %s\n", error.c_str());
+    return 2;
+  }
+
+  if (update_baseline) {
+    const std::string json = vplint::baseline_json(findings);
+    if (!write_file(baseline_path, json)) {
+      std::fprintf(stderr, "vprofile_lint: cannot write %s\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+    std::printf("vprofile_lint: baseline updated (%zu keys) -> %s\n",
+                vplint::parse_baseline(json).size(), baseline_path.c_str());
+  }
+
+  std::string baseline_text;  // a missing baseline means an empty one
+  read_file(baseline_path, baseline_text);
+  const std::set<std::string> baseline =
+      vplint::parse_baseline(baseline_text);
+
+  if (!report_path.empty()) {
+    std::error_code ec;
+    const fs::path parent = fs::path(report_path).parent_path();
+    if (!parent.empty()) fs::create_directories(parent, ec);
+    if (!write_file(report_path, vplint::report_json(findings, baseline))) {
+      std::fprintf(stderr, "vprofile_lint: cannot write %s\n",
+                   report_path.c_str());
+      return 2;
+    }
+  }
+
+  const vplint::RatchetDelta delta = vplint::ratchet(findings, baseline);
+  std::size_t baselined = 0;
+  for (const vplint::ProjectFinding& f : findings) {
+    if (baseline.count(f.key) != 0) {
+      ++baselined;
+      continue;
+    }
+    std::printf("%s:%zu: [%s/%s] %s\n", f.file.c_str(), f.line,
+                f.pass.c_str(), f.rule.c_str(), f.message.c_str());
+  }
+  for (const std::string& key : delta.stale) {
+    std::printf("baseline: stale key %s (fixed — run --update-baseline to "
+                "shrink the baseline)\n",
+                key.c_str());
+  }
+  std::printf(
+      "vprofile_lint: %zu findings (%zu baselined), %zu fresh keys, "
+      "%zu stale keys\n",
+      findings.size(), baselined, delta.fresh.size(), delta.stale.size());
+  return delta.empty() ? 0 : 1;
 }
 
 }  // namespace
@@ -69,6 +210,13 @@ int main(int argc, char** argv) {
   std::string compile_commands;
   std::vector<std::string> filters;
   std::set<std::string> files;
+  bool project = false;
+  bool update_baseline = false;
+  std::string root = ".";
+  std::string baseline_path;
+  std::string report_path;
+  std::string layers_path;
+  std::string metrics_path;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -78,6 +226,25 @@ int main(int argc, char** argv) {
     } else if (arg == "--filter") {
       if (++i >= argc) return usage(argv[0]);
       filters.push_back(argv[i]);
+    } else if (arg == "--project") {
+      project = true;
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (arg == "--root") {
+      if (++i >= argc) return usage(argv[0]);
+      root = argv[i];
+    } else if (arg == "--baseline") {
+      if (++i >= argc) return usage(argv[0]);
+      baseline_path = argv[i];
+    } else if (arg == "--report") {
+      if (++i >= argc) return usage(argv[0]);
+      report_path = argv[i];
+    } else if (arg == "--layers") {
+      if (++i >= argc) return usage(argv[0]);
+      layers_path = argv[i];
+    } else if (arg == "--metrics-spec") {
+      if (++i >= argc) return usage(argv[0]);
+      metrics_path = argv[i];
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -86,6 +253,12 @@ int main(int argc, char** argv) {
     } else {
       collect_path(arg, files);
     }
+  }
+
+  if (project) {
+    if (!files.empty() || !compile_commands.empty()) return usage(argv[0]);
+    return run_project_mode(root, baseline_path, report_path, layers_path,
+                            metrics_path, update_baseline);
   }
 
   if (!compile_commands.empty()) {
