@@ -1,0 +1,304 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace io::json {
+
+namespace {
+
+/// Guards against stack exhaustion on deeply nested (hostile or broken)
+/// input; the project's own artifacts nest a handful of levels.
+constexpr int kMaxDepth = 256;
+
+struct Parser {
+  const char* p;
+  const char* begin;
+  const char* end;
+  std::string* error;
+
+  bool fail(const std::string& reason) {
+    if (error != nullptr && error->empty()) {
+      *error = "json parse error at byte " +
+               std::to_string(static_cast<std::size_t>(p - begin)) + ": " +
+               reason;
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (p < end &&
+           (*p == ' ' || *p == '\t' || *p == '\n' || *p == '\r')) {
+      ++p;
+    }
+  }
+
+  bool consume(char c) {
+    if (p < end && *p == c) {
+      ++p;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (static_cast<std::size_t>(end - p) < len) return false;
+    for (std::size_t i = 0; i < len; ++i) {
+      if (p[i] != word[i]) return false;
+    }
+    p += len;
+    return true;
+  }
+
+  bool parse_hex4(std::uint32_t* out) {
+    if (end - p < 4) return false;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = p[i];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    p += 4;
+    *out = v;
+    return true;
+  }
+
+  static void append_utf8(std::string* s, std::uint32_t cp) {
+    if (cp < 0x80) {
+      *s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      *s += static_cast<char>(0xC0 | (cp >> 6));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      *s += static_cast<char>(0xE0 | (cp >> 12));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      *s += static_cast<char>(0xF0 | (cp >> 18));
+      *s += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      *s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      *s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool parse_string(std::string* out) {
+    if (!consume('"')) return fail("expected string");
+    out->clear();
+    while (p < end) {
+      const char c = *p;
+      if (c == '"') {
+        ++p;
+        return true;
+      }
+      if (c == '\\') {
+        ++p;
+        if (p >= end) return fail("truncated escape");
+        const char esc = *p++;
+        switch (esc) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'u': {
+            std::uint32_t cp = 0;
+            if (!parse_hex4(&cp)) return fail("bad \\u escape");
+            if (cp >= 0xD800 && cp <= 0xDBFF && end - p >= 6 && p[0] == '\\' &&
+                p[1] == 'u') {
+              p += 2;
+              std::uint32_t low = 0;
+              if (!parse_hex4(&low)) return fail("bad low surrogate");
+              if (low >= 0xDC00 && low <= 0xDFFF) {
+                cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+              } else {
+                return fail("unpaired surrogate");
+              }
+            }
+            append_utf8(out, cp);
+            break;
+          }
+          default:
+            return fail("unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return fail("raw control character in string");
+      }
+      *out += c;
+      ++p;
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_value(Value* out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (p >= end) return fail("unexpected end of input");
+    const char c = *p;
+    if (c == '{') {
+      ++p;
+      out->type = Value::Type::kObject;
+      skip_ws();
+      if (consume('}')) return true;
+      while (true) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key)) return false;
+        skip_ws();
+        if (!consume(':')) return fail("expected ':'");
+        Value child;
+        if (!parse_value(&child, depth + 1)) return false;
+        out->object.emplace_back(std::move(key), std::move(child));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume('}')) return true;
+        return fail("expected ',' or '}'");
+      }
+    }
+    if (c == '[') {
+      ++p;
+      out->type = Value::Type::kArray;
+      skip_ws();
+      if (consume(']')) return true;
+      while (true) {
+        Value child;
+        if (!parse_value(&child, depth + 1)) return false;
+        out->array.push_back(std::move(child));
+        skip_ws();
+        if (consume(',')) continue;
+        if (consume(']')) return true;
+        return fail("expected ',' or ']'");
+      }
+    }
+    if (c == '"') {
+      out->type = Value::Type::kString;
+      return parse_string(&out->string);
+    }
+    if (c == 't') {
+      if (!literal("true", 4)) return fail("bad literal");
+      out->type = Value::Type::kBool;
+      out->boolean = true;
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false", 5)) return fail("bad literal");
+      out->type = Value::Type::kBool;
+      out->boolean = false;
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null", 4)) return fail("bad literal");
+      out->type = Value::Type::kNull;
+      return true;
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+      // strtod accepts a superset of JSON numbers (hex, inf); restrict the
+      // token first so malformed documents do not slip through.
+      const char* tok = p;
+      if (*tok == '-') ++tok;
+      bool digits = false;
+      while (tok < end && *tok >= '0' && *tok <= '9') {
+        ++tok;
+        digits = true;
+      }
+      if (tok < end && *tok == '.') {
+        ++tok;
+        while (tok < end && *tok >= '0' && *tok <= '9') ++tok;
+      }
+      if (tok < end && (*tok == 'e' || *tok == 'E')) {
+        ++tok;
+        if (tok < end && (*tok == '+' || *tok == '-')) ++tok;
+        while (tok < end && *tok >= '0' && *tok <= '9') ++tok;
+      }
+      if (!digits) return fail("bad number");
+      const std::string token(p, tok);
+      char* parsed_end = nullptr;
+      out->number = std::strtod(token.c_str(), &parsed_end);
+      if (parsed_end != token.c_str() + token.size()) {
+        return fail("bad number");
+      }
+      out->type = Value::Type::kNumber;
+      p = tok;
+      return true;
+    }
+    return fail("unexpected character");
+  }
+};
+
+}  // namespace
+
+const Value* Value::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const Value* get(const Value* value, const std::string& key) {
+  return value == nullptr ? nullptr : value->find(key);
+}
+
+bool parse(const std::string& text, Value* out, std::string* error) {
+  if (error != nullptr) error->clear();
+  Parser parser{text.data(), text.data(), text.data() + text.size(), error};
+  *out = Value{};
+  if (!parser.parse_value(out, 0)) return false;
+  parser.skip_ws();
+  if (parser.p != parser.end) return parser.fail("trailing garbage");
+  return true;
+}
+
+bool flexible_number(const Value& value, double* out) {
+  if (value.is_number()) {
+    *out = value.number;
+    return true;
+  }
+  if (value.is_string()) {
+    if (value.string == "inf") {
+      *out = std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (value.string == "-inf") {
+      *out = -std::numeric_limits<double>::infinity();
+      return true;
+    }
+    if (value.string == "nan") {
+      *out = std::numeric_limits<double>::quiet_NaN();
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace io::json

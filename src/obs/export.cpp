@@ -1,10 +1,8 @@
 #include "obs/export.hpp"
 
-#include <cerrno>
 #include <cstddef>
-#include <cstdio>
-#include <cstring>
 
+#include "io/atomic_file.hpp"
 #include "obs/manifest.hpp"
 
 namespace obs {
@@ -162,22 +160,10 @@ std::string to_jsonl(const std::vector<MetricSample>& samples,
 
 bool write_text_file(const std::string& path, const std::string& content,
                      std::string* error) {
-  std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) {
-    if (error != nullptr) {
-      *error = "cannot open '" + path + "' for writing: " +
-               std::strerror(errno);
-    }
-    return false;
-  }
-  const std::size_t written =
-      std::fwrite(content.data(), 1, content.size(), f);
-  const bool closed = std::fclose(f) == 0;
-  const bool ok = written == content.size() && closed;
-  if (!ok && error != nullptr) {
-    *error = "short write to '" + path + "'";
-  }
-  return ok;
+  // Same crash-safety contract as model checkpoints: a reader (or a crash
+  // recovery) sees the previous complete artifact or the new complete
+  // one, never a prefix.
+  return io::atomic_write_file(path, content, error);
 }
 
 }  // namespace obs

@@ -27,8 +27,10 @@ std::string to_prometheus(const std::vector<MetricSample>& samples,
 std::string to_jsonl(const std::vector<MetricSample>& samples,
                      const RunManifest* manifest = nullptr);
 
-/// Write `content` to `path` atomically enough for telemetry (truncate +
-/// write + close).  Returns false and fills `*error` on failure.
+/// Write `content` to `path` atomically: routed through io::atomic_write_file
+/// (write sibling temp + fsync + rename), so a crash mid-export can never
+/// leave a truncated metrics/JSONL artifact shadowing a good one.
+/// Returns false and fills `*error` on failure.
 bool write_text_file(const std::string& path, const std::string& content,
                      std::string* error);
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "obs/manifest.hpp"
+#include "obs/metrics.hpp"
 
 namespace obs {
 
@@ -42,12 +43,20 @@ Tracer::ThreadRing* Tracer::ring_for_this_thread() {
   return slot.get();
 }
 
+void Tracer::bind_metrics(MetricsRegistry* registry) {
+  if (registry != nullptr) {
+    dropped_counter_.store(registry->counter("trace_ring_dropped_total"),
+                           std::memory_order_relaxed);
+  }
+}
+
 void Tracer::record(const char* name, std::uint64_t start_ns,
                     std::uint64_t dur_ns) {
   // Per-thread cache keyed by the tracer's process-unique id: tracer ids
   // are never reused, so a stale entry from a destroyed tracer can never
-  // match a live one.  Only the owning thread ever writes its ring, so
-  // the store below needs no synchronization.
+  // match a live one.  Only the owning thread ever writes its ring; the
+  // relaxed atomic stores exist for concurrent collect() readers, not
+  // for writer/writer ordering.
   struct Cache {
     std::uint64_t tracer_id = 0;
     ThreadRing* ring = nullptr;
@@ -58,13 +67,21 @@ void Tracer::record(const char* name, std::uint64_t start_ns,
     cache.tracer_id = id_;
   }
   ThreadRing* ring = cache.ring;
-  TraceEvent& slot = ring->events[ring->head % ring_capacity_];
-  slot.name = name;
-  slot.start_ns = start_ns;
-  slot.dur_ns = dur_ns;
-  slot.tid = ring->tid;
-  ++ring->head;
+  const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+  AtomicTraceEvent& slot = ring->events[head % ring_capacity_];
+  slot.name.store(name, std::memory_order_relaxed);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  slot.tid.store(ring->tid, std::memory_order_relaxed);
+  ring->head.store(head + 1, std::memory_order_relaxed);
   total_.fetch_add(1, std::memory_order_relaxed);
+  if (head >= ring_capacity_) {
+    // The store above overwrote the oldest surviving event.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    Counter* dropped_counter =
+        dropped_counter_.load(std::memory_order_relaxed);
+    if (dropped_counter != nullptr) dropped_counter->add();
+  }
 }
 
 std::vector<TraceEvent> Tracer::collect() const {
@@ -72,14 +89,21 @@ std::vector<TraceEvent> Tracer::collect() const {
   std::vector<TraceEvent> out;
   for (const auto& [thread_id, ring] : rings_) {
     (void)thread_id;
-    const std::uint64_t n =
-        std::min<std::uint64_t>(ring->head, ring_capacity_);
+    const std::uint64_t head = ring->head.load(std::memory_order_relaxed);
+    const std::uint64_t n = std::min<std::uint64_t>(head, ring_capacity_);
     // Oldest surviving event first: once wrapped, that is events[head %
     // cap], before wrapping it is events[0].
     const std::uint64_t start =
-        ring->head > ring_capacity_ ? ring->head % ring_capacity_ : 0;
+        head > ring_capacity_ ? head % ring_capacity_ : 0;
     for (std::uint64_t i = 0; i < n; ++i) {
-      out.push_back(ring->events[(start + i) % ring_capacity_]);
+      const AtomicTraceEvent& slot =
+          ring->events[(start + i) % ring_capacity_];
+      TraceEvent ev;
+      ev.name = slot.name.load(std::memory_order_relaxed);
+      ev.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      ev.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
+      ev.tid = slot.tid.load(std::memory_order_relaxed);
+      out.push_back(ev);
     }
   }
   std::stable_sort(out.begin(), out.end(),

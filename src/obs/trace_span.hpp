@@ -3,11 +3,15 @@
 //
 // The recording path is built for the pipeline's hot loop: each thread
 // owns a fixed-capacity ring it alone writes, so record() is an index
-// increment and a struct store — no locks, no allocation, no contention.
-// The ring wraps, keeping the most recent events; tracing is a window,
-// not a log.  Flushing (collect / chrome_trace_json) is expected at
-// quiescent points — after pipeline finish(), at tool exit — where no
-// thread is still recording.
+// increment and a handful of relaxed stores — no locks, no allocation,
+// no contention.  The ring wraps, keeping the most recent events (each
+// overwrite counts toward trace_ring_dropped_total via bind_metrics);
+// tracing is a window, not a log.  The slots are atomics, so flushing
+// (collect / chrome_trace_json) is data-race-free even while threads are
+// still recording — a live collect (the flight recorder folding recent
+// spans into an incident bundle) is best-effort (a span mid-overwrite
+// may read mixed), while a quiescent collect — after pipeline finish(),
+// at tool exit — is exact.
 //
 // Span names must be string literals (or otherwise outlive the Tracer):
 // the ring stores the pointer, never a copy.
@@ -26,6 +30,8 @@
 
 namespace obs {
 
+class Counter;
+class MetricsRegistry;
 struct RunManifest;
 
 /// One completed span, times in nanoseconds since the tracer's epoch.
@@ -55,10 +61,21 @@ class Tracer {
     return total_.load(std::memory_order_relaxed);
   }
 
+  /// Spans the rings overwrote (ring overflow).  Also exported as the
+  /// trace_ring_dropped_total counter once bind_metrics is called.
+  std::uint64_t dropped_total() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Registers trace_ring_dropped_total on `registry` (null = no-op).
+  /// Call before recording threads start.
+  void bind_metrics(MetricsRegistry* registry);
+
   std::size_t ring_capacity() const { return ring_capacity_; }
 
   /// Surviving events, oldest first per thread, merged in start order.
-  /// Call only at quiescence (no thread mid-record).
+  /// Data-race-free at any time; exact at quiescence, best-effort while
+  /// threads are still recording (see the header comment).
   std::vector<TraceEvent> collect() const;
 
   /// Chrome trace_event JSON ("X" complete events, ts/dur in
@@ -66,11 +83,22 @@ class Tracer {
   std::string chrome_trace_json(const RunManifest* manifest = nullptr) const;
 
  private:
+  /// One ring slot.  Atomic fields make concurrent collect() data-race-
+  /// free; all accesses are relaxed — the slot is diagnostics, not
+  /// synchronization, and a live reader accepts best-effort content.
+  struct AtomicTraceEvent {
+    std::atomic<const char*> name{nullptr};
+    std::atomic<std::uint64_t> start_ns{0};
+    std::atomic<std::uint64_t> dur_ns{0};
+    std::atomic<std::uint32_t> tid{0};
+  };
+
   struct ThreadRing {
     explicit ThreadRing(std::size_t capacity, std::uint32_t tid_index)
         : events(capacity), tid(tid_index) {}
-    std::vector<TraceEvent> events;
-    std::uint64_t head = 0;  ///< total events this thread recorded
+    std::vector<AtomicTraceEvent> events;
+    /// Total events this thread recorded.
+    std::atomic<std::uint64_t> head{0};
     std::uint32_t tid;
   };
 
@@ -80,6 +108,10 @@ class Tracer {
   const std::uint64_t id_;  ///< process-unique, keys the thread-local cache
   const std::chrono::steady_clock::time_point epoch_;
   std::atomic<std::uint64_t> total_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  /// Written once by bind_metrics before recording starts, read relaxed
+  /// by every record().
+  std::atomic<Counter*> dropped_counter_{nullptr};
 
   mutable std::mutex mu_;
   std::map<std::thread::id, std::unique_ptr<ThreadRing>> rings_;

@@ -1,10 +1,17 @@
 #include "runtime/supervisor.hpp"
 
+#include <algorithm>
+#include <array>
 #include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "core/detector.hpp"
+#include "core/extractor.hpp"
 #include "obs/metrics.hpp"
+#include "pipeline/counters.hpp"
 
 namespace runtime {
 namespace {
@@ -58,6 +65,89 @@ void add_gate_stats(vprofile::GatedUpdateStats& into,
   into.refused_by_updater += from.refused_by_updater;
 }
 
+/// Verdict-code -> name table for the flight recorder (obs/ renders
+/// producer enums through tables so it never depends on the detector).
+const char* const* verdict_name_table() {
+  static const std::array<const char*, vprofile::kNumVerdicts> table = [] {
+    std::array<const char*, vprofile::kNumVerdicts> t{};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      t[i] = vprofile::to_string(static_cast<vprofile::Verdict>(i));
+    }
+    return t;
+  }();
+  return table.data();
+}
+
+const char* const* extract_error_name_table() {
+  static const std::array<const char*, pipeline::kNumExtractErrors> table =
+      [] {
+        std::array<const char*, pipeline::kNumExtractErrors> t{};
+        for (std::size_t i = 0; i < t.size(); ++i) {
+          t[i] = vprofile::to_string(static_cast<vprofile::ExtractError>(i));
+        }
+        return t;
+      }();
+  return table.data();
+}
+
+/// Shortest round-trippable rendering; non-finite values become quoted
+/// strings ("inf"/"-inf"/"nan") so bundle context stays valid JSON — the
+/// same convention the flight recorder uses for evidence features.
+void append_json_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "\"nan\"";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += std::signbit(v) ? "\"-inf\"" : "\"inf\"";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void append_json_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+/// Flattens one handled result into the recorder's fixed-size row.
+obs::EvidenceRecord make_evidence(const pipeline::FrameResult& r,
+                                  std::uint64_t tick_ns,
+                                  std::uint32_t generation) {
+  obs::EvidenceRecord rec;
+  rec.seq = r.seq;
+  rec.tick_ns = tick_ns;
+  rec.sa = r.sa;
+  rec.dropped = r.dropped;
+  rec.worker_error = r.worker_error;
+  rec.extract_error = static_cast<std::uint8_t>(r.extract_error);
+  rec.model_generation = generation;
+  if (r.detection.has_value()) {
+    const vprofile::Detection& det = *r.detection;
+    rec.verdict = static_cast<std::uint8_t>(det.verdict);
+    rec.min_distance = det.min_distance;
+    rec.confidence = det.confidence;
+    if (det.expected_cluster.has_value()) {
+      rec.expected_cluster = static_cast<std::int32_t>(*det.expected_cluster);
+    }
+    if (det.predicted_cluster.has_value()) {
+      rec.predicted_cluster = static_cast<std::int32_t>(*det.predicted_cluster);
+    }
+  }
+  if (r.edge_set.has_value()) {
+    const std::size_t dim =
+        std::min(r.edge_set->samples.size(), obs::kMaxEvidenceDim);
+    rec.dim = static_cast<std::uint16_t>(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      rec.features[i] = r.edge_set->samples[i];
+    }
+  }
+  return rec;
+}
+
 }  // namespace
 
 Supervisor::Supervisor(vprofile::Model model, SupervisorConfig config,
@@ -89,6 +179,17 @@ Supervisor::Supervisor(vprofile::Model model, SupervisorConfig config,
     instruments_.health = reg->gauge("runtime_health_state");
     // vprofile-lint: allow(metric-name) — boolean gauge, unitless
     instruments_.governor_active = reg->gauge("runtime_governor_active");
+  }
+  if (config_.flight_recorder) {
+    obs::FlightRecorderConfig rc = config_.recorder;
+    rc.verdict_names = verdict_name_table();
+    rc.num_verdicts = vprofile::kNumVerdicts;
+    rc.extract_error_names = extract_error_name_table();
+    rc.num_extract_errors = pipeline::kNumExtractErrors;
+    if (rc.metrics == nullptr) rc.metrics = config_.pipeline.metrics;
+    if (rc.tracer == nullptr) rc.tracer = config_.pipeline.tracer;
+    rc.context_json = [this] { return context_json(); };
+    recorder_ = std::make_unique<obs::FlightRecorder>(std::move(rc));
   }
   create_pipeline();
 }
@@ -130,8 +231,11 @@ void Supervisor::handle(pipeline::FrameResult&& result) {
   // Sink consumers see the supervisor's global frame numbering, stable
   // across pipeline restarts.
   result.seq = global;
+  bool drift_alarm = false;
+  std::uint32_t generation = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    generation = static_cast<std::uint32_t>(stats_.promotions);
     ++stats_.frames_handled;
     fingerprint_ = fnv1a_u64(fingerprint_, global);
     fingerprint_ = fnv1a_u64(fingerprint_, outcome_code(result));
@@ -142,6 +246,7 @@ void Supervisor::handle(pipeline::FrameResult&& result) {
           fingerprint_, std::bit_cast<std::uint64_t>(det.min_distance));
       if (det.expected_cluster && !det.is_degraded()) {
         if (sentinel_.observe(*det.expected_cluster, det.min_distance)) {
+          drift_alarm = true;
           ++stats_.drift_alarms;
           if (instruments_.drift_alarms != nullptr) {
             instruments_.drift_alarms->add();
@@ -181,6 +286,27 @@ void Supervisor::handle(pipeline::FrameResult&& result) {
     ++total_handled_;
   }
   handled_cv_.notify_all();
+  if (recorder_ != nullptr) {
+    // Outside mu_: record() is lock-free but an armed trigger may emit a
+    // bundle here, and bundle context re-enters the supervisor's locked
+    // accessors.  handle() is the pipeline's serialized result path, so
+    // the recorder's single-writer contract holds.
+    recorder_->record(make_evidence(
+        result, last_poll_ns_.load(std::memory_order_relaxed), generation));
+    if (result.detection.has_value() && result.detection->is_anomaly()) {
+      const bool degraded = result.detection->is_degraded();
+      recorder_->request_trigger(
+          degraded ? obs::IncidentCause::kDegradedVerdict
+                   : obs::IncidentCause::kAnomalyVerdict,
+          global,
+          verdict_name_table()[static_cast<std::size_t>(
+              result.detection->verdict)]);
+    }
+    if (drift_alarm) {
+      recorder_->request_trigger(obs::IncidentCause::kDriftAlarm, global,
+                                 "drift sentinel alarm");
+    }
+  }
   if (sink_) sink_(result);
 }
 
@@ -203,6 +329,12 @@ void Supervisor::validate_candidate_locked() {
     ++stats_.rollbacks;
     if (instruments_.rollbacks != nullptr) instruments_.rollbacks->add();
     health_ = HealthState::kDegraded;
+    if (recorder_ != nullptr) {
+      // Arming is one CAS — safe under mu_ (never blocks or re-enters).
+      recorder_->request_trigger(obs::IncidentCause::kRetrainRollback,
+                                 stats_.frames_handled,
+                                 "candidate validation regressions");
+    }
   }
   add_gate_stats(gate_accum_, gated_->stats());
   candidate_.reset();
@@ -220,6 +352,11 @@ std::optional<std::uint64_t> Supervisor::submit(dsp::Trace trace) {
       const std::size_t depth = pipe_->queue_depth();
       if (!governor_active_ && depth >= config_.governor_high_water) {
         governor_active_ = true;
+        if (recorder_ != nullptr) {
+          recorder_->request_trigger(obs::IncidentCause::kOverloadShed,
+                                     stats_.frames_offered,
+                                     "governor high-water crossed");
+        }
       } else if (governor_active_ && depth <= config_.governor_low_water) {
         governor_active_ = false;
       }
@@ -263,6 +400,7 @@ std::optional<std::uint64_t> Supervisor::submit(dsp::Trace trace) {
 }
 
 void Supervisor::poll(std::uint64_t now_ns) {
+  last_poll_ns_.store(now_ns, std::memory_order_relaxed);
   apply_control();
   Watchdog::Action action = Watchdog::Action::kNone;
   {
@@ -285,9 +423,30 @@ void Supervisor::poll(std::uint64_t now_ns) {
     // whole; give-up additionally pins health at degraded.
     restart_pipeline(std::nullopt);
     watchdog_.notify_restarted(now_ns);
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.restarts;
+    std::uint64_t handled = 0;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.restarts;
+      handled = stats_.frames_handled;
+    }
+    if (recorder_ != nullptr) {
+      recorder_->request_trigger(obs::IncidentCause::kWatchdogRestart, handled,
+                                 action == Watchdog::Action::kGiveUp
+                                     ? "watchdog gave up"
+                                     : "watchdog restart");
+    }
   }
+}
+
+void Supervisor::trigger_incident(const char* detail) {
+  if (recorder_ == nullptr) return;
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = stats_.frames_handled;
+  }
+  recorder_->request_trigger(obs::IncidentCause::kOperator, seq,
+                             detail != nullptr ? detail : "operator request");
 }
 
 void Supervisor::release_armed_gates() {
@@ -404,6 +563,89 @@ void Supervisor::finish() {
       if (instruments_.checkpoints != nullptr) instruments_.checkpoints->add();
     }
   }
+  // After the drain: no more records arrive, so an armed/open incident is
+  // emitted now with whatever post-window it collected.  mu_ is not held
+  // (the bundle context callback takes it).
+  if (recorder_ != nullptr) recorder_->flush();
+}
+
+std::string Supervisor::context_json() const {
+  // Deterministic fields only: wall-time totals (extract_ns/detect_ns)
+  // and the queue high-water mark vary run to run, and bundles must stay
+  // byte-stable under lockstep replay.
+  const pipeline::CountersSnapshot counters = pipeline_counters();
+  SupervisorStats s;
+  HealthState health_now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = stats_;
+    s.gate = gate_accum_;
+    if (gated_ != nullptr) add_gate_stats(s.gate, gated_->stats());
+    health_now = health_;
+  }
+  const vprofile::DetectionConfig& dc = config_.pipeline.detection;
+  std::string out = "{\"detection\":{\"margin\":";
+  append_json_double(out, dc.margin);
+  out += ",\"saturation_code\":";
+  append_json_double(out, dc.saturation_code);
+  out += ",\"dead_code\":";
+  append_json_double(out, dc.dead_code);
+  out += ",\"degraded_fraction\":";
+  append_json_double(out, dc.degraded_fraction);
+  out += ",\"flat_run_min\":";
+  append_json_u64(out, dc.flat_run_min);
+  out += "},\"counters\":{\"submitted\":";
+  append_json_u64(out, counters.submitted.value());
+  out += ",\"completed\":";
+  append_json_u64(out, counters.completed.value());
+  out += ",\"dropped\":";
+  append_json_u64(out, counters.dropped.value());
+  out += ",\"worker_errors\":";
+  append_json_u64(out, counters.worker_errors);
+  out += ",\"extract_errors\":[";
+  for (std::size_t i = 0; i < counters.extract_errors.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_u64(out, counters.extract_errors[i]);
+  }
+  out += "],\"verdicts\":[";
+  for (std::size_t i = 0; i < counters.verdicts.size(); ++i) {
+    if (i != 0) out += ',';
+    append_json_u64(out, counters.verdicts[i]);
+  }
+  out += "]},\"supervisor\":{\"health\":\"";
+  out += to_string(health_now);
+  out += "\",\"frames_offered\":";
+  append_json_u64(out, s.frames_offered);
+  out += ",\"frames_submitted\":";
+  append_json_u64(out, s.frames_submitted);
+  out += ",\"frames_decimated\":";
+  append_json_u64(out, s.frames_decimated);
+  out += ",\"frames_handled\":";
+  append_json_u64(out, s.frames_handled);
+  out += ",\"restarts\":";
+  append_json_u64(out, s.restarts);
+  out += ",\"stalls_detected\":";
+  append_json_u64(out, s.stalls_detected);
+  out += ",\"drift_alarms\":";
+  append_json_u64(out, s.drift_alarms);
+  out += ",\"candidates_started\":";
+  append_json_u64(out, s.candidates_started);
+  out += ",\"promotions\":";
+  append_json_u64(out, s.promotions);
+  out += ",\"rollbacks\":";
+  append_json_u64(out, s.rollbacks);
+  out += ",\"checkpoints_committed\":";
+  append_json_u64(out, s.checkpoints_committed);
+  out += ",\"gate\":{\"accepted\":";
+  append_json_u64(out, s.gate.accepted);
+  out += ",\"rejected_verdict\":";
+  append_json_u64(out, s.gate.rejected_verdict);
+  out += ",\"rejected_margin\":";
+  append_json_u64(out, s.gate.rejected_margin);
+  out += ",\"refused_by_updater\":";
+  append_json_u64(out, s.gate.refused_by_updater);
+  out += "}}}";
+  return out;
 }
 
 HealthState Supervisor::health() const {

@@ -49,6 +49,7 @@
 #include "core/model.hpp"
 #include "core/online_update.hpp"
 #include "faults/runtime_fault.hpp"
+#include "obs/flight_recorder.hpp"
 #include "pipeline/pipeline.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/drift_sentinel.hpp"
@@ -103,6 +104,17 @@ struct SupervisorConfig {
   /// Injected runtime failures (soak harness).  Stall plans are keyed on
   /// the supervisor's global frame index.
   faults::RuntimeFaultPlan fault_plan;
+
+  /// Flight recorder: per-frame evidence ring + freeze-on-trigger
+  /// incident bundles (obs/flight_recorder.hpp).  Sizing, incident_dir
+  /// and the manifest come from `recorder`; the supervisor itself wires
+  /// the verdict/extract-error name tables, the context callback, and —
+  /// unless `recorder` already sets them — the pipeline's metrics
+  /// registry and tracer.  Triggers: anomalous/degraded verdicts, drift
+  /// alarms, watchdog restarts, retrain rollbacks, governor activation,
+  /// and trigger_incident().
+  bool flight_recorder = false;
+  obs::FlightRecorderConfig recorder;
 };
 
 struct SupervisorStats {
@@ -150,6 +162,15 @@ class Supervisor {
   HealthState health() const;
   const vprofile::Model& model() const { return *model_; }
   SupervisorStats stats() const;
+  /// Operator-requested incident (signal handler, status endpoint, CLI).
+  /// Any thread; `detail` must have static storage duration.  No-op
+  /// without a flight recorder.
+  void trigger_incident(const char* detail);
+  /// The flight recorder, or null when config.flight_recorder is off.
+  obs::FlightRecorder* flight_recorder() { return recorder_.get(); }
+  const obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
   /// Aggregated pipeline counters across every restart generation.
   pipeline::CountersSnapshot pipeline_counters() const;
   /// Order-exact digest of every handled result (verdict, distance bits)
@@ -168,6 +189,9 @@ class Supervisor {
   void accumulate_counters_locked();
   void release_armed_gates();
   void validate_candidate_locked();
+  /// Bundle "context" object: detection config, deterministic counters,
+  /// supervisor stats.  Takes mu_; call without it held.
+  std::string context_json() const;
 
   SupervisorConfig config_;
   ResultSink sink_;
@@ -177,6 +201,10 @@ class Supervisor {
   DriftSentinel sentinel_;
   std::optional<CheckpointStore> store_;
   std::vector<std::unique_ptr<faults::StallGate>> gates_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
+  /// Caller's clock from the last poll(); stamps evidence records, so
+  /// under lockstep + virtual clock the records stay deterministic.
+  std::atomic<std::uint64_t> last_poll_ns_{0};
 
   mutable std::mutex mu_;
   std::condition_variable handled_cv_;

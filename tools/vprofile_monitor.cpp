@@ -25,11 +25,23 @@
 // --checkpoint-every) and the overload governor.  SIGINT/SIGTERM stop
 // intake cleanly in every mode: the pipeline drains, the final checkpoint
 // commits, and the telemetry artifacts are still written.
+//
+// Service-mode introspection: the supervisor always carries a flight
+// recorder (evidence ring + freeze-on-trigger incident bundles; bundles
+// land in --incident-dir as INCIDENT_<id>.json).  --status-port N serves
+// a live HTTP endpoint on 127.0.0.1 with /metrics (Prometheus), /healthz,
+// /statusz (supervisor state + recent incidents) and /incident/<id>
+// (bundle JSON; GET /incident/trigger arms an operator incident).  Port 0
+// picks an ephemeral port; the bound port is printed on stdout.
+// --pace-us sleeps between frames so a scrape can observe a live run;
+// --trigger-at N arms a deterministic operator incident after the N-th
+// submitted frame (soak/CI bundles without relying on attack timing).
 #include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/detector.hpp"
@@ -37,8 +49,10 @@
 #include "core/trainer.hpp"
 #include "faults/fault.hpp"
 #include "obs/export.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/manifest.hpp"
 #include "obs/metrics.hpp"
+#include "obs/status_server.hpp"
 #include "obs/trace_span.hpp"
 #include "pipeline/pipeline.hpp"
 #include "runtime/supervisor.hpp"
@@ -78,7 +92,9 @@ void usage() {
       "                        [--stats-every N] [--metrics-out FILE]\n"
       "                        [--jsonl-out FILE] [--trace-out FILE]\n"
       "                        [--service] [--checkpoint-dir DIR]\n"
-      "                        [--checkpoint-every N]\n"
+      "                        [--checkpoint-every N] [--status-port N]\n"
+      "                        [--incident-dir DIR] [--pace-us N]\n"
+      "                        [--trigger-at N]\n"
       "  --margin defaults to 0.0 (same as the library's DetectionConfig)\n"
       "  --fault corrupts captures with a named analog fault profile:\n");
   for (const faults::FaultProfile& p : faults::canned_profiles()) {
@@ -97,6 +113,11 @@ void usage() {
       "  sentinel with guarded online retraining, overload governor)\n"
       "  --checkpoint-dir enables crash-safe model checkpoints there\n"
       "  --checkpoint-every N commits a checkpoint every N scored frames\n"
+      "  --status-port N serves /metrics /healthz /statusz /incident/<id>\n"
+      "  on 127.0.0.1 (0 = ephemeral; requires --service)\n"
+      "  --incident-dir writes flight-recorder bundles there (--service)\n"
+      "  --pace-us sleeps N microseconds per frame (live-scrape pacing)\n"
+      "  --trigger-at N arms an operator incident after N submitted frames\n"
       "  SIGINT/SIGTERM drain the pipeline and still write all artifacts\n");
 }
 
@@ -122,6 +143,10 @@ int main(int argc, char** argv) {
   bool service = false;
   std::string checkpoint_dir;
   std::uint64_t checkpoint_every = 0;
+  int status_port = -1;  // -1 = no status server
+  std::string incident_dir;
+  std::uint64_t pace_us = 0;
+  std::uint64_t trigger_at = 0;  // 0 = no operator trigger
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -180,14 +205,30 @@ int main(int argc, char** argv) {
       checkpoint_dir = next();
     } else if (arg == "--checkpoint-every") {
       checkpoint_every = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--status-port") {
+      status_port = static_cast<int>(std::strtol(next(), nullptr, 10));
+    } else if (arg == "--incident-dir") {
+      incident_dir = next();
+    } else if (arg == "--pace-us") {
+      pace_us = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--trigger-at") {
+      trigger_at = std::strtoull(next(), nullptr, 10);
     } else {
       usage();
       return 2;
     }
   }
   if ((vehicle_name != "a" && vehicle_name != "b") || workers == 0 ||
-      queue_capacity == 0 || train_count == 0) {
+      queue_capacity == 0 || train_count == 0 ||
+      (status_port >= 0 && status_port > 65535)) {
     usage();
+    return 2;
+  }
+  if (!service && (status_port >= 0 || !incident_dir.empty() ||
+                   trigger_at != 0)) {
+    std::fprintf(stderr,
+                 "--status-port / --incident-dir / --trigger-at require "
+                 "--service\n");
     return 2;
   }
 
@@ -198,12 +239,31 @@ int main(int argc, char** argv) {
   std::signal(SIGTERM, handle_stop_signal);
 
   // One registry + tracer for the whole run; pointers stay null (and the
-  // hot paths stay instrument-free) unless something will consume them.
+  // hot paths stay instrument-free) unless something will consume them —
+  // a status server consumes the registry live, so it counts too.
   obs::MetricsRegistry registry;
   obs::Tracer tracer;
-  const bool want_metrics = !metrics_out.empty() || !jsonl_out.empty();
+  const bool want_metrics =
+      !metrics_out.empty() || !jsonl_out.empty() || status_port >= 0;
   obs::MetricsRegistry* metrics = want_metrics ? &registry : nullptr;
   obs::Tracer* trace = !trace_out.empty() ? &tracer : nullptr;
+  if (trace != nullptr) tracer.bind_metrics(metrics);
+
+  // Stamped into exported artifacts and every incident bundle; created
+  // up-front so the status server and the flight recorder share one.
+  obs::RunManifest manifest = obs::RunManifest::create("vprofile_monitor");
+  manifest.seeds.emplace_back("seed", seed);
+  manifest.config = {
+      {"vehicle", vehicle_name},
+      {"train", std::to_string(train_count)},
+      {"count", std::to_string(stream_count)},
+      {"workers", std::to_string(workers)},
+      {"queue", std::to_string(queue_capacity)},
+      {"fault", fault_profile.name},
+      {"mode", block_when_full ? "backpressure" : "drop"},
+      {"gate", quality_gate ? "on" : "off"},
+      {"service", service ? "on" : "off"},
+  };
 
   const sim::VehicleConfig config =
       (vehicle_name == "a") ? sim::vehicle_a() : sim::vehicle_b();
@@ -335,6 +395,12 @@ int main(int argc, char** argv) {
     sc.checkpoint_every = checkpoint_every;
     sc.governor_high_water = queue_capacity * 3 / 4;
     sc.governor_low_water = queue_capacity / 4;
+    sc.flight_recorder = true;
+    sc.recorder.bus = "vehicle_" + vehicle_name;
+    sc.recorder.incident_dir = incident_dir;
+    sc.recorder.manifest = manifest;
+    sc.recorder.metrics = metrics;
+    sc.recorder.tracer = trace;
     runtime::Supervisor sup(
         model, sc, [&](const pipeline::FrameResult& r) {
           ++sink_seen;
@@ -344,22 +410,139 @@ int main(int argc, char** argv) {
           classify(r, labels[r.seq] != 0);
         });
 
+    obs::StatusServer server;
+    if (status_port >= 0) {
+      server.bind_metrics(metrics);
+      server.route("/healthz", [&](const std::string&) {
+        obs::StatusResponse resp;
+        const bool down = sup.health() == runtime::HealthState::kDegraded;
+        resp.status = down ? 503 : 200;
+        resp.body = down ? "degraded\n" : "ok\n";
+        return resp;
+      });
+      server.route("/metrics", [&](const std::string&) {
+        obs::StatusResponse resp;
+        resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        resp.body = obs::to_prometheus(registry.samples(), &manifest);
+        return resp;
+      });
+      server.route("/statusz", [&](const std::string&) {
+        const runtime::SupervisorStats ss = sup.stats();
+        const pipeline::CountersSnapshot cs = sup.pipeline_counters();
+        const obs::FlightRecorder* rec = sup.flight_recorder();
+        auto u64 = [](std::uint64_t v) { return std::to_string(v); };
+        std::string body = "{\"health\":";
+        body += obs::json_quote(runtime::to_string(sup.health()));
+        body += ",\"frames\":{\"offered\":" + u64(ss.frames_offered);
+        body += ",\"submitted\":" + u64(ss.frames_submitted);
+        body += ",\"handled\":" + u64(ss.frames_handled);
+        body += ",\"decimated\":" + u64(ss.frames_decimated);
+        body += ",\"completed\":" + u64(cs.completed.value());
+        body += ",\"dropped\":" + u64(cs.dropped.value());
+        body += "},\"lifecycle\":{\"restarts\":" + u64(ss.restarts);
+        body += ",\"stalls\":" + u64(ss.stalls_detected);
+        body += ",\"drift_alarms\":" + u64(ss.drift_alarms);
+        body += ",\"candidates\":" + u64(ss.candidates_started);
+        body += ",\"promotions\":" + u64(ss.promotions);
+        body += ",\"rollbacks\":" + u64(ss.rollbacks);
+        body += ",\"checkpoints\":" + u64(ss.checkpoints_committed);
+        body += "},\"recorder\":{\"records_seen\":" + u64(rec->records_seen());
+        body += ",\"incidents_emitted\":" + u64(rec->incidents_emitted());
+        body += ",\"triggers_coalesced\":" + u64(rec->triggers_coalesced());
+        body += ",\"incidents_suppressed\":" +
+                u64(rec->incidents_suppressed());
+        body += ",\"incident_open\":";
+        body += rec->incident_open() ? "true" : "false";
+        body += "},\"incidents\":[";
+        const std::vector<obs::IncidentSummary> incidents = rec->incidents();
+        for (std::size_t i = 0; i < incidents.size(); ++i) {
+          const obs::IncidentSummary& inc = incidents[i];
+          if (i != 0) body += ',';
+          body += "{\"id\":" + u64(inc.id);
+          body += ",\"cause\":";
+          body += obs::json_quote(obs::to_string(inc.cause));
+          body += ",\"trigger_seq\":" + u64(inc.trigger_seq);
+          body += ",\"detail\":" + obs::json_quote(inc.detail);
+          body += ",\"coalesced\":" + u64(inc.coalesced);
+          body += ",\"pre_records\":" + u64(inc.pre_records);
+          body += ",\"post_records\":" + u64(inc.post_records);
+          body += ",\"path\":" + obs::json_quote(inc.path) + "}";
+        }
+        body += "]}\n";
+        obs::StatusResponse resp;
+        resp.content_type = "application/json";
+        resp.body = std::move(body);
+        return resp;
+      });
+      server.route("/incident/trigger", [&](const std::string&) {
+        sup.trigger_incident("status endpoint trigger");
+        obs::StatusResponse resp;
+        resp.content_type = "application/json";
+        resp.body = "{\"armed\":true}\n";
+        return resp;
+      });
+      server.route_prefix("/incident/", [&](const std::string& path) {
+        obs::StatusResponse resp;
+        resp.content_type = "application/json";
+        const std::uint64_t id =
+            std::strtoull(path.c_str() + sizeof("/incident/") - 1, nullptr,
+                          10);
+        std::string bundle = sup.flight_recorder()->bundle_json(id);
+        if (id == 0 || bundle.empty()) {
+          resp.status = 404;
+          resp.content_type = "text/plain; charset=utf-8";
+          resp.body = "unknown or evicted incident\n";
+        } else {
+          resp.body = std::move(bundle);
+        }
+        return resp;
+      });
+      std::string err;
+      if (!server.start(static_cast<std::uint16_t>(status_port), &err)) {
+        std::fprintf(stderr, "status server: %s\n", err.c_str());
+        return 1;
+      }
+      // Scripts poll stdout for this exact line to learn ephemeral ports.
+      std::printf("status server listening on http://127.0.0.1:%u\n",
+                  static_cast<unsigned>(server.port()));
+      std::fflush(stdout);
+    }
+
     const auto t0 = std::chrono::steady_clock::now();
+    bool operator_fired = false;
     for (const sim::LabeledCapture& lc : stream) {
       if (g_stop_requested) break;
       labels[next_global] = lc.is_attack ? 1 : 0;
       if (sup.submit(faulted(lc))) ++next_global;
+      if (!operator_fired && trigger_at != 0 && next_global >= trigger_at) {
+        sup.trigger_incident("--trigger-at");
+        operator_fired = true;
+      }
       if (next_global % 64 == 0) sup.poll(steady_now_ns());
+      if (pace_us != 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(pace_us));
+      }
     }
     // Graceful shutdown: drain in-flight frames, apply pending control
-    // actions, commit the final checkpoint.
+    // actions, commit the final checkpoint and flush the flight recorder.
     sup.finish();
+    server.stop();
     elapsed_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     c = sup.pipeline_counters();
     sup_stats = sup.stats();
     sup_health = sup.health();
+    if (const obs::FlightRecorder* rec = sup.flight_recorder()) {
+      std::printf(
+          "\nflight recorder: %llu incidents (%llu coalesced, %llu "
+          "suppressed)%s%s\n",
+          static_cast<unsigned long long>(rec->incidents_emitted()),
+          static_cast<unsigned long long>(rec->triggers_coalesced()),
+          static_cast<unsigned long long>(rec->incidents_suppressed()),
+          incident_dir.empty() ? "" : " -> ",
+          incident_dir.empty() ? "" : incident_dir.c_str());
+    }
   } else {
     pipeline::DetectionPipeline* pipe_ptr = nullptr;
     pipeline::DetectionPipeline pipe(
@@ -470,19 +653,6 @@ int main(int argc, char** argv) {
   }
 
   if (want_metrics || trace != nullptr) {
-    obs::RunManifest manifest = obs::RunManifest::create("vprofile_monitor");
-    manifest.seeds.emplace_back("seed", seed);
-    manifest.config = {
-        {"vehicle", vehicle_name},
-        {"train", std::to_string(train_count)},
-        {"count", std::to_string(stream_count)},
-        {"workers", std::to_string(workers)},
-        {"queue", std::to_string(queue_capacity)},
-        {"fault", fault_profile.name},
-        {"mode", block_when_full ? "backpressure" : "drop"},
-        {"gate", quality_gate ? "on" : "off"},
-        {"service", service ? "on" : "off"},
-    };
     const std::vector<obs::MetricSample> samples = registry.samples();
     std::string err;
     if (!metrics_out.empty()) {
