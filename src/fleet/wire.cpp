@@ -1,0 +1,242 @@
+#include "fleet/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+#include "io/checksum.hpp"
+
+namespace fleet::wire {
+
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4 + 4;  // magic + payload_len
+constexpr std::size_t kTrailerBytes = 4;     // crc32
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int shift = 0; shift < 32; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xFF));
+  }
+}
+
+std::uint16_t get_u16(const unsigned char* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint16_t>(p[0]) |
+                                    static_cast<std::uint16_t>(p[1]) << 8);
+}
+
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+/// Parses the payload body into a frame.  Returns kNone on success; on
+/// failure `claimed` receives the tenant string when the tenant field
+/// itself was still within bounds (best-effort attribution).
+DecodeError parse_payload(const unsigned char* p, std::size_t len,
+                          Frame* out, std::string* claimed) {
+  // Fixed prefix: kind(1) + tenant_len(2).
+  if (len < 1 + 2) return DecodeError::kBadPayload;
+  const std::uint8_t kind = p[0];
+  const std::size_t tenant_len = get_u16(p + 1);
+  if (tenant_len == 0 || tenant_len > kMaxTenantBytes ||
+      len < 1 + 2 + tenant_len + 8 + 4) {
+    return DecodeError::kBadPayload;
+  }
+  std::string tenant(reinterpret_cast<const char*>(p + 3), tenant_len);
+  *claimed = tenant;
+  if (kind != static_cast<std::uint8_t>(FrameKind::kData) &&
+      kind != static_cast<std::uint8_t>(FrameKind::kDrain)) {
+    return DecodeError::kBadPayload;
+  }
+  const unsigned char* cursor = p + 3 + tenant_len;
+  const std::uint64_t seq = get_u64(cursor);
+  cursor += 8;
+  const std::size_t sample_count = get_u32(cursor);
+  cursor += 4;
+  if (sample_count > kMaxSamples) return DecodeError::kBadPayload;
+  // The declared lengths must tile the payload exactly: a frame whose
+  // sample count disagrees with its length prefix is corrupt even when
+  // the CRC (computed by the corrupter) checks out.
+  const std::size_t expected = 1 + 2 + tenant_len + 8 + 4 + sample_count * 8;
+  if (expected != len) return DecodeError::kBadPayload;
+  out->kind = static_cast<FrameKind>(kind);
+  out->tenant = std::move(tenant);
+  out->seq = seq;
+  out->samples.clear();
+  out->samples.reserve(sample_count);
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    out->samples.push_back(
+        std::bit_cast<double>(get_u64(cursor + i * 8)));
+  }
+  return DecodeError::kNone;
+}
+
+}  // namespace
+
+const char* to_string(DecodeError error) {
+  switch (error) {
+    case DecodeError::kNone:
+      return "none";
+    case DecodeError::kBadMagic:
+      return "bad_magic";
+    case DecodeError::kOversized:
+      return "oversized";
+    case DecodeError::kBadCrc:
+      return "bad_crc";
+    case DecodeError::kBadPayload:
+      return "bad_payload";
+  }
+  return "unknown";
+}
+
+std::string encode(const Frame& frame) {
+  if (frame.tenant.empty() || frame.tenant.size() > kMaxTenantBytes ||
+      frame.samples.size() > kMaxSamples) {
+    return {};
+  }
+  std::string payload;
+  payload.reserve(1 + 2 + frame.tenant.size() + 8 + 4 +
+                  frame.samples.size() * 8);
+  payload.push_back(static_cast<char>(frame.kind));
+  put_u16(payload, static_cast<std::uint16_t>(frame.tenant.size()));
+  payload += frame.tenant;
+  put_u64(payload, frame.seq);
+  put_u32(payload, static_cast<std::uint32_t>(frame.samples.size()));
+  for (const double sample : frame.samples) {
+    put_u64(payload, std::bit_cast<std::uint64_t>(sample));
+  }
+
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size() + kTrailerBytes);
+  out.append(reinterpret_cast<const char*>(kMagic), sizeof(kMagic));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out += payload;
+  put_u32(out, io::crc32(payload));
+  return out;
+}
+
+void Decoder::feed(const void* data, std::size_t len) {
+  buffer_.append(static_cast<const char*>(data), len);
+  // Compact once the dead prefix dominates, so long-lived connections
+  // don't accrete every byte they ever received.
+  if (cursor_ > 4096 && cursor_ > buffer_.size() / 2) {
+    buffer_.erase(0, cursor_);
+    cursor_ = 0;
+  }
+}
+
+void Decoder::consume(std::size_t n) {
+  cursor_ += n;
+  stats_.bytes_consumed += n;
+}
+
+std::size_t Decoder::resync() {
+  // Skip at least one byte, then stop at the next full magic.  A partial
+  // magic at the buffer tail is kept: the rest may still arrive.
+  const std::size_t start = cursor_;
+  std::size_t pos = cursor_ + 1;
+  while (pos < buffer_.size()) {
+    const std::size_t avail = buffer_.size() - pos;
+    const std::size_t window = avail < sizeof(kMagic) ? avail : sizeof(kMagic);
+    if (std::memcmp(buffer_.data() + pos, kMagic, window) == 0) break;
+    ++pos;
+  }
+  const std::size_t skipped = pos - start;
+  consume(skipped);
+  stats_.bytes_skipped += skipped;
+  return skipped;
+}
+
+std::optional<Decoder::Event> Decoder::next() {
+  for (;;) {
+    const std::size_t avail = buffer_.size() - cursor_;
+    if (avail < kHeaderBytes) {
+      // A buffered prefix that already disagrees with the magic is
+      // garbage now, not a frame waiting for more bytes.
+      if (avail > 0 &&
+          std::memcmp(buffer_.data() + cursor_, kMagic,
+                      avail < sizeof(kMagic) ? avail : sizeof(kMagic)) != 0) {
+        ++stats_.resyncs;
+        ++stats_.errors;
+        resync();
+        Event ev;
+        ev.error = DecodeError::kBadMagic;
+        return ev;
+      }
+      return std::nullopt;
+    }
+    const auto* head =
+        reinterpret_cast<const unsigned char*>(buffer_.data() + cursor_);
+    if (std::memcmp(head, kMagic, sizeof(kMagic)) != 0) {
+      ++stats_.resyncs;
+      ++stats_.errors;
+      resync();
+      Event ev;
+      ev.error = DecodeError::kBadMagic;
+      return ev;
+    }
+    const std::size_t payload_len = get_u32(head + 4);
+    if (payload_len > kMaxPayloadBytes) {
+      // A hostile length prefix must not make us wait for (or buffer)
+      // gigabytes; drop the magic and rescan.
+      ++stats_.errors;
+      ++stats_.resyncs;
+      resync();
+      Event ev;
+      ev.error = DecodeError::kOversized;
+      return ev;
+    }
+    const std::size_t total = kHeaderBytes + payload_len + kTrailerBytes;
+    if (avail < total) return std::nullopt;  // incomplete: wait for bytes
+
+    const unsigned char* payload = head + kHeaderBytes;
+    const std::uint32_t stored_crc = get_u32(payload + payload_len);
+    Event ev;
+    if (io::crc32(payload, payload_len) != stored_crc) {
+      ev.error = DecodeError::kBadCrc;
+      // Best-effort attribution: a bit flip in the samples leaves the
+      // tenant field intact often enough to be worth reporting.
+      Frame scratch;
+      std::string claimed;
+      parse_payload(payload, payload_len, &scratch, &claimed);
+      ev.claimed_tenant = std::move(claimed);
+      ++stats_.errors;
+      consume(total);
+      return ev;
+    }
+    Frame frame;
+    std::string claimed;
+    const DecodeError err = parse_payload(payload, payload_len, &frame,
+                                          &claimed);
+    consume(total);
+    if (err != DecodeError::kNone) {
+      ev.error = err;
+      ev.claimed_tenant = std::move(claimed);
+      ++stats_.errors;
+      return ev;
+    }
+    ++stats_.frames_decoded;
+    ev.frame = std::move(frame);
+    ev.claimed_tenant = ev.frame->tenant;
+    return ev;
+  }
+}
+
+}  // namespace fleet::wire

@@ -40,7 +40,11 @@ constexpr std::size_t kMaxRequestBytes = 8192;
 bool send_all(int fd, const char* data, std::size_t len) {
   std::size_t sent = 0;
   while (sent < len) {
-    const ssize_t n = ::send(fd, data + sent, len - sent, 0);
+    // MSG_NOSIGNAL: a client that disconnects mid-write must surface as
+    // EPIPE from send(), not as a process-wide SIGPIPE that kills the
+    // server thread (and the embedding monitor with it).
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     sent += static_cast<std::size_t>(n);
   }
@@ -143,10 +147,14 @@ void StatusServer::serve_loop() {
 }
 
 void StatusServer::serve_one(int client_fd) {
-  // A peer that trickles or stalls must not wedge the serve loop.
+  // A peer that trickles, stalls, or stops reading must not wedge the
+  // serve loop — both directions get the same deadline.
+  const std::uint32_t timeout_ms = io_timeout_ms_;
   timeval tv{};
-  tv.tv_sec = 2;
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
   ::setsockopt(client_fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(client_fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
   std::string request;
   char buf[1024];
   while (request.size() < kMaxRequestBytes &&

@@ -53,6 +53,15 @@ class StatusServer {
   /// start().
   void bind_metrics(MetricsRegistry* registry);
 
+  /// Per-connection read/write deadline (slow-client guard), applied to
+  /// both SO_RCVTIMEO and SO_SNDTIMEO.  Call before start(); values
+  /// below 100 ms are clamped up so a scheduling hiccup cannot starve
+  /// legitimate scrapes.  Default 2000 ms.
+  void set_io_timeout_ms(std::uint32_t timeout_ms) {
+    io_timeout_ms_ = timeout_ms < 100 ? 100 : timeout_ms;
+  }
+  std::uint32_t io_timeout_ms() const { return io_timeout_ms_; }
+
   /// Binds 127.0.0.1:`port` (0 = ephemeral; see port()) and starts the
   /// accept loop.  Returns false with a diagnostic on failure.
   bool start(std::uint16_t port, std::string* error = nullptr);
@@ -79,6 +88,7 @@ class StatusServer {
   std::uint16_t port_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> served_{0};
+  std::uint32_t io_timeout_ms_ = 2000;
   Counter* requests_counter_ = nullptr;
   std::thread thread_;
 };

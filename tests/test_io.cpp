@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <iterator>
@@ -11,6 +13,7 @@
 #include "io/atomic_file.hpp"
 #include "io/checksum.hpp"
 #include "io/csv.hpp"
+#include "io/json.hpp"
 #include "io/model_store.hpp"
 #include "io/trace_store.hpp"
 #include "stats/rng.hpp"
@@ -483,6 +486,104 @@ TEST(TraceStore, FileHelpersWork) {
   ASSERT_TRUE(io::save_traces_file(set, path));
   EXPECT_TRUE(io::load_traces_file(path).has_value());
   EXPECT_FALSE(io::load_traces_file("/nonexistent/y.vpt").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// io::json negative-path fuzz.  The parser reads incident bundles and
+// manifests that may arrive torn or corrupted; every failure must be a
+// clean `false` with a diagnostic — never a throw, crash or over-read.
+
+/// A representative document exercising every value type, escapes,
+/// nesting and the project's non-finite number convention.
+const std::string& fuzz_document() {
+  static const std::string doc =
+      "{\"name\":\"bundle \\\"x\\\"\\n\",\"version\":2,"
+      "\"values\":[1.5,-0.25,1e308,\"inf\",\"nan\",null,true,false],"
+      "\"nested\":{\"deep\":[[{\"k\":\"v\"}]],\"empty\":{},\"arr\":[]},"
+      "\"text\":\"braces {не} [ascii] \\u0041\"}  ";
+  return doc;
+}
+
+TEST(Json, FuzzDocumentParsesWhole) {
+  io::json::Value root;
+  std::string error;
+  ASSERT_TRUE(io::json::parse(fuzz_document(), &root, &error)) << error;
+  ASSERT_TRUE(root.is_object());
+  const io::json::Value* values = root.find("values");
+  ASSERT_NE(values, nullptr);
+  ASSERT_TRUE(values->is_array());
+  double out = 0.0;
+  ASSERT_TRUE(io::json::flexible_number(values->array[3], &out));
+  EXPECT_TRUE(std::isinf(out));
+}
+
+// A document truncated at EVERY byte offset must fail cleanly: a prefix
+// of an object is never a complete document.
+TEST(Json, TruncationAtEveryByteOffsetFailsCleanly) {
+  const std::string& doc = fuzz_document();
+  // Cuts inside the trailing whitespace still leave a complete document;
+  // every cut at or before the closing brace must fail.
+  const std::size_t end = doc.find_last_of('}') + 1;
+  for (std::size_t cut = 0; cut < end; ++cut) {
+    io::json::Value root;
+    std::string error;
+    EXPECT_FALSE(io::json::parse(doc.substr(0, cut), &root, &error))
+        << "cut=" << cut;
+    EXPECT_FALSE(error.empty()) << "cut=" << cut;
+  }
+}
+
+// Flipping any single byte must never crash the parser; it either
+// rejects the document with a diagnostic or yields some other valid
+// document (a digit flip, say) — both are acceptable, dying is not.
+TEST(Json, SingleByteFlipsNeverCrashTheParser) {
+  const std::string& doc = fuzz_document();
+  const unsigned char masks[] = {0x01, 0x20, 0x80};
+  for (std::size_t off = 0; off < doc.size(); ++off) {
+    for (const unsigned char mask : masks) {
+      std::string mutated = doc;
+      mutated[off] = static_cast<char>(
+          static_cast<unsigned char>(mutated[off]) ^ mask);
+      io::json::Value root;
+      std::string error;
+      const bool ok = io::json::parse(mutated, &root, &error);
+      if (!ok) {
+        EXPECT_FALSE(error.empty()) << "off=" << off << " mask=" << int{mask};
+      }
+    }
+  }
+}
+
+// Deterministic garbage (an LCG byte stream) must always be rejected.
+TEST(Json, GarbageBytesAreRejected) {
+  std::uint64_t state = 0x2545F4914F6CDD1DULL;
+  for (int round = 0; round < 32; ++round) {
+    std::string garbage;
+    for (int i = 0; i < 64; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      garbage.push_back(static_cast<char>((state >> 33) & 0xFF));
+    }
+    io::json::Value root;
+    std::string error;
+    EXPECT_FALSE(io::json::parse(garbage, &root, &error)) << "round=" << round;
+  }
+}
+
+// A hostile nesting bomb must hit the depth ceiling, not the stack.
+TEST(Json, NestingBombIsRejectedNotOverflowed) {
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb.push_back('[');
+  io::json::Value root;
+  std::string error;
+  EXPECT_FALSE(io::json::parse(bomb, &root, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos) << error;
+}
+
+TEST(Json, TrailingGarbageAfterDocumentIsRejected) {
+  io::json::Value root;
+  std::string error;
+  EXPECT_FALSE(io::json::parse("{\"a\":1} trailing", &root, &error));
+  EXPECT_FALSE(io::json::parse("{\"a\":1}{\"b\":2}", &root, &error));
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include "core/trainer.hpp"
 #include "dsp/trace.hpp"
 #include "faults/runtime_fault.hpp"
+#include "fleet/fleet_service.hpp"
 #include "pipeline/pipeline.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/drift_sentinel.hpp"
@@ -337,6 +338,67 @@ TEST(CheckpointStoreTest, CorruptCurrentIsNeverPromotedToLastGood) {
   EXPECT_TRUE(loaded.recovered_last_good);
   // Recovery lands on intact A, never on the corrupt B.
   EXPECT_EQ(loaded.model->clusters()[0].mean, fx.model->clusters()[0].mean);
+}
+
+// Two tenants checkpointing into sibling directories under one fleet
+// root (the directory-per-tenant layout) must never interfere: commits
+// and rotations in one directory leave the other byte-stable, and a
+// corruption in one tenant's newest checkpoint recovers from *that
+// tenant's* last-good file only.
+TEST(CheckpointStoreTest, SiblingTenantDirectoriesDoNotInterfere) {
+  const Fixture& fx = fixture();
+  ASSERT_TRUE(fx.model.has_value());
+  const std::string root = ::testing::TempDir() + "/ckpt_tenants";
+  runtime::CheckpointStore a(fleet::tenant_checkpoint_dir(root, "truck-1"));
+  runtime::CheckpointStore b(fleet::tenant_checkpoint_dir(root, "truck-2"));
+  ASSERT_NE(a.directory(), b.directory());
+
+  const vprofile::Model vb = variant_model();
+  ASSERT_TRUE(a.commit(*fx.model));  // tenant a: one commit, no previous
+  ASSERT_TRUE(b.commit(vb));         // tenant b: rotate vb -> last-good
+  ASSERT_TRUE(b.commit(*fx.model));
+
+  // b's rotation did not touch a.
+  auto la = a.load();
+  ASSERT_TRUE(la.model.has_value());
+  EXPECT_FALSE(la.recovered_last_good);
+  EXPECT_EQ(la.model->clusters()[0].mean, fx.model->clusters()[0].mean);
+
+  // Rot b's newest: b falls back to its own last-good (vb), while a's
+  // files are untouched by the neighbour's corruption or recovery.
+  corrupt_byte(b.current_path(), 96);
+  auto lb = b.load();
+  ASSERT_TRUE(lb.model.has_value());
+  EXPECT_TRUE(lb.recovered_last_good);
+  EXPECT_EQ(lb.model->clusters()[0].mean, vb.clusters()[0].mean);
+  auto la2 = a.load();
+  ASSERT_TRUE(la2.model.has_value());
+  EXPECT_FALSE(la2.recovered_last_good);
+}
+
+// Tenant ids that sanitize to the same filesystem-safe leaf ("a/0" and
+// "a_0" both become "a_0") must still land in distinct directories — the
+// CRC suffix is what disambiguates them.
+TEST(CheckpointStoreTest, SanitizedSiblingIdsNeverCollide) {
+  const Fixture& fx = fixture();
+  ASSERT_TRUE(fx.model.has_value());
+  const std::string root = ::testing::TempDir() + "/ckpt_sanitize";
+  const std::string dir_slash = fleet::tenant_checkpoint_dir(root, "a/0");
+  const std::string dir_under = fleet::tenant_checkpoint_dir(root, "a_0");
+  ASSERT_NE(dir_slash, dir_under);
+
+  runtime::CheckpointStore slash(dir_slash);
+  runtime::CheckpointStore under(dir_under);
+  const vprofile::Model vb = variant_model();
+  ASSERT_TRUE(slash.commit(*fx.model));
+  ASSERT_TRUE(under.commit(vb));
+
+  auto ls = slash.load();
+  auto lu = under.load();
+  ASSERT_TRUE(ls.model.has_value());
+  ASSERT_TRUE(lu.model.has_value());
+  EXPECT_EQ(ls.model->clusters()[0].mean, fx.model->clusters()[0].mean);
+  EXPECT_EQ(lu.model->clusters()[0].mean, vb.clusters()[0].mean);
 }
 
 TEST(CheckpointStoreTest, BothCorruptReportsTheFailure) {

@@ -123,6 +123,90 @@ TEST(StatusServerTest, RequestCounterCountsEveryServedRequest) {
   EXPECT_EQ(exported, 2u);
 }
 
+TEST(StatusServerTest, IoTimeoutAccessorClampsToMinimum) {
+  StatusServer server;
+  EXPECT_EQ(server.io_timeout_ms(), 2000u);
+  server.set_io_timeout_ms(150);
+  EXPECT_EQ(server.io_timeout_ms(), 150u);
+  server.set_io_timeout_ms(10);  // below the floor: clamped, not honored
+  EXPECT_EQ(server.io_timeout_ms(), 100u);
+}
+
+// Regression: a client that requests a response bigger than the socket
+// buffer and slams the connection shut mid-write used to be able to kill
+// the whole process via SIGPIPE.  The hardened send path (MSG_NOSIGNAL +
+// EPIPE handling) must survive it and keep serving.
+TEST(StatusServerTest, EarlyCloseMidResponseDoesNotKillTheServer) {
+  StatusServer server;
+  server.route("/big", [](const std::string&) {
+    StatusResponse resp;
+    resp.body.assign(4u << 20, 'x');  // far larger than any socket buffer
+    return resp;
+  });
+  server.route("/ping", [](const std::string&) {
+    StatusResponse resp;
+    resp.body = "pong\n";
+    return resp;
+  });
+  server.set_io_timeout_ms(500);  // keep the wedged send short
+  std::string error;
+  if (!server.start(0, &error)) GTEST_SKIP() << error;
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const std::string request = "GET /big HTTP/1.0\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  // Abortive close (RST) without reading a byte of the 4 MiB body: the
+  // server's in-flight send hits a dead peer.
+  linger lg{};
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  ::close(fd);
+
+  // The server must still be alive and serving fresh connections.
+  std::string resp;
+  for (int attempt = 0; attempt < 5 && resp.empty(); ++attempt) {
+    resp = http_get(server.port(), "/ping");
+  }
+  EXPECT_NE(resp.find("\r\n\r\npong\n"), std::string::npos) << resp;
+}
+
+// Regression: a client that connects and never sends a request used to
+// hold the (sequential) accept loop hostage forever; the receive timeout
+// bounds the damage to io_timeout_ms.
+TEST(StatusServerTest, SilentClientCannotWedgeTheServerForever) {
+  StatusServer server;
+  server.route("/ping", [](const std::string&) {
+    StatusResponse resp;
+    resp.body = "pong\n";
+    return resp;
+  });
+  server.set_io_timeout_ms(150);
+  std::string error;
+  if (!server.start(0, &error)) GTEST_SKIP() << error;
+
+  const int idle = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(idle, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(::connect(idle, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  // Send nothing.  The next real request queues behind the silent one and
+  // must still be answered once the timeout evicts it.
+  const std::string resp = http_get(server.port(), "/ping");
+  EXPECT_NE(resp.find("HTTP/1.0 200"), std::string::npos) << resp;
+  ::close(idle);
+}
+
 TEST(StatusServerTest, StopIsIdempotentAndRefusesFurtherConnections) {
   ServerFixture fx;
   if (!fx.up) GTEST_SKIP() << "cannot bind loopback";
